@@ -1,0 +1,107 @@
+//! Criterion benchmarks of the auction engines vs. baselines across
+//! instance sizes (BENCH-µ in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_bench::random_instance;
+use p2p_core::bertsekas::solve_via_expansion;
+use p2p_core::{AuctionConfig, SyncAuction};
+use p2p_netflow::solve_max_profit;
+use std::hint::black_box;
+
+fn bench_sync_auction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync_auction");
+    g.sample_size(10);
+    for &(providers, requests) in &[(10usize, 100usize), (50, 500), (100, 2000)] {
+        let inst = random_instance(7, providers, requests, 8, 6);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{providers}x{requests}")),
+            &inst,
+            |b, inst| {
+                let engine = SyncAuction::new(AuctionConfig::paper());
+                b.iter(|| black_box(engine.run(black_box(inst)).expect("converges")));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_epsilon_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("auction_epsilon");
+    g.sample_size(10);
+    let inst = random_instance(11, 50, 500, 8, 6);
+    for &eps in &[0.0, 0.01, 0.1] {
+        g.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            let engine = SyncAuction::new(AuctionConfig::with_epsilon(eps));
+            b.iter(|| black_box(engine.run(black_box(&inst)).expect("converges")));
+        });
+    }
+    g.finish();
+}
+
+fn bench_exact_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_solver");
+    g.sample_size(10);
+    for &(providers, requests) in &[(10usize, 100usize), (50, 500)] {
+        let inst = random_instance(13, providers, requests, 8, 6);
+        let tp = inst.to_transportation();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{providers}x{requests}")),
+            &tp,
+            |b, tp| b.iter(|| black_box(solve_max_profit(black_box(tp)).expect("solves"))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_expansion_auction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bertsekas_expansion");
+    g.sample_size(10);
+    let inst = random_instance(17, 20, 200, 4, 5);
+    // ε sized to the paper's value range: the expansion duplicates objects
+    // with identical values, and the classic auction's work scales as
+    // value-range/ε on such ties.
+    g.bench_function("20x200", |b| {
+        b.iter(|| black_box(solve_via_expansion(black_box(&inst), 0.01).expect("converges")));
+    });
+    g.finish();
+}
+
+fn bench_epsilon_scaling(c: &mut Criterion) {
+    use p2p_core::{EpsilonScaling, WelfareInstance};
+    use p2p_types::{ChunkId, Cost, PeerId, RequestId, Valuation, VideoId};
+    // Adversarial twin-value instance: flat small ε fights a price war.
+    let mut b = WelfareInstance::builder();
+    let u0 = b.add_provider(PeerId::new(1), 2);
+    let u1 = b.add_provider(PeerId::new(2), 2);
+    for d in 0..6u32 {
+        let r = b.add_request(RequestId::new(
+            PeerId::new(100 + d),
+            ChunkId::new(VideoId::new(0), d),
+        ));
+        b.add_edge(r, u0, Valuation::new(40.0), Cost::new(0.0)).unwrap();
+        b.add_edge(r, u1, Valuation::new(40.0), Cost::new(0.0)).unwrap();
+    }
+    let inst = b.build().unwrap();
+    let mut g = c.benchmark_group("epsilon_scaling_price_war");
+    g.sample_size(10);
+    g.bench_function("flat_eps_0.05", |bch| {
+        let engine = SyncAuction::new(AuctionConfig::with_epsilon(0.05));
+        bch.iter(|| black_box(engine.run(black_box(&inst)).expect("converges")));
+    });
+    g.bench_function("scaled_16_to_0.05", |bch| {
+        let engine = SyncAuction::new(AuctionConfig::paper());
+        let scaling = EpsilonScaling { initial: 16.0, decay: 4.0, final_epsilon: 0.05 };
+        bch.iter(|| black_box(engine.run_scaled(black_box(&inst), scaling).expect("converges")));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sync_auction,
+    bench_epsilon_variants,
+    bench_exact_solver,
+    bench_expansion_auction,
+    bench_epsilon_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the min-cost-flow substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_netflow::{FlowNetwork, TransportationProblem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_transportation(seed: u64, providers: usize, requests: usize) -> TransportationProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let caps: Vec<u32> = (0..providers).map(|_| rng.gen_range(1..8)).collect();
+    let mut edges: Vec<Vec<(usize, f64)>> = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let mut req = Vec::new();
+        for p in 0..providers {
+            if rng.gen_bool(0.3) {
+                req.push((p, rng.gen_range(-2.0..8.0)));
+            }
+        }
+        edges.push(req);
+    }
+    TransportationProblem::new(caps, edges).expect("valid")
+}
+
+fn bench_max_profit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netflow_max_profit");
+    g.sample_size(10);
+    for &(p, r) in &[(10usize, 100usize), (30, 500), (60, 1500)] {
+        let tp = random_transportation(3, p, r);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{r}")), &tp, |b, tp| {
+            b.iter(|| black_box(p2p_netflow::solve_max_profit(black_box(tp)).expect("solves")));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mcmf_grid(c: &mut Criterion) {
+    // A k×k grid network stresses the SPFA path search.
+    let mut g = c.benchmark_group("netflow_grid_mcmf");
+    g.sample_size(10);
+    for &k in &[10usize, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut net = FlowNetwork::new(k * k + 2);
+                let node = |i: usize, j: usize| 2 + i * k + j;
+                let (s, t) = (0, 1);
+                let mut rng = StdRng::seed_from_u64(9);
+                for i in 0..k {
+                    net.add_edge(s, node(i, 0), 2, 0).unwrap();
+                    net.add_edge(node(i, k - 1), t, 2, 0).unwrap();
+                }
+                for i in 0..k {
+                    for j in 0..k - 1 {
+                        net.add_edge(node(i, j), node(i, j + 1), 3, rng.gen_range(1..20))
+                            .unwrap();
+                        if i + 1 < k {
+                            net.add_edge(node(i, j), node(i + 1, j), 3, rng.gen_range(1..20))
+                                .unwrap();
+                        }
+                    }
+                }
+                black_box(net.min_cost_max_flow(s, t).expect("solves"))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_max_profit, bench_mcmf_grid);
+criterion_main!(benches);

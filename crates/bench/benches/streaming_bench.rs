@@ -1,0 +1,63 @@
+//! Criterion benchmarks of full system slots under each scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2p_sched::{AuctionScheduler, ChunkScheduler, GreedyScheduler, SimpleLocalityScheduler};
+use p2p_streaming::{System, SystemConfig};
+use std::hint::black_box;
+
+fn warmed_system(scheduler: Box<dyn ChunkScheduler>, peers: usize) -> System {
+    let config = SystemConfig::small_test().with_seed(77);
+    let mut sys = System::new(config, scheduler).expect("valid config");
+    sys.add_static_peers(peers).expect("valid peers");
+    sys.run_slots(3).expect("warm-up");
+    sys
+}
+
+fn bench_slot_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system_slot");
+    g.sample_size(10);
+    for &peers in &[30usize, 100] {
+        g.bench_with_input(
+            BenchmarkId::new("auction", peers),
+            &peers,
+            |b, &peers| {
+                b.iter_batched(
+                    || warmed_system(Box::new(AuctionScheduler::paper()), peers),
+                    |mut sys| {
+                        sys.step_slot().expect("slot");
+                        black_box(sys.recorder().len())
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("locality", peers),
+            &peers,
+            |b, &peers| {
+                b.iter_batched(
+                    || warmed_system(Box::new(SimpleLocalityScheduler::new()), peers),
+                    |mut sys| {
+                        sys.step_slot().expect("slot");
+                        black_box(sys.recorder().len())
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("greedy", peers), &peers, |b, &peers| {
+            b.iter_batched(
+                || warmed_system(Box::new(GreedyScheduler::new()), peers),
+                |mut sys| {
+                    sys.step_slot().expect("slot");
+                    black_box(sys.recorder().len())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_slot_step);
+criterion_main!(benches);

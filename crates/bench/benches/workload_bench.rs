@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the workload generators (sampling hot paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2p_types::SimDuration;
+use p2p_workload::{DeadlineValuation, Exponential, TruncatedNormal, ZipfMandelbrot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_sampling");
+    let zipf = ZipfMandelbrot::paper_video_popularity(100);
+    let tn = TruncatedNormal::paper_inter_isp();
+    let exp = Exponential::new(1.0).unwrap();
+
+    g.bench_function("zipf_mandelbrot_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1000 {
+                acc += zipf.sample_index(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("truncated_normal_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += tn.sample(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("exponential_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += exp.sample(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_valuation(c: &mut Criterion) {
+    let v = DeadlineValuation::paper_defaults();
+    c.bench_function("deadline_valuation_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ms in 0..1000u64 {
+                acc += v.value(SimDuration::from_millis(ms * 12)).get();
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_distributions, bench_valuation);
+criterion_main!(benches);

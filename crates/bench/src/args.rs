@@ -1,0 +1,102 @@
+//! Minimal `--flag value` argument parsing for the harness binaries.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_bench::Args;
+/// let a = Args::from_iter(["--peers", "200", "--quick"]);
+/// assert_eq!(a.get_usize("peers", 500), 200);
+/// assert!(a.has("quick"));
+/// assert_eq!(a.get_f64("epsilon", 0.5), 0.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, Option<String>>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator of arguments.
+    pub fn from_iter<I, S>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut flags = HashMap::new();
+        let mut key: Option<String> = None;
+        for raw in iter {
+            let raw: String = raw.into();
+            if let Some(name) = raw.strip_prefix("--") {
+                if let Some(k) = key.take() {
+                    flags.insert(k, None);
+                }
+                key = Some(name.to_string());
+            } else if let Some(k) = key.take() {
+                flags.insert(k, Some(raw));
+            }
+        }
+        if let Some(k) = key.take() {
+            flags.insert(k, None);
+        }
+        Args { flags }
+    }
+
+    /// Whether a flag is present (with or without a value).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// A `usize` flag with default.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// A `u64` flag with default.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// An `f64` flag with default.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).and_then(|v| v.as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_values_and_bare_flags() {
+        let a = Args::from_iter(["--peers", "100", "--quick", "--eps", "0.25"]);
+        assert_eq!(a.get_usize("peers", 1), 100);
+        assert_eq!(a.get_f64("eps", 0.0), 0.25);
+        assert!(a.has("quick"));
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn defaults_apply_for_missing_or_malformed() {
+        let a = Args::from_iter(["--peers", "abc"]);
+        assert_eq!(a.get_usize("peers", 7), 7);
+        assert_eq!(a.get_u64("slots", 25), 25);
+    }
+
+    #[test]
+    fn trailing_bare_flag() {
+        let a = Args::from_iter(["--quick"]);
+        assert!(a.has("quick"));
+    }
+}

@@ -1,0 +1,575 @@
+//! Synchronous (Gauss–Seidel) execution of the distributed auction.
+//!
+//! Runs the exact bidder/auctioneer logic of [`crate::bidder`] and
+//! [`crate::auctioneer`] in deterministic rounds: each round sweeps the
+//! unassigned requests in index order, letting each submit its bid
+//! immediately (prices update as the sweep progresses). The auction
+//! converges when a full round produces no bids — precisely the paper's
+//! "no auctioneer wishes to change its allocation and no bidder wishes to
+//! bid again".
+//!
+//! This is the fast path used by the slot scheduler, the property tests and
+//! the benchmarks; the message-level execution with latencies lives in
+//! [`crate::dist`].
+
+use crate::auctioneer::{Auctioneer, BidOutcome};
+use crate::bidder::{decide_bid, BidDecision, EdgeView};
+use crate::instance::{ProviderIdx, WelfareInstance};
+use crate::solution::{Assignment, DualSolution};
+use p2p_types::P2pError;
+use serde::{Deserialize, Serialize};
+
+/// Auction engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuctionConfig {
+    /// Bid increment ε. `0` is the paper-faithful rule (abstain on ties);
+    /// positive values trade ≤ `n·ε` welfare for guaranteed termination.
+    pub epsilon: f64,
+    /// Safety cap on rounds before declaring divergence.
+    pub max_rounds: u64,
+    /// Record every price change (for convergence plots).
+    pub record_price_trace: bool,
+}
+
+impl AuctionConfig {
+    /// The paper's configuration: ε = 0, no trace.
+    pub fn paper() -> Self {
+        AuctionConfig { epsilon: 0.0, max_rounds: 1_000_000, record_price_trace: false }
+    }
+
+    /// Paper configuration with a positive ε (Bertsekas ε-complementary
+    /// slackness).
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        AuctionConfig { epsilon, ..Self::paper() }
+    }
+
+    /// Enables price-trace recording (builder-style).
+    #[must_use]
+    pub fn recording_trace(mut self) -> Self {
+        self.record_price_trace = true;
+        self
+    }
+}
+
+impl Default for AuctionConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// ε-scaling schedule for [`SyncAuction::run_scaled`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonScaling {
+    /// First-phase ε (scaled to the instance's value range; the paper's
+    /// valuations cap at 8, so 1.0 is a good default).
+    pub initial: f64,
+    /// Geometric decay per phase (> 1).
+    pub decay: f64,
+    /// ε of the final phase — the accuracy actually guaranteed
+    /// (`n · final_epsilon`).
+    pub final_epsilon: f64,
+}
+
+impl EpsilonScaling {
+    /// Defaults suited to the paper's valuation range: 1.0 → ×¼ → 10⁻⁶.
+    pub fn paper_range() -> Self {
+        EpsilonScaling { initial: 1.0, decay: 4.0, final_epsilon: 1e-6 }
+    }
+
+    fn validate(&self) -> Result<(), P2pError> {
+        if !(self.initial.is_finite() && self.initial > 0.0) {
+            return Err(P2pError::invalid_config("scaling.initial", "must be positive"));
+        }
+        if !(self.decay.is_finite() && self.decay > 1.0) {
+            return Err(P2pError::invalid_config("scaling.decay", "must exceed 1"));
+        }
+        if !(self.final_epsilon.is_finite() && self.final_epsilon > 0.0) {
+            return Err(P2pError::invalid_config("scaling.final_epsilon", "must be positive"));
+        }
+        if self.final_epsilon > self.initial {
+            return Err(P2pError::invalid_config(
+                "scaling.final_epsilon",
+                "must not exceed the initial epsilon",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One recorded price change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceChange {
+    /// Round during which the change happened (1-based).
+    pub round: u64,
+    /// The provider whose price changed.
+    pub provider: ProviderIdx,
+    /// The new price `λ_u`.
+    pub price: f64,
+}
+
+/// Result of a converged auction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuctionOutcome {
+    /// The binary primal solution (`a^{(c)}_{u→d}`).
+    pub assignment: Assignment,
+    /// The dual solution (`λ_u`, `η^{(c)}_d`).
+    pub duals: DualSolution,
+    /// Rounds executed (including the final quiet round).
+    pub rounds: u64,
+    /// Total bids submitted.
+    pub bids_submitted: u64,
+    /// Whether the auction reached quiescence (always `true` for outcomes
+    /// returned by [`SyncAuction::run`]; kept for symmetry with the
+    /// distributed engine).
+    pub converged: bool,
+    /// Price changes, if tracing was enabled.
+    pub price_trace: Vec<PriceChange>,
+}
+
+/// The synchronous auction engine.
+///
+/// # Examples
+///
+/// See the crate-level example; `SyncAuction` is the default way to solve a
+/// [`WelfareInstance`].
+#[derive(Debug, Clone, Default)]
+pub struct SyncAuction {
+    config: AuctionConfig,
+}
+
+impl SyncAuction {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: AuctionConfig) -> Self {
+        SyncAuction { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &AuctionConfig {
+        &self.config
+    }
+
+    /// Runs the auction to convergence on `instance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::AuctionDiverged`] if quiescence is not reached
+    /// within `max_rounds` (possible only with adversarial floating-point
+    /// patterns; the paper's Theorem 1 guarantees termination under its
+    /// sufficiency assumption).
+    pub fn run(&self, instance: &WelfareInstance) -> Result<AuctionOutcome, P2pError> {
+        self.run_from(instance, None, self.config.epsilon)
+    }
+
+    /// Runs the auction with ε-scaling (Bertsekas 1988): phases with
+    /// geometrically shrinking ε, each warm-starting from the previous
+    /// phase's (ε-relaxed) prices. Large early ε moves prices in big steps,
+    /// ending any price war in few bids where a flat small ε needs
+    /// `value range / ε` of them — see the twin-values test below for the
+    /// order-of-magnitude difference.
+    ///
+    /// # Guarantee
+    ///
+    /// The welfare is within `n · initial` of optimal, and on generic
+    /// (tie-free) instances within `n · final_epsilon`. The stronger bound
+    /// does not hold universally: carried prices can preserve exact
+    /// cross-provider ties created by earlier phases, and a request parked
+    /// on the wrong side of such a tie never moves (assigned bidders only
+    /// move when evicted). Certifying the tight bound in general requires
+    /// forward-*reverse* auction phases (Bertsekas & Castañon 1989), which
+    /// are out of scope; use a flat-ε [`SyncAuction::run`] when the
+    /// `n·ε` certificate matters more than speed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::AuctionDiverged`] if any phase exceeds
+    /// `max_rounds`, or [`P2pError::InvalidConfig`] for invalid scaling
+    /// parameters.
+    pub fn run_scaled(
+        &self,
+        instance: &WelfareInstance,
+        scaling: EpsilonScaling,
+    ) -> Result<AuctionOutcome, P2pError> {
+        scaling.validate()?;
+        let mut epsilon = scaling.initial;
+        let mut prices: Option<Vec<f64>> = None;
+        let mut rounds = 0;
+        let mut bids = 0;
+        let mut trace = Vec::new();
+        loop {
+            let last_phase = epsilon <= scaling.final_epsilon;
+            let eps = epsilon.max(scaling.final_epsilon);
+            let outcome = self.run_from(instance, prices.as_deref(), eps)?;
+            rounds += outcome.rounds;
+            bids += outcome.bids_submitted;
+            trace.extend(outcome.price_trace.iter().copied());
+            if last_phase {
+                return Ok(AuctionOutcome {
+                    rounds,
+                    bids_submitted: bids,
+                    price_trace: trace,
+                    ..outcome
+                });
+            }
+            // Carry prices relaxed by the phase's ε: a winner can overbid
+            // its value by up to ε, and carrying that price verbatim would
+            // price the winner itself out of the next phase (free disposal
+            // makes overbid prices sticky, unlike the symmetric assignment
+            // problem). Subtracting ε restores ε-complementary slackness
+            // for the next phase.
+            prices = Some(
+                outcome.duals.lambda.iter().map(|l| (l - eps).max(0.0)).collect(),
+            );
+            epsilon /= scaling.decay;
+        }
+    }
+
+    /// Core engine: optional warm-start prices, explicit ε.
+    fn run_from(
+        &self,
+        instance: &WelfareInstance,
+        initial_prices: Option<&[f64]>,
+        epsilon: f64,
+    ) -> Result<AuctionOutcome, P2pError> {
+        let views = edge_views(instance);
+        let mut auctioneers: Vec<Auctioneer> = instance
+            .providers()
+            .iter()
+            .enumerate()
+            .map(|(u, p)| {
+                let warm = initial_prices
+                    .and_then(|ps| ps.get(u).copied())
+                    .filter(|w| w.is_finite() && *w >= 0.0)
+                    .unwrap_or(0.0);
+                if p.capacity.is_zero() {
+                    Auctioneer::new(0)
+                } else {
+                    Auctioneer::with_price(p.capacity.chunks_per_slot(), warm)
+                }
+            })
+            .collect();
+        // Effective price used by bidders: +∞ for zero-capacity providers
+        // so nobody targets them.
+        let mut eff_price: Vec<f64> = instance
+            .providers()
+            .iter()
+            .enumerate()
+            .map(|(u, p)| {
+                if p.capacity.is_zero() {
+                    f64::INFINITY
+                } else {
+                    auctioneers[u].price()
+                }
+            })
+            .collect();
+
+        let mut assigned: Vec<Option<usize>> = vec![None; instance.request_count()];
+        let mut trace = Vec::new();
+        let mut rounds = 0u64;
+        let mut bids_submitted = 0u64;
+
+        loop {
+            rounds += 1;
+            if rounds > self.config.max_rounds {
+                return Err(P2pError::AuctionDiverged { iterations: rounds - 1 });
+            }
+            let mut bids_this_round = 0u64;
+            for r in 0..instance.request_count() {
+                if assigned[r].is_some() {
+                    continue;
+                }
+                match decide_bid(&views[r], |p| eff_price[p], epsilon) {
+                    BidDecision::Abstain { .. } => {}
+                    BidDecision::Bid { edge, provider, amount } => {
+                        bids_this_round += 1;
+                        match auctioneers[provider].handle_bid(r, amount) {
+                            BidOutcome::Rejected { .. } => {
+                                // Unreachable with up-to-date prices: the
+                                // bidder only bids strictly above λ.
+                                debug_assert!(false, "synchronous bid rejected");
+                            }
+                            BidOutcome::Accepted { evicted, new_price } => {
+                                assigned[r] = Some(edge);
+                                if let Some(loser) = evicted {
+                                    assigned[loser] = None;
+                                }
+                                if let Some(p) = new_price {
+                                    eff_price[provider] = p;
+                                    if self.config.record_price_trace {
+                                        trace.push(PriceChange {
+                                            round: rounds,
+                                            provider,
+                                            price: p,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            bids_submitted += bids_this_round;
+            if bids_this_round == 0 {
+                break;
+            }
+        }
+
+        let lambda = final_prices(instance, &auctioneers);
+        Ok(AuctionOutcome {
+            assignment: Assignment::new(assigned),
+            duals: DualSolution::from_prices(instance, lambda),
+            rounds,
+            bids_submitted,
+            converged: true,
+            price_trace: trace,
+        })
+    }
+}
+
+/// Precomputes the bidder-visible edge views of every request.
+pub(crate) fn edge_views(instance: &WelfareInstance) -> Vec<Vec<EdgeView>> {
+    instance
+        .requests()
+        .iter()
+        .map(|r| {
+            r.edges
+                .iter()
+                .map(|e| EdgeView { provider: e.provider, utility: e.utility().get() })
+                .collect()
+        })
+        .collect()
+}
+
+/// Reported final prices: the auctioneer's λ for active providers; for
+/// zero-capacity providers (which constrain nothing but still appear in
+/// dual constraint (6)), the smallest feasible standalone price
+/// `max(0, max incident v−w)`.
+pub(crate) fn final_prices(instance: &WelfareInstance, auctioneers: &[Auctioneer]) -> Vec<f64> {
+    let mut lambda: Vec<f64> = auctioneers.iter().map(Auctioneer::price).collect();
+    for (u, spec) in instance.providers().iter().enumerate() {
+        if spec.capacity.is_zero() {
+            let max_utility = instance
+                .requests()
+                .iter()
+                .flat_map(|r| r.edges.iter())
+                .filter(|e| e.provider == u)
+                .map(|e| e.utility().get())
+                .fold(0.0_f64, f64::max);
+            lambda[u] = max_utility;
+        }
+    }
+    lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_types::{ChunkId, Cost, PeerId, RequestId, Utility, Valuation, VideoId};
+
+    fn rid(d: u32, c: u32) -> RequestId {
+        RequestId::new(PeerId::new(d), ChunkId::new(VideoId::new(0), c))
+    }
+
+    /// 2 requests competing for 1 unit at one provider plus a fallback.
+    fn competitive_instance() -> WelfareInstance {
+        let mut b = WelfareInstance::builder();
+        let cheap = b.add_provider(PeerId::new(100), 1);
+        let costly = b.add_provider(PeerId::new(101), 2);
+        let r0 = b.add_request(rid(0, 0));
+        let r1 = b.add_request(rid(1, 0));
+        b.add_edge(r0, cheap, Valuation::new(6.0), Cost::new(1.0)).unwrap(); // 5
+        b.add_edge(r0, costly, Valuation::new(6.0), Cost::new(4.0)).unwrap(); // 2
+        b.add_edge(r1, cheap, Valuation::new(5.0), Cost::new(1.0)).unwrap(); // 4
+        b.add_edge(r1, costly, Valuation::new(5.0), Cost::new(3.5)).unwrap(); // 1.5
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reaches_exact_optimum_on_competitive_instance() {
+        let inst = competitive_instance();
+        let out = SyncAuction::new(AuctionConfig::paper()).run(&inst).unwrap();
+        assert!(out.converged);
+        // Optimal: r0 at cheap (5) + r1 at costly (1.5) = 6.5, beating
+        // r1 at cheap + r0 at costly = 4 + 2 = 6.
+        assert_eq!(out.assignment.welfare(&inst), inst.optimal_welfare());
+        assert!(out.assignment.validate(&inst).is_ok());
+        assert!(out.duals.validate(&inst, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn unprofitable_requests_stay_unassigned() {
+        let mut b = WelfareInstance::builder();
+        let u = b.add_provider(PeerId::new(9), 5);
+        let r = b.add_request(rid(0, 0));
+        b.add_edge(r, u, Valuation::new(0.8), Cost::new(9.0)).unwrap();
+        let inst = b.build().unwrap();
+        let out = SyncAuction::default().run(&inst).unwrap();
+        assert_eq!(out.assignment.assigned_count(), 0);
+        assert_eq!(out.assignment.welfare(&inst), Utility::ZERO);
+    }
+
+    #[test]
+    fn capacity_zero_providers_are_ignored() {
+        let mut b = WelfareInstance::builder();
+        let dead = b.add_provider(PeerId::new(9), 0);
+        let live = b.add_provider(PeerId::new(10), 1);
+        let r = b.add_request(rid(0, 0));
+        b.add_edge(r, dead, Valuation::new(8.0), Cost::new(0.0)).unwrap();
+        b.add_edge(r, live, Valuation::new(8.0), Cost::new(2.0)).unwrap();
+        let inst = b.build().unwrap();
+        let out = SyncAuction::default().run(&inst).unwrap();
+        assert_eq!(out.assignment.provider_of(&inst, 0), Some(live));
+        // The dead provider's reported λ keeps the dual feasible.
+        assert!(out.duals.validate(&inst, 1e-9).is_ok());
+        assert!(out.duals.lambda[dead] >= 8.0 - 1e-9);
+    }
+
+    #[test]
+    fn empty_instance_converges_immediately() {
+        let inst = WelfareInstance::builder().build().unwrap();
+        let out = SyncAuction::default().run(&inst).unwrap();
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.bids_submitted, 0);
+    }
+
+    #[test]
+    fn epsilon_resolves_degenerate_ties() {
+        // Two identical requests, two identical providers: ε = 0 abstains
+        // (both see zero margin) leaving welfare on the table; ε > 0 assigns
+        // both.
+        let mut b = WelfareInstance::builder();
+        let u0 = b.add_provider(PeerId::new(100), 1);
+        let u1 = b.add_provider(PeerId::new(101), 1);
+        for d in 0..2 {
+            let r = b.add_request(rid(d, 0));
+            b.add_edge(r, u0, Valuation::new(5.0), Cost::new(1.0)).unwrap();
+            b.add_edge(r, u1, Valuation::new(5.0), Cost::new(1.0)).unwrap();
+        }
+        let inst = b.build().unwrap();
+
+        let stalled = SyncAuction::new(AuctionConfig::paper()).run(&inst).unwrap();
+        assert_eq!(stalled.assignment.assigned_count(), 0, "paper rule deadlocks on ties");
+
+        let out = SyncAuction::new(AuctionConfig::with_epsilon(0.01)).run(&inst).unwrap();
+        assert_eq!(out.assignment.assigned_count(), 2);
+        let optimal = inst.optimal_welfare().get();
+        assert!(out.assignment.welfare(&inst).get() >= optimal - 2.0 * 0.01);
+    }
+
+    #[test]
+    fn price_trace_records_monotone_prices() {
+        let inst = competitive_instance();
+        let out =
+            SyncAuction::new(AuctionConfig::paper().recording_trace()).run(&inst).unwrap();
+        assert!(!out.price_trace.is_empty());
+        let mut last: Vec<f64> = vec![0.0; inst.provider_count()];
+        for pc in &out.price_trace {
+            assert!(pc.price >= last[pc.provider], "price decreased in trace");
+            last[pc.provider] = pc.price;
+        }
+    }
+
+    #[test]
+    fn prices_support_the_assignment_as_cs_requires() {
+        let inst = competitive_instance();
+        let out = SyncAuction::default().run(&inst).unwrap();
+        // Complementary slackness condition 2: every winner is served by an
+        // argmax provider at final prices.
+        for r in 0..inst.request_count() {
+            if let Some(u) = out.assignment.provider_of(&inst, r) {
+                let best = inst.request(r)
+                    .edges
+                    .iter()
+                    .map(|e| e.utility().get() - out.duals.lambda[e.provider])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let chosen = inst.request(r)
+                    .edges
+                    .iter()
+                    .find(|e| e.provider == u)
+                    .map(|e| e.utility().get() - out.duals.lambda[u])
+                    .unwrap();
+                assert!(chosen >= best - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn divergence_guard_fires_with_tiny_round_budget() {
+        let inst = competitive_instance();
+        let cfg = AuctionConfig { max_rounds: 0, ..AuctionConfig::paper() };
+        let err = SyncAuction::new(cfg).run(&inst).unwrap_err();
+        assert!(matches!(err, P2pError::AuctionDiverged { .. }));
+    }
+
+    #[test]
+    fn scaled_auction_matches_exact_within_final_epsilon() {
+        let inst = competitive_instance();
+        let scaling = EpsilonScaling::paper_range();
+        let out = SyncAuction::default().run_scaled(&inst, scaling).unwrap();
+        let exact = inst.optimal_welfare().get();
+        let bound = inst.request_count() as f64 * scaling.final_epsilon + 1e-9;
+        assert!(out.assignment.welfare(&inst).get() >= exact - bound);
+        assert!(out.assignment.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn scaling_crushes_price_wars_on_twin_values() {
+        // Three identical high-value requests over two single-unit
+        // providers: a flat small ε fights a `value/ε`-bid war; scaling
+        // finishes in a handful of phases.
+        let value = 50.0;
+        let build = || {
+            let mut b = WelfareInstance::builder();
+            let u0 = b.add_provider(PeerId::new(100), 1);
+            let u1 = b.add_provider(PeerId::new(101), 1);
+            for d in 0..3 {
+                let r = b.add_request(rid(d, 0));
+                b.add_edge(r, u0, Valuation::new(value), Cost::new(0.0)).unwrap();
+                b.add_edge(r, u1, Valuation::new(value), Cost::new(0.0)).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let inst = build();
+        let flat = SyncAuction::new(AuctionConfig::with_epsilon(0.01)).run(&inst).unwrap();
+        let scaling = EpsilonScaling { initial: 16.0, decay: 4.0, final_epsilon: 0.01 };
+        let scaled = SyncAuction::default().run_scaled(&inst, scaling).unwrap();
+        assert_eq!(scaled.assignment.assigned_count(), 2);
+        assert!(
+            scaled.bids_submitted * 10 < flat.bids_submitted,
+            "scaling ({}) must need far fewer bids than flat ε ({})",
+            scaled.bids_submitted,
+            flat.bids_submitted
+        );
+        // Both reach the optimum (two of three twins served).
+        let exact = inst.optimal_welfare().get();
+        assert!(scaled.assignment.welfare(&inst).get() >= exact - 3.0 * 0.01 - 1e-9);
+        assert!(flat.assignment.welfare(&inst).get() >= exact - 3.0 * 0.01 - 1e-9);
+    }
+
+    #[test]
+    fn scaled_single_bidder_is_not_priced_out_by_early_overbids() {
+        // With a huge initial ε the lone bidder overbids its own value;
+        // the inter-phase price relaxation must keep it assigned.
+        let mut b = WelfareInstance::builder();
+        let u = b.add_provider(PeerId::new(100), 1);
+        let r = b.add_request(rid(0, 0));
+        b.add_edge(r, u, Valuation::new(5.0), Cost::new(1.0)).unwrap();
+        let inst = b.build().unwrap();
+        let scaling = EpsilonScaling { initial: 64.0, decay: 4.0, final_epsilon: 1e-6 };
+        let out = SyncAuction::default().run_scaled(&inst, scaling).unwrap();
+        assert_eq!(out.assignment.assigned_count(), 1);
+        assert!((out.assignment.welfare(&inst).get() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_scaling_rejected() {
+        let inst = competitive_instance();
+        for bad in [
+            EpsilonScaling { initial: 0.0, decay: 4.0, final_epsilon: 1e-6 },
+            EpsilonScaling { initial: 1.0, decay: 1.0, final_epsilon: 1e-6 },
+            EpsilonScaling { initial: 1.0, decay: 4.0, final_epsilon: 0.0 },
+            EpsilonScaling { initial: 1e-9, decay: 4.0, final_epsilon: 1.0 },
+        ] {
+            assert!(SyncAuction::default().run_scaled(&inst, bad).is_err());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Internal totally-ordered `f64` wrapper for heap keys.
+
+use std::cmp::Ordering;
+
+/// An `f64` with `Ord` via `total_cmp`. Internal: all values flowing in are
+/// validated finite at the API boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub(crate) f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64() {
+        assert!(OrdF64(1.0) < OrdF64(2.0));
+        assert!(OrdF64(-1.0) < OrdF64(0.0));
+        assert_eq!(OrdF64(3.5), OrdF64(3.5));
+    }
+
+    #[test]
+    fn usable_in_binary_heap() {
+        use std::collections::BinaryHeap;
+        let mut h = BinaryHeap::new();
+        h.push(OrdF64(1.0));
+        h.push(OrdF64(3.0));
+        h.push(OrdF64(2.0));
+        assert_eq!(h.pop(), Some(OrdF64(3.0)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Terminal-friendly ASCII line plots for the examples.
+
+use crate::series::TimeSeries;
+
+/// Renders one or more series as a fixed-size ASCII chart.
+///
+/// Each series gets a glyph (`*`, `o`, `+`, `x`, …) in legend order. The
+/// chart is meant for quick looks in example binaries, not publication.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_metrics::{TimeSeries, ascii_plot};
+/// let mut s = TimeSeries::new("demo");
+/// for i in 0..20 { s.push(i as f64, (i * i) as f64); }
+/// let plot = ascii_plot(&[&s], 40, 10);
+/// assert!(plot.contains('*'));
+/// assert!(plot.contains("demo"));
+/// ```
+pub fn ascii_plot(series: &[&TimeSeries], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let width = width.max(8);
+    let height = height.max(4);
+    let mut non_empty = series.iter().filter(|s| !s.is_empty()).peekable();
+    if non_empty.peek().is_none() {
+        return "(no data)\n".to_string();
+    }
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series.iter().filter(|s| !s.is_empty()) {
+        for &(x, y) in s.points() {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in s.points() {
+            let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let row = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row;
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>10.2} |")
+        } else if i == height - 1 {
+            format!("{y_min:>10.2} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!("{:>12}{:<.2}{}{:>.2}\n", "", x_min, " ".repeat(width.saturating_sub(8)), x_max));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{:>12}{} = {}\n", "", GLYPHS[si % GLYPHS.len()], s.name()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_placeholder() {
+        let s = TimeSeries::new("empty");
+        assert_eq!(ascii_plot(&[&s], 20, 5), "(no data)\n");
+        assert_eq!(ascii_plot(&[], 20, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn plot_contains_glyphs_and_legend() {
+        let mut a = TimeSeries::new("rise");
+        let mut b = TimeSeries::new("fall");
+        for i in 0..10 {
+            a.push(i as f64, i as f64);
+            b.push(i as f64, (10 - i) as f64);
+        }
+        let p = ascii_plot(&[&a, &b], 30, 8);
+        assert!(p.contains('*') && p.contains('o'));
+        assert!(p.contains("rise") && p.contains("fall"));
+        // 8 grid rows + axis + x labels + 2 legend lines
+        assert_eq!(p.lines().count(), 12);
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut s = TimeSeries::new("flat");
+        s.push(0.0, 5.0);
+        s.push(1.0, 5.0);
+        let p = ascii_plot(&[&s], 20, 5);
+        assert!(p.contains('*'));
+    }
+
+    #[test]
+    fn tiny_dimensions_are_clamped() {
+        let mut s = TimeSeries::new("x");
+        s.push(0.0, 0.0);
+        let p = ascii_plot(&[&s], 1, 1);
+        assert!(p.contains('*'));
+    }
+}

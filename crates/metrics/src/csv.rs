@@ -1,0 +1,116 @@
+//! Minimal CSV output for figure data.
+
+use crate::series::TimeSeries;
+use std::io::{self, Write};
+
+/// Writes one or more series sharing an x axis as CSV.
+///
+/// The first series supplies the x column; all series must have identical
+/// length and x values (the usual case: one series per scheduler over the
+/// same slots). Output columns: `x, <name of s1>, <name of s2>, …`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer, or [`io::ErrorKind::InvalidInput`]
+/// if the series are empty, have mismatched lengths, or disagree on x.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_metrics::{TimeSeries, write_csv};
+///
+/// let mut a = TimeSeries::new("auction");
+/// let mut b = TimeSeries::new("locality");
+/// a.push(0.0, 1.0);
+/// b.push(0.0, 2.0);
+/// let mut out = Vec::new();
+/// write_csv(&mut out, "time_s", &[&a, &b]).unwrap();
+/// let text = String::from_utf8(out).unwrap();
+/// assert_eq!(text, "time_s,auction,locality\n0,1,2\n");
+/// ```
+pub fn write_csv<W: Write>(
+    mut w: W,
+    x_name: &str,
+    series: &[&TimeSeries],
+) -> io::Result<()> {
+    if series.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "no series given"));
+    }
+    let n = series[0].len();
+    for s in series {
+        if s.len() != n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("series `{}` has {} points, expected {n}", s.name(), s.len()),
+            ));
+        }
+    }
+    write!(w, "{x_name}")?;
+    for s in series {
+        write!(w, ",{}", s.name())?;
+    }
+    writeln!(w)?;
+    for i in 0..n {
+        let (x0, _) = series[0].points()[i];
+        for s in series {
+            let (x, _) = s.points()[i];
+            if (x - x0).abs() > 1e-9 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("series `{}` disagrees on x at row {i}", s.name()),
+                ));
+            }
+        }
+        write!(w, "{x0}")?;
+        for s in series {
+            write!(w, ",{}", s.points()[i].1)?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, ys: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for (i, y) in ys.iter().enumerate() {
+            s.push(i as f64, *y);
+        }
+        s
+    }
+
+    #[test]
+    fn multi_column_output() {
+        let a = series("a", &[1.0, 2.0]);
+        let b = series("b", &[3.0, 4.0]);
+        let mut out = Vec::new();
+        write_csv(&mut out, "t", &[&a, &b]).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "t,a,b\n0,1,3\n1,2,4\n");
+    }
+
+    #[test]
+    fn empty_series_list_rejected() {
+        let mut out = Vec::new();
+        assert!(write_csv(&mut out, "t", &[]).is_err());
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let a = series("a", &[1.0]);
+        let b = series("b", &[1.0, 2.0]);
+        let mut out = Vec::new();
+        assert!(write_csv(&mut out, "t", &[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn mismatched_x_rejected() {
+        let a = series("a", &[1.0]);
+        let mut b = TimeSeries::new("b");
+        b.push(5.0, 1.0);
+        let mut out = Vec::new();
+        assert!(write_csv(&mut out, "t", &[&a, &b]).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Named `(x, y)` time series.
+
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(x, y)` samples, the unit of every figure.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_metrics::TimeSeries;
+/// let mut s = TimeSeries::new("miss-rate");
+/// s.push(0.0, 0.05);
+/// s.push(10.0, 0.03);
+/// assert_eq!(s.y_max(), Some(0.05));
+/// assert!((s.mean_y().unwrap() - 0.04).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries { name: name.into(), points: Vec::new() }
+    }
+
+    /// The series name (used as a CSV column header / plot legend).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is not finite.
+    pub fn push(&mut self, x: f64, y: f64) {
+        assert!(x.is_finite() && y.is_finite(), "series samples must be finite");
+        self.points.push((x, y));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Iterator over the y values.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(_, y)| y)
+    }
+
+    /// Largest y value.
+    pub fn y_max(&self) -> Option<f64> {
+        self.values().fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.max(y))))
+    }
+
+    /// Smallest y value.
+    pub fn y_min(&self) -> Option<f64> {
+        self.values().fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.min(y))))
+    }
+
+    /// Mean of the y values.
+    pub fn mean_y(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.values().sum::<f64>() / self.points.len() as f64)
+        }
+    }
+
+    /// Returns the same samples under a new name (for figure legends).
+    #[must_use]
+    pub fn renamed(mut self, name: impl Into<String>) -> TimeSeries {
+        self.name = name.into();
+        self
+    }
+
+    /// Restricts the series to samples with `x ∈ [lo, hi]`.
+    #[must_use]
+    pub fn window(&self, lo: f64, hi: f64) -> TimeSeries {
+        TimeSeries {
+            name: self.name.clone(),
+            points: self
+                .points
+                .iter()
+                .copied()
+                .filter(|&(x, _)| x >= lo && x <= hi)
+                .collect(),
+        }
+    }
+}
+
+impl Extend<(f64, f64)> for TimeSeries {
+    fn extend<T: IntoIterator<Item = (f64, f64)>>(&mut self, iter: T) {
+        for (x, y) in iter {
+            self.push(x, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_aggregate() {
+        let mut s = TimeSeries::new("t");
+        assert!(s.is_empty());
+        assert_eq!(s.mean_y(), None);
+        s.push(0.0, 1.0);
+        s.push(1.0, 3.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y_min(), Some(1.0));
+        assert_eq!(s.y_max(), Some(3.0));
+        assert_eq!(s.mean_y(), Some(2.0));
+    }
+
+    #[test]
+    fn window_filters_by_x() {
+        let mut s = TimeSeries::new("t");
+        for i in 0..10 {
+            s.push(i as f64, i as f64);
+        }
+        let w = s.window(3.0, 6.0);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.points()[0], (3.0, 3.0));
+        assert_eq!(w.name(), "t");
+    }
+
+    #[test]
+    fn renamed_keeps_points() {
+        let mut s = TimeSeries::new("a");
+        s.push(0.0, 1.0);
+        let r = s.renamed("b");
+        assert_eq!(r.name(), "b");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn extend_collects_pairs() {
+        let mut s = TimeSeries::new("t");
+        s.extend(vec![(0.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_sample_rejected() {
+        let mut s = TimeSeries::new("t");
+        s.push(0.0, f64::NAN);
+    }
+}

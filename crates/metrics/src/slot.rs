@@ -1,0 +1,181 @@
+//! Per-time-slot system metrics — the paper's reported quantities.
+
+use crate::series::TimeSeries;
+use p2p_types::{SlotIndex, Utility};
+use serde::{Deserialize, Serialize};
+
+/// What the system measured during one time slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SlotMetrics {
+    /// Social welfare `Σ a (v − w)` of the slot's schedule (Fig. 3/6a).
+    pub welfare: f64,
+    /// Chunks scheduled for transfer.
+    pub transfers: u64,
+    /// Transfers crossing an ISP boundary (numerator of Fig. 4/6b).
+    pub inter_isp_transfers: u64,
+    /// Chunks whose playback deadline passed unserved during the slot
+    /// (numerator of Fig. 5/6c).
+    pub missed_chunks: u64,
+    /// Chunks that came due for playback during the slot (denominator of
+    /// Fig. 5/6c).
+    pub due_chunks: u64,
+    /// Online (non-seed) peers at the slot boundary.
+    pub online_peers: u64,
+}
+
+impl SlotMetrics {
+    /// Adds one scheduled transfer.
+    pub fn record_transfer(&mut self, utility: Utility, inter_isp: bool) {
+        self.welfare += utility.get();
+        self.transfers += 1;
+        if inter_isp {
+            self.inter_isp_transfers += 1;
+        }
+    }
+
+    /// Fraction of traffic that crossed ISP boundaries (0 when idle).
+    pub fn inter_isp_fraction(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            self.inter_isp_transfers as f64 / self.transfers as f64
+        }
+    }
+
+    /// Fraction of due chunks that missed their deadline (0 when nothing
+    /// was due).
+    pub fn miss_rate(&self) -> f64 {
+        if self.due_chunks == 0 {
+            0.0
+        } else {
+            self.missed_chunks as f64 / self.due_chunks as f64
+        }
+    }
+}
+
+/// Collects [`SlotMetrics`] over a run and exposes them as the paper's
+/// figure series.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_metrics::{SlotMetrics, SlotRecorder};
+/// use p2p_types::{SlotIndex, SimDuration, Utility};
+///
+/// let mut rec = SlotRecorder::new(SimDuration::from_secs(10));
+/// let mut m = SlotMetrics::default();
+/// m.record_transfer(Utility::new(3.0), true);
+/// m.record_transfer(Utility::new(2.0), false);
+/// rec.record(SlotIndex::new(0), m);
+/// assert_eq!(rec.welfare_series().points()[0], (0.0, 5.0));
+/// assert_eq!(rec.inter_isp_series().points()[0], (0.0, 0.5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotRecorder {
+    slot_secs: f64,
+    slots: Vec<(SlotIndex, SlotMetrics)>,
+}
+
+impl SlotRecorder {
+    /// Creates a recorder for slots of the given length.
+    pub fn new(slot_len: p2p_types::SimDuration) -> Self {
+        SlotRecorder { slot_secs: slot_len.as_secs_f64(), slots: Vec::new() }
+    }
+
+    /// Records one slot's metrics.
+    pub fn record(&mut self, slot: SlotIndex, metrics: SlotMetrics) {
+        self.slots.push((slot, metrics));
+    }
+
+    /// All recorded slots.
+    pub fn slots(&self) -> &[(SlotIndex, SlotMetrics)] {
+        &self.slots
+    }
+
+    /// Number of recorded slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn series_of(&self, name: &str, f: impl Fn(&SlotMetrics) -> f64) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for (slot, m) in &self.slots {
+            s.push(slot.get() as f64 * self.slot_secs, f(m));
+        }
+        s
+    }
+
+    /// Social welfare per slot vs time (Fig. 3 / 6a).
+    pub fn welfare_series(&self) -> TimeSeries {
+        self.series_of("social_welfare", |m| m.welfare)
+    }
+
+    /// Inter-ISP traffic fraction vs time (Fig. 4 / 6b).
+    pub fn inter_isp_series(&self) -> TimeSeries {
+        self.series_of("inter_isp_fraction", SlotMetrics::inter_isp_fraction)
+    }
+
+    /// Chunk miss rate vs time (Fig. 5 / 6c).
+    pub fn miss_rate_series(&self) -> TimeSeries {
+        self.series_of("miss_rate", SlotMetrics::miss_rate)
+    }
+
+    /// Online peers vs time.
+    pub fn population_series(&self) -> TimeSeries {
+        self.series_of("online_peers", |m| m.online_peers as f64)
+    }
+
+    /// Transfers per slot vs time.
+    pub fn transfers_series(&self) -> TimeSeries {
+        self.series_of("transfers", |m| m.transfers as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_types::SimDuration;
+
+    #[test]
+    fn ratios_handle_empty_slots() {
+        let m = SlotMetrics::default();
+        assert_eq!(m.inter_isp_fraction(), 0.0);
+        assert_eq!(m.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn record_transfer_accumulates() {
+        let mut m = SlotMetrics::default();
+        m.record_transfer(Utility::new(1.5), false);
+        m.record_transfer(Utility::new(-0.5), true);
+        assert_eq!(m.welfare, 1.0);
+        assert_eq!(m.transfers, 2);
+        assert_eq!(m.inter_isp_transfers, 1);
+        assert_eq!(m.inter_isp_fraction(), 0.5);
+    }
+
+    #[test]
+    fn miss_rate_is_misses_over_due() {
+        let m = SlotMetrics { missed_chunks: 5, due_chunks: 100, ..Default::default() };
+        assert_eq!(m.miss_rate(), 0.05);
+    }
+
+    #[test]
+    fn recorder_builds_time_axes_in_seconds() {
+        let mut rec = SlotRecorder::new(SimDuration::from_secs(10));
+        rec.record(SlotIndex::new(0), SlotMetrics::default());
+        rec.record(SlotIndex::new(3), SlotMetrics { welfare: 7.0, ..Default::default() });
+        assert_eq!(rec.len(), 2);
+        let w = rec.welfare_series();
+        assert_eq!(w.points(), &[(0.0, 0.0), (30.0, 7.0)]);
+        assert!(!rec.is_empty());
+        assert_eq!(rec.population_series().len(), 2);
+        assert_eq!(rec.transfers_series().len(), 2);
+        assert_eq!(rec.miss_rate_series().len(), 2);
+    }
+}

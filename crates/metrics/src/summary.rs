@@ -1,0 +1,119 @@
+//! Descriptive statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_metrics::Summary;
+/// let s = Summary::of([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert!((s.percentile(50.0) - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 for empty samples).
+    pub mean: f64,
+    /// Population standard deviation (0 for empty samples).
+    pub std: f64,
+    /// Minimum (0 for empty samples).
+    pub min: f64,
+    /// Maximum (0 for empty samples).
+    pub max: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Computes statistics over `values`.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().collect();
+        sorted.sort_by(f64::total_cmp);
+        let count = sorted.len();
+        if count == 0 {
+            return Summary { count: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0, sorted };
+        }
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            sorted,
+        }
+    }
+
+    /// Linear-interpolated percentile `p ∈ [0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or `p` is out of range.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(self.count > 0, "percentile of empty sample");
+        assert!((0.0..=100.0).contains(&p), "percentile must be within [0, 100]");
+        if self.count == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (self.count - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        let s = Summary::of([]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 2.0); // classic population-σ example
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::of([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 40.0);
+        assert!((s.percentile(50.0) - 25.0).abs() < 1e-12);
+        assert!((s.percentile(25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_percentile() {
+        let s = Summary::of([5.0]);
+        assert_eq!(s.percentile(99.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_percentile_panics() {
+        Summary::of([]).percentile(50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within")]
+    fn out_of_range_percentile_panics() {
+        Summary::of([1.0]).percentile(150.0);
+    }
+}

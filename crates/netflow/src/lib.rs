@@ -1,0 +1,34 @@
+//! Min-cost-flow substrate and exact transportation-problem solver.
+//!
+//! The paper's Theorem 1 claims the distributed auction reaches the optimum
+//! of the social-welfare ILP (1). To *verify* that claim (rather than assume
+//! it), this crate provides an independent exact solver: the welfare problem
+//! is a transportation problem, which reduces to min-cost flow; we solve it
+//! with successive shortest augmenting paths using Johnson potentials.
+//!
+//! Costs are scaled to integers (fixed-point at 10⁻⁹) so optimality is exact
+//! for the scaled instance and immune to float-comparison pitfalls.
+//!
+//! # Examples
+//!
+//! ```
+//! use p2p_netflow::{TransportationProblem, solve_max_profit};
+//!
+//! // Two requests, one provider with capacity 1: only the better edge wins.
+//! let problem = TransportationProblem::new(
+//!     vec![1],                                  // provider capacities
+//!     vec![vec![(0, 5.0)], vec![(0, 3.0)]],     // per-request (provider, profit)
+//! ).unwrap();
+//! let sol = solve_max_profit(&problem).unwrap();
+//! assert_eq!(sol.assignment, vec![Some(0), None]);
+//! assert!((sol.total_profit - 5.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod transportation;
+
+pub use graph::{EdgeId, FlowNetwork, FlowOutcome, NetflowError};
+pub use transportation::{solve_max_profit, TransportationProblem, TransportationSolution};

@@ -1,0 +1,292 @@
+//! Exact max-profit transportation solver.
+//!
+//! The paper's welfare ILP (1) is a transportation problem: *sources* are
+//! requests `(I_d, c)` with supply 1, *sinks* are providers with capacity
+//! `B(u)`, and edge profit is `v^{(c)}(d) − w_{u→d}`. This module reduces it
+//! to min-cost flow on the scaled-integer network and recovers the optimal
+//! binary assignment — the ground truth against which the distributed
+//! auction is verified (Theorem 1).
+
+use crate::graph::{EdgeId, FlowNetwork, NetflowError};
+
+/// Fixed-point scale applied to `f64` profits before integer flow solving.
+const PROFIT_SCALE: f64 = 1e9;
+
+/// A transportation-problem instance in profit form.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_netflow::TransportationProblem;
+/// let p = TransportationProblem::new(vec![2], vec![vec![(0, 1.0)]]).unwrap();
+/// assert_eq!(p.provider_count(), 1);
+/// assert_eq!(p.request_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportationProblem {
+    provider_caps: Vec<u32>,
+    /// Per request: candidate `(provider index, profit)` edges.
+    edges: Vec<Vec<(usize, f64)>>,
+}
+
+impl TransportationProblem {
+    /// Creates an instance from provider capacities and per-request edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetflowError::NodeOutOfRange`] if an edge references a
+    /// provider index `>= provider_caps.len()`.
+    pub fn new(
+        provider_caps: Vec<u32>,
+        edges: Vec<Vec<(usize, f64)>>,
+    ) -> Result<Self, NetflowError> {
+        let n = provider_caps.len();
+        for req in &edges {
+            for &(p, _) in req {
+                if p >= n {
+                    return Err(NetflowError::NodeOutOfRange { node: p, nodes: n });
+                }
+            }
+        }
+        Ok(TransportationProblem { provider_caps, edges })
+    }
+
+    /// Number of providers (sinks).
+    pub fn provider_count(&self) -> usize {
+        self.provider_caps.len()
+    }
+
+    /// Number of requests (sources).
+    pub fn request_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Capacity of one provider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `provider` is out of range.
+    pub fn capacity(&self, provider: usize) -> u32 {
+        self.provider_caps[provider]
+    }
+
+    /// The candidate edges of one request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request` is out of range.
+    pub fn request_edges(&self, request: usize) -> &[(usize, f64)] {
+        &self.edges[request]
+    }
+}
+
+/// The optimal solution of a transportation instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportationSolution {
+    /// Per request: the chosen provider, or `None` if leaving the request
+    /// unserved is optimal (all its edges have negative profit or capacity
+    /// is better spent elsewhere).
+    pub assignment: Vec<Option<usize>>,
+    /// Total profit of the assignment (the optimal social welfare).
+    pub total_profit: f64,
+}
+
+/// Solves the transportation problem for maximum total profit.
+///
+/// Builds `source → request (cap 1) → provider (cap 1 per edge, cost
+/// −profit) → sink (cap B)` and pushes flow only along profitable paths.
+///
+/// # Errors
+///
+/// Returns [`NetflowError`] if the instance is malformed (cannot happen for
+/// instances built through [`TransportationProblem::new`]).
+///
+/// # Examples
+///
+/// ```
+/// use p2p_netflow::{TransportationProblem, solve_max_profit};
+///
+/// // Capacity 1: assigning request 0 (profit 2) and dropping request 1
+/// // (profit 1) is optimal.
+/// let p = TransportationProblem::new(
+///     vec![1],
+///     vec![vec![(0, 2.0)], vec![(0, 1.0)]],
+/// ).unwrap();
+/// let sol = solve_max_profit(&p).unwrap();
+/// assert_eq!(sol.assignment, vec![Some(0), None]);
+/// ```
+pub fn solve_max_profit(
+    problem: &TransportationProblem,
+) -> Result<TransportationSolution, NetflowError> {
+    let r = problem.request_count();
+    let p = problem.provider_count();
+    // Node layout: 0 = source, 1..=r = requests, r+1..=r+p = providers,
+    // r+p+1 = sink.
+    let source = 0;
+    let sink = r + p + 1;
+    let mut g = FlowNetwork::new(r + p + 2);
+    let req_node = |i: usize| 1 + i;
+    let prov_node = |j: usize| 1 + r + j;
+
+    for i in 0..r {
+        g.add_edge(source, req_node(i), 1, 0)?;
+    }
+    let mut edge_ids: Vec<Vec<(usize, EdgeId)>> = Vec::with_capacity(r);
+    for i in 0..r {
+        let mut ids = Vec::with_capacity(problem.request_edges(i).len());
+        for &(j, profit) in problem.request_edges(i) {
+            let cost = -(profit * PROFIT_SCALE).round() as i64;
+            let id = g.add_edge(req_node(i), prov_node(j), 1, cost)?;
+            ids.push((j, id));
+        }
+        edge_ids.push(ids);
+    }
+    for j in 0..p {
+        g.add_edge(prov_node(j), sink, i64::from(problem.capacity(j)), 0)?;
+    }
+
+    let outcome = g.max_profit_flow(source, sink)?;
+
+    let mut assignment = vec![None; r];
+    for (i, ids) in edge_ids.iter().enumerate() {
+        for &(j, id) in ids {
+            if g.flow_on(id) > 0 {
+                assignment[i] = Some(j);
+                break;
+            }
+        }
+    }
+    Ok(TransportationSolution {
+        assignment,
+        total_profit: -(outcome.cost as f64) / PROFIT_SCALE,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefers_high_profit_edges() {
+        let p = TransportationProblem::new(
+            vec![1, 1],
+            vec![vec![(0, 5.0), (1, 3.0)], vec![(0, 4.0), (1, 1.0)]],
+        )
+        .unwrap();
+        let sol = solve_max_profit(&p).unwrap();
+        // Optimal: req0→prov1 (3) + req1→prov0 (4) = 7, beating
+        // req0→prov0 (5) + req1→prov1 (1) = 6.
+        assert_eq!(sol.assignment, vec![Some(1), Some(0)]);
+        assert!((sol.total_profit - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_profit_edges_left_unassigned() {
+        let p = TransportationProblem::new(vec![4], vec![vec![(0, -1.0)], vec![(0, 2.0)]])
+            .unwrap();
+        let sol = solve_max_profit(&p).unwrap();
+        assert_eq!(sol.assignment, vec![None, Some(0)]);
+        assert!((sol.total_profit - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_limits_assignments() {
+        let p = TransportationProblem::new(
+            vec![2],
+            vec![vec![(0, 3.0)], vec![(0, 2.0)], vec![(0, 1.0)]],
+        )
+        .unwrap();
+        let sol = solve_max_profit(&p).unwrap();
+        let assigned = sol.assignment.iter().filter(|a| a.is_some()).count();
+        assert_eq!(assigned, 2);
+        assert!((sol.total_profit - 5.0).abs() < 1e-9);
+        // The lowest-profit request is the one dropped.
+        assert_eq!(sol.assignment[2], None);
+    }
+
+    #[test]
+    fn empty_instances() {
+        let p = TransportationProblem::new(vec![], vec![]).unwrap();
+        let sol = solve_max_profit(&p).unwrap();
+        assert!(sol.assignment.is_empty());
+        assert_eq!(sol.total_profit, 0.0);
+
+        let p = TransportationProblem::new(vec![1], vec![vec![], vec![]]).unwrap();
+        let sol = solve_max_profit(&p).unwrap();
+        assert_eq!(sol.assignment, vec![None, None]);
+    }
+
+    #[test]
+    fn malformed_edge_rejected() {
+        assert!(TransportationProblem::new(vec![1], vec![vec![(3, 1.0)]]).is_err());
+    }
+
+    #[test]
+    fn tie_breaking_still_reaches_optimal_value() {
+        // Two identical requests, capacity one: either assignment is
+        // optimal; the value must be exactly one edge's profit.
+        let p = TransportationProblem::new(
+            vec![1],
+            vec![vec![(0, 2.5)], vec![(0, 2.5)]],
+        )
+        .unwrap();
+        let sol = solve_max_profit(&p).unwrap();
+        assert!((sol.total_profit - 2.5).abs() < 1e-9);
+        let assigned = sol.assignment.iter().filter(|a| a.is_some()).count();
+        assert_eq!(assigned, 1);
+    }
+
+    #[test]
+    fn zero_capacity_provider_unusable() {
+        let p = TransportationProblem::new(vec![0], vec![vec![(0, 10.0)]]).unwrap();
+        let sol = solve_max_profit(&p).unwrap();
+        assert_eq!(sol.assignment, vec![None]);
+        assert_eq!(sol.total_profit, 0.0);
+    }
+
+    #[test]
+    fn brute_force_agreement_on_small_instances() {
+        // Exhaustive check on a 3-request, 2-provider instance.
+        let caps = vec![1u32, 2];
+        let edges = vec![
+            vec![(0usize, 4.0), (1usize, 3.5)],
+            vec![(0, 2.0), (1, 2.2)],
+            vec![(0, 1.0)],
+        ];
+        let p = TransportationProblem::new(caps.clone(), edges.clone()).unwrap();
+        let sol = solve_max_profit(&p).unwrap();
+
+        // Brute force over all assignments (including None).
+        let mut best = 0.0f64;
+        let options: Vec<Vec<Option<(usize, f64)>>> = edges
+            .iter()
+            .map(|es| {
+                let mut v: Vec<Option<(usize, f64)>> =
+                    es.iter().map(|&(j, pr)| Some((j, pr))).collect();
+                v.push(None);
+                v
+            })
+            .collect();
+        for a in &options[0] {
+            for b in &options[1] {
+                for c in &options[2] {
+                    let mut used = vec![0u32; caps.len()];
+                    let mut profit = 0.0;
+                    let mut ok = true;
+                    for choice in [a, b, c].into_iter().flatten() {
+                        let (j, pr) = *choice;
+                        used[j] += 1;
+                        if used[j] > caps[j] {
+                            ok = false;
+                        }
+                        profit += pr;
+                    }
+                    if ok {
+                        best = best.max(profit);
+                    }
+                }
+            }
+        }
+        assert!((sol.total_profit - best).abs() < 1e-9, "{} vs {}", sol.total_profit, best);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: the transportation solver against brute-force
+//! enumeration on small instances, and structural invariants at any size.
+
+use p2p_netflow::{solve_max_profit, TransportationProblem};
+use proptest::prelude::*;
+
+/// Small random transportation instance (brute-forceable).
+fn arb_small() -> impl Strategy<Value = TransportationProblem> {
+    let caps = prop::collection::vec(0u32..3, 1..4);
+    caps.prop_flat_map(|caps| {
+        let p = caps.len();
+        let edge = (0..p, -5.0f64..8.0);
+        let request = prop::collection::vec(edge, 0..=p);
+        let requests = prop::collection::vec(request, 0..6);
+        (Just(caps), requests).prop_map(|(caps, reqs)| {
+            let edges = reqs
+                .into_iter()
+                .map(|r| {
+                    let mut seen = std::collections::HashSet::new();
+                    r.into_iter().filter(|&(u, _)| seen.insert(u)).collect::<Vec<_>>()
+                })
+                .collect();
+            TransportationProblem::new(caps, edges).expect("indices in range")
+        })
+    })
+}
+
+/// Exhaustive assignment enumeration (requests ≤ 6, providers ≤ 3).
+fn brute_force(p: &TransportationProblem) -> f64 {
+    fn rec(p: &TransportationProblem, r: usize, used: &mut [u32], acc: f64, best: &mut f64) {
+        if r == p.request_count() {
+            *best = best.max(acc);
+            return;
+        }
+        // Option: leave unassigned.
+        rec(p, r + 1, used, acc, best);
+        let edges: Vec<(usize, f64)> = p.request_edges(r).to_vec();
+        for (u, profit) in edges {
+            if used[u] < p.capacity(u) {
+                used[u] += 1;
+                rec(p, r + 1, used, acc + profit, best);
+                used[u] -= 1;
+            }
+        }
+    }
+    let mut best = 0.0;
+    let mut used = vec![0u32; p.provider_count()];
+    rec(p, 0, &mut used, 0.0, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_matches_brute_force(p in arb_small()) {
+        let sol = solve_max_profit(&p).unwrap();
+        let exact = brute_force(&p);
+        prop_assert!((sol.total_profit - exact).abs() < 1e-6,
+            "solver {} vs brute force {exact}", sol.total_profit);
+    }
+
+    #[test]
+    fn solution_is_always_feasible(p in arb_small()) {
+        let sol = solve_max_profit(&p).unwrap();
+        let mut used = vec![0u32; p.provider_count()];
+        for (r, a) in sol.assignment.iter().enumerate() {
+            if let Some(u) = a {
+                used[*u] += 1;
+                prop_assert!(p.request_edges(r).iter().any(|&(e, _)| e == *u),
+                    "assignment uses a non-existent edge");
+            }
+        }
+        for (u, &load) in used.iter().enumerate() {
+            prop_assert!(load <= p.capacity(u));
+        }
+    }
+
+    #[test]
+    fn profit_is_never_negative(p in arb_small()) {
+        // Leaving everything unassigned is feasible, so the optimum is >= 0.
+        let sol = solve_max_profit(&p).unwrap();
+        prop_assert!(sol.total_profit >= -1e-9);
+    }
+
+    #[test]
+    fn assignment_profit_sums_to_reported_total(p in arb_small()) {
+        let sol = solve_max_profit(&p).unwrap();
+        let recomputed: f64 = sol
+            .assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(r, a)| {
+                a.map(|u| {
+                    p.request_edges(r)
+                        .iter()
+                        .find(|&&(e, _)| e == u)
+                        .map(|&(_, profit)| profit)
+                        .unwrap()
+                })
+            })
+            .sum();
+        prop_assert!((recomputed - sol.total_profit).abs() < 1e-6);
+    }
+}

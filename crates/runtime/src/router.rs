@@ -1,0 +1,229 @@
+//! The latency-enforcing message router.
+//!
+//! A single router thread receives outgoing messages from all peer threads,
+//! holds each one for its link latency, and then delivers it to the
+//! destination mailbox — the wall-clock analogue of the discrete-event
+//! engine's delayed delivery, and the stand-in for the paper's real
+//! network between blade servers.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifies a mailbox (provider or bidder thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+struct InFlight<M> {
+    deliver_at: Instant,
+    seq: u64,
+    to: NodeId,
+    msg: M,
+}
+
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for InFlight<M> {}
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deliver_at
+            .cmp(&other.deliver_at)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A sending handle bound to one source node.
+pub struct Handle<M> {
+    from: NodeId,
+    tx: Sender<(NodeId, NodeId, M)>,
+    pending: Arc<AtomicI64>,
+}
+
+impl<M> Handle<M> {
+    /// Sends `msg` to `to`; it will arrive after the link latency.
+    pub fn send(&self, to: NodeId, msg: M) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // A send can only fail after shutdown, when the count no longer
+        // matters.
+        if self.tx.send((self.from, to, msg)).is_err() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The router: owns the in-flight heap and the delivery thread.
+pub struct Router<M: Send + 'static> {
+    tx: Sender<(NodeId, NodeId, M)>,
+    pending: Arc<AtomicI64>,
+    delivered: Arc<AtomicU64>,
+    join: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl<M: Send + 'static> Router<M> {
+    /// Starts the router thread delivering into `mailboxes` with per-pair
+    /// `latency`.
+    pub fn start(
+        mailboxes: Vec<Sender<M>>,
+        pending: Arc<AtomicI64>,
+        latency: impl Fn(NodeId, NodeId) -> Duration + Send + 'static,
+    ) -> Self {
+        let (tx, rx): (Sender<(NodeId, NodeId, M)>, Receiver<(NodeId, NodeId, M)>) = unbounded();
+        let delivered = Arc::new(AtomicU64::new(0));
+        let delivered2 = delivered.clone();
+        let pending2 = pending.clone();
+        let join = std::thread::spawn(move || {
+            let mut heap: BinaryHeap<Reverse<InFlight<M>>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            loop {
+                // Wait for either the next due delivery or a new message.
+                let timeout = heap
+                    .peek()
+                    .map(|Reverse(f)| f.deliver_at.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(50));
+                match rx.recv_timeout(timeout) {
+                    Ok((from, to, msg)) => {
+                        let deliver_at = Instant::now() + latency(from, to);
+                        heap.push(Reverse(InFlight { deliver_at, seq, to, msg }));
+                        seq += 1;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+                let now = Instant::now();
+                while heap.peek().is_some_and(|Reverse(f)| f.deliver_at <= now) {
+                    let Reverse(f) = heap.pop().expect("peeked");
+                    delivered2.fetch_add(1, Ordering::SeqCst);
+                    if mailboxes[f.to.0].send(f.msg).is_err() {
+                        // Destination already stopped: drop and release the
+                        // pending count so quiescence can still be reached.
+                        pending2.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+        });
+        Router { tx, pending, delivered, join: Mutex::new(Some(join)) }
+    }
+
+    /// A sending handle for messages originating at `from`.
+    pub fn handle(&self, from: NodeId) -> Handle<M> {
+        Handle { from, tx: self.tx.clone(), pending: self.pending.clone() }
+    }
+
+    /// Injects a message from "outside the network" (zero source latency —
+    /// the latency function still applies with `from == to`'s semantics).
+    pub fn inject(&self, to: NodeId, msg: M) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        if self.tx.send((to, to, msg)).is_err() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::SeqCst)
+    }
+
+    /// Stops the router and sends `Stop`-like values through the given
+    /// mailbox senders is the caller's job; this only tears down the
+    /// delivery thread.
+    pub fn shutdown<S>(&self, mailboxes: &[Sender<S>])
+    where
+        S: StopMessage,
+    {
+        for m in mailboxes {
+            let _ = m.send(S::stop());
+        }
+        // Dropping our sender side ends the router loop once the channel
+        // disconnects; join the thread.
+        // (tx is cloned into handles owned by peer threads, which have been
+        // told to stop; the loop also exits on disconnect.)
+        if let Some(j) = self.join.lock().take() {
+            // Closing the channel requires all senders dropped; peers hold
+            // clones until they exit. Give them a moment, then detach if
+            // needed.
+            let _ = j.thread();
+            // We cannot force-join without dropping tx clones; detach by
+            // not joining if still running after the stop broadcast.
+            drop(j);
+        }
+    }
+}
+
+/// Messages that have a terminal "stop" value.
+pub trait StopMessage {
+    /// The stop value.
+    fn stop() -> Self;
+}
+
+impl StopMessage for crate::RtMsg {
+    fn stop() -> Self {
+        crate::RtMsg::Stop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl StopMessage for &'static str {
+        fn stop() -> Self {
+            "stop"
+        }
+    }
+
+    #[test]
+    fn delivers_in_latency_order() {
+        let (tx_a, rx_a) = unbounded();
+        let pending = Arc::new(AtomicI64::new(0));
+        // One mailbox; two messages with different latencies: the slower
+        // one sent first must arrive second.
+        let router = Router::start(vec![tx_a], pending.clone(), |from, _| {
+            if from == NodeId(7) {
+                Duration::from_millis(60)
+            } else {
+                Duration::from_millis(5)
+            }
+        });
+        router.handle(NodeId(7)).send(NodeId(0), "slow");
+        std::thread::sleep(Duration::from_millis(1));
+        router.handle(NodeId(1)).send(NodeId(0), "fast");
+        let first = rx_a.recv_timeout(Duration::from_secs(2)).unwrap();
+        let second = rx_a.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(first, "fast");
+        assert_eq!(second, "slow");
+        assert_eq!(router.delivered(), 2);
+    }
+
+    #[test]
+    fn inject_reaches_destination() {
+        let (tx, rx) = unbounded();
+        let pending = Arc::new(AtomicI64::new(0));
+        let router = Router::start(vec![tx], pending.clone(), |_, _| Duration::from_millis(1));
+        router.inject(NodeId(0), "hello");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), "hello");
+        assert_eq!(pending.load(Ordering::SeqCst), 1, "handler has not acked yet");
+    }
+
+    #[test]
+    fn dropped_mailbox_releases_pending() {
+        let (tx, rx) = unbounded::<&'static str>();
+        drop(rx);
+        let pending = Arc::new(AtomicI64::new(0));
+        let router = Router::start(vec![tx], pending.clone(), |_, _| Duration::from_millis(1));
+        router.inject(NodeId(0), "lost");
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(pending.load(Ordering::SeqCst), 0, "undeliverable message acked by router");
+    }
+}

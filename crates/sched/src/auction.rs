@@ -1,0 +1,90 @@
+//! The paper's scheduler: the primal-dual auction.
+
+use crate::problem::{Schedule, ScheduleStats, SlotProblem};
+use crate::ChunkScheduler;
+use p2p_core::{AuctionConfig, SyncAuction};
+use p2p_types::Result;
+
+/// Schedules each slot by running the distributed auction to convergence
+/// (synchronous execution; the message-level execution with latencies is
+/// exercised separately by the Fig. 2 harness).
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, Default)]
+pub struct AuctionScheduler {
+    engine: SyncAuction,
+}
+
+impl AuctionScheduler {
+    /// Auction with the paper's ε = 0 rule.
+    pub fn paper() -> Self {
+        AuctionScheduler { engine: SyncAuction::new(AuctionConfig::paper()) }
+    }
+
+    /// Auction with a positive bid increment ε.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        AuctionScheduler { engine: SyncAuction::new(AuctionConfig::with_epsilon(epsilon)) }
+    }
+
+    /// Auction with a custom configuration.
+    pub fn with_config(config: AuctionConfig) -> Self {
+        AuctionScheduler { engine: SyncAuction::new(config) }
+    }
+}
+
+impl ChunkScheduler for AuctionScheduler {
+    fn name(&self) -> &str {
+        "auction"
+    }
+
+    fn schedule(&mut self, problem: &SlotProblem) -> Result<Schedule> {
+        let outcome = self.engine.run(&problem.instance)?;
+        Ok(Schedule {
+            assignment: outcome.assignment,
+            stats: ScheduleStats { rounds: outcome.rounds, bids: outcome.bids_submitted },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_core::WelfareInstance;
+    use p2p_types::{ChunkId, Cost, PeerId, RequestId, SimDuration, Valuation, VideoId};
+
+    fn problem() -> SlotProblem {
+        let mut b = WelfareInstance::builder();
+        let u0 = b.add_provider(PeerId::new(10), 1);
+        let u1 = b.add_provider(PeerId::new(11), 1);
+        let r0 = b.add_request(RequestId::new(PeerId::new(0), ChunkId::new(VideoId::new(0), 0)));
+        let r1 = b.add_request(RequestId::new(PeerId::new(1), ChunkId::new(VideoId::new(0), 0)));
+        b.add_edge(r0, u0, Valuation::new(6.0), Cost::new(0.5)).unwrap();
+        b.add_edge(r0, u1, Valuation::new(6.0), Cost::new(2.0)).unwrap();
+        b.add_edge(r1, u0, Valuation::new(5.0), Cost::new(0.6)).unwrap();
+        b.add_edge(r1, u1, Valuation::new(5.0), Cost::new(2.2)).unwrap();
+        let inst = b.build().unwrap();
+        let n = inst.request_count();
+        SlotProblem::new(inst, vec![SimDuration::from_secs(3); n]).unwrap()
+    }
+
+    #[test]
+    fn schedules_to_social_optimum() {
+        let p = problem();
+        let mut s = AuctionScheduler::paper();
+        let out = s.schedule(&p).unwrap();
+        assert_eq!(out.welfare(&p), p.instance.optimal_welfare());
+        assert!(out.stats.rounds >= 1);
+        assert!(out.stats.bids >= 2);
+        assert_eq!(s.name(), "auction");
+    }
+
+    #[test]
+    fn epsilon_variant_schedules() {
+        let p = problem();
+        let mut s = AuctionScheduler::with_epsilon(0.01);
+        let out = s.schedule(&p).unwrap();
+        assert!(out.welfare(&p).get() >= p.instance.optimal_welfare().get() - 0.02);
+    }
+}

@@ -1,0 +1,71 @@
+//! Chunk-scheduling strategies.
+//!
+//! The streaming system delegates each slot's "who downloads which chunk
+//! from whom" decision to a [`ChunkScheduler`]. Implementations:
+//!
+//! * [`AuctionScheduler`] — the paper's primal-dual auction (the
+//!   contribution under evaluation);
+//! * [`SimpleLocalityScheduler`] — the paper's comparison baseline: "each
+//!   downstream peer requests chunks from upstream neighbors with the
+//!   lowest network costs in between as much as possible; for bandwidth
+//!   allocation at an upstream peer, it always prioritizes to transmit
+//!   chunks with more urgent deadlines" (Sec. V);
+//! * [`RandomScheduler`] — a network-agnostic strawman for ablations;
+//! * [`GreedyScheduler`] — a centralized global-greedy heuristic, an upper
+//!   baseline for the distributed algorithms;
+//! * [`ExactScheduler`] — the min-cost-flow optimum (welfare upper bound,
+//!   not implementable distributively; used for optimality-gap plots).
+//!
+//! # Examples
+//!
+//! ```
+//! use p2p_sched::{AuctionScheduler, ChunkScheduler, SlotProblem};
+//! use p2p_core::WelfareInstance;
+//! use p2p_types::*;
+//!
+//! let mut b = WelfareInstance::builder();
+//! let u = b.add_provider(PeerId::new(1), 1);
+//! let r = b.add_request(RequestId::new(PeerId::new(0), ChunkId::new(VideoId::new(0), 0)));
+//! b.add_edge(r, u, Valuation::new(4.0), Cost::new(1.0)).unwrap();
+//! let problem = SlotProblem::new(b.build().unwrap(), vec![SimDuration::from_secs(5)]).unwrap();
+//!
+//! let mut sched = AuctionScheduler::paper();
+//! let schedule = sched.schedule(&problem).unwrap();
+//! assert_eq!(schedule.assignment.assigned_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod exact;
+pub mod greedy;
+pub mod locality;
+pub mod problem;
+pub mod random;
+
+pub use auction::AuctionScheduler;
+pub use exact::ExactScheduler;
+pub use greedy::GreedyScheduler;
+pub use locality::SimpleLocalityScheduler;
+pub use problem::{Schedule, ScheduleStats, SlotProblem};
+pub use random::RandomScheduler;
+
+use p2p_types::Result;
+
+/// A per-slot chunk scheduling strategy.
+///
+/// Implementations may keep internal state across slots (e.g. RNG streams),
+/// hence `&mut self`.
+pub trait ChunkScheduler {
+    /// Short identifier used in figure legends and CSV headers.
+    fn name(&self) -> &str;
+
+    /// Solves one slot's scheduling problem.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report divergence or malformed instances via
+    /// [`p2p_types::P2pError`].
+    fn schedule(&mut self, problem: &SlotProblem) -> Result<Schedule>;
+}

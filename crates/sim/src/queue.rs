@@ -1,0 +1,158 @@
+//! Time-ordered event queue with stable FIFO tie-breaking.
+
+use p2p_types::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry ordered by `(time, insertion sequence)` so that
+/// simultaneous events pop in insertion order — a requirement for
+/// deterministic simulation.
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap but we want the earliest entry
+        // on top.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-priority queue of `(SimTime, E)` pairs with FIFO order among
+/// equal-time entries.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_sim::EventQueue;
+/// use p2p_types::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs_f64(2.0), "late");
+/// q.push(SimTime::from_secs_f64(1.0), "early");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Enqueues an event at `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Dequeues the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Time stamp of the earliest pending event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for (t, v) in [(5.0, 'e'), (1.0, 'a'), (3.0, 'c'), (2.0, 'b'), (4.0, 'd')] {
+            q.push(SimTime::from_secs_f64(t), v);
+        }
+        let mut out = String::new();
+        while let Some((_, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, "abcde");
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs_f64(1.0);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn next_time_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        q.push(SimTime::from_secs_f64(7.0), ());
+        q.push(SimTime::from_secs_f64(3.0), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_time(), Some(SimTime::from_secs_f64(3.0)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs_f64(1.0), 1);
+        q.push(SimTime::from_secs_f64(3.0), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(SimTime::from_secs_f64(2.0), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the discrete-event engine: global time ordering and
+//! FIFO tie-breaking under arbitrary schedules.
+
+use p2p_sim::{Context, EventQueue, Simulation, World};
+use p2p_types::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Popping the queue yields events in (time, insertion) order no matter
+    /// the push order.
+    #[test]
+    fn queue_pops_sorted(times in prop::collection::vec(0u64..10_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut count = 0;
+        while let Some((at, idx)) = q.pop() {
+            count += 1;
+            if let Some((lt, lidx)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(idx > lidx, "FIFO among equal times");
+                }
+            }
+            prop_assert_eq!(SimTime::from_micros(times[idx]), at);
+            last = Some((at, idx));
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// A world that re-schedules events never observes time running
+    /// backwards, and `run_until` never processes events at/after the
+    /// horizon.
+    #[test]
+    fn simulation_time_is_monotone(
+        initial in prop::collection::vec((0u64..5_000, 0u64..2_000), 1..40),
+        horizon in 1_000u64..8_000,
+    ) {
+        struct W {
+            observed: Vec<u64>,
+        }
+        impl World for W {
+            type Event = u64; // re-schedule delay; 0 = leaf event
+            fn handle(&mut self, ctx: &mut Context<'_, u64>, delay: u64) {
+                self.observed.push(ctx.now().as_micros());
+                if delay > 0 {
+                    ctx.schedule_in(SimDuration::from_micros(delay), delay / 2);
+                }
+            }
+        }
+        let mut sim = Simulation::new(W { observed: vec![] }).with_max_events(10_000);
+        for &(at, delay) in &initial {
+            sim.schedule_at(SimTime::from_micros(at), delay);
+        }
+        sim.run_until(SimTime::from_micros(horizon));
+        let obs = &sim.world().observed;
+        for w in obs.windows(2) {
+            prop_assert!(w[0] <= w[1], "time went backwards");
+        }
+        for &t in obs {
+            prop_assert!(t < horizon, "event at/after horizon processed");
+        }
+    }
+
+    /// Running to completion processes exactly the closure of scheduled
+    /// events.
+    #[test]
+    fn run_to_completion_drains_queue(times in prop::collection::vec(0u64..1_000, 0..50)) {
+        struct Count(u64);
+        impl World for Count {
+            type Event = ();
+            fn handle(&mut self, _: &mut Context<'_, ()>, (): ()) {
+                self.0 += 1;
+            }
+        }
+        let mut sim = Simulation::new(Count(0));
+        for &t in &times {
+            sim.schedule_at(SimTime::from_micros(t), ());
+        }
+        let stats = sim.run_to_completion();
+        prop_assert_eq!(stats.events_processed, times.len() as u64);
+        prop_assert_eq!(sim.world().0, times.len() as u64);
+        prop_assert_eq!(sim.pending(), 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-peer state: playback, buffer, neighbors, capacity.
+
+use crate::buffer::ChunkBuffer;
+use p2p_types::{Bandwidth, IspId, PeerId, SimDuration, SimTime, VideoId};
+use serde::{Deserialize, Serialize};
+
+/// The state of one peer (watcher or seed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerState {
+    id: PeerId,
+    isp: IspId,
+    video: VideoId,
+    /// Chunks consumed per second by playback.
+    chunks_per_second: f64,
+    /// When playback starts (join + startup delay); irrelevant for seeds.
+    playback_start: SimTime,
+    /// Upload budget per slot.
+    upload_capacity: Bandwidth,
+    /// Chunk holdings.
+    pub buffer: ChunkBuffer,
+    /// Tracker-assigned neighbors (peers of the same video, incl. seeds).
+    pub neighbors: Vec<PeerId>,
+    /// Scheduled early departure, if any.
+    departs_at: Option<SimTime>,
+    is_seed: bool,
+}
+
+impl PeerState {
+    /// Creates a watcher peer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn watcher(
+        id: PeerId,
+        isp: IspId,
+        video: VideoId,
+        chunk_count: u32,
+        chunks_per_second: f64,
+        playback_start: SimTime,
+        upload_capacity: Bandwidth,
+        departs_at: Option<SimTime>,
+    ) -> Self {
+        PeerState {
+            id,
+            isp,
+            video,
+            chunks_per_second,
+            playback_start,
+            upload_capacity,
+            buffer: ChunkBuffer::empty(chunk_count),
+            neighbors: Vec::new(),
+            departs_at,
+            is_seed: false,
+        }
+    }
+
+    /// Creates a seed peer: full buffer, never departs, no playback.
+    pub fn seed(
+        id: PeerId,
+        isp: IspId,
+        video: VideoId,
+        chunk_count: u32,
+        upload_capacity: Bandwidth,
+    ) -> Self {
+        PeerState {
+            id,
+            isp,
+            video,
+            chunks_per_second: 0.0,
+            playback_start: SimTime::ZERO,
+            upload_capacity,
+            buffer: ChunkBuffer::full(chunk_count),
+            neighbors: Vec::new(),
+            departs_at: None,
+            is_seed: true,
+        }
+    }
+
+    /// The peer's id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The peer's ISP.
+    pub fn isp(&self) -> IspId {
+        self.isp
+    }
+
+    /// The video this peer serves/watches.
+    pub fn video(&self) -> VideoId {
+        self.video
+    }
+
+    /// Whether this is a seed.
+    pub fn is_seed(&self) -> bool {
+        self.is_seed
+    }
+
+    /// Upload budget per slot (`B(u)`).
+    pub fn upload_capacity(&self) -> Bandwidth {
+        self.upload_capacity
+    }
+
+    /// When playback starts.
+    pub fn playback_start(&self) -> SimTime {
+        self.playback_start
+    }
+
+    /// Scheduled early departure, if any.
+    pub fn departs_at(&self) -> Option<SimTime> {
+        self.departs_at
+    }
+
+    /// Continuous playback position (in chunks) at time `t`: negative
+    /// before playback starts, capped at the chunk count.
+    pub fn position(&self, t: SimTime) -> f64 {
+        if self.is_seed {
+            return 0.0;
+        }
+        let elapsed = t.as_secs_f64() - self.playback_start.as_secs_f64();
+        (elapsed * self.chunks_per_second).min(f64::from(self.buffer.chunk_count()))
+    }
+
+    /// The playback deadline of chunk `index`.
+    pub fn deadline_of(&self, index: u32) -> SimTime {
+        self.playback_start + SimDuration::from_secs_f64(f64::from(index) / self.chunks_per_second)
+    }
+
+    /// Whether playback has consumed the whole video by time `t`.
+    pub fn finished(&self, t: SimTime) -> bool {
+        !self.is_seed && self.position(t) >= f64::from(self.buffer.chunk_count())
+    }
+
+    /// Whether the peer should be gone at time `t` (finished watching or
+    /// departed early).
+    pub fn gone(&self, t: SimTime) -> bool {
+        if self.is_seed {
+            return false;
+        }
+        if let Some(d) = self.departs_at {
+            if t >= d {
+                return true;
+            }
+        }
+        self.finished(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn watcher() -> PeerState {
+        PeerState::watcher(
+            PeerId::new(1),
+            IspId::new(0),
+            VideoId::new(0),
+            100,
+            10.0,
+            SimTime::from_secs_f64(20.0),
+            Bandwidth::new(200),
+            None,
+        )
+    }
+
+    #[test]
+    fn position_respects_playback_start() {
+        let p = watcher();
+        assert!(p.position(SimTime::from_secs_f64(10.0)) < 0.0);
+        assert_eq!(p.position(SimTime::from_secs_f64(20.0)), 0.0);
+        assert_eq!(p.position(SimTime::from_secs_f64(25.0)), 50.0);
+        // Caps at the video end.
+        assert_eq!(p.position(SimTime::from_secs_f64(1000.0)), 100.0);
+    }
+
+    #[test]
+    fn deadlines_are_linear_in_index() {
+        let p = watcher();
+        assert_eq!(p.deadline_of(0), SimTime::from_secs_f64(20.0));
+        assert_eq!(p.deadline_of(50), SimTime::from_secs_f64(25.0));
+    }
+
+    #[test]
+    fn finished_and_gone() {
+        let p = watcher();
+        assert!(!p.finished(SimTime::from_secs_f64(29.9)));
+        assert!(p.finished(SimTime::from_secs_f64(30.0)));
+        assert!(p.gone(SimTime::from_secs_f64(30.0)));
+
+        let early = PeerState::watcher(
+            PeerId::new(2),
+            IspId::new(0),
+            VideoId::new(0),
+            100,
+            10.0,
+            SimTime::from_secs_f64(20.0),
+            Bandwidth::new(100),
+            Some(SimTime::from_secs_f64(22.0)),
+        );
+        assert!(!early.gone(SimTime::from_secs_f64(21.9)));
+        assert!(early.gone(SimTime::from_secs_f64(22.0)));
+    }
+
+    #[test]
+    fn seeds_never_finish() {
+        let s = PeerState::seed(
+            PeerId::new(9),
+            IspId::new(1),
+            VideoId::new(3),
+            100,
+            Bandwidth::new(800),
+        );
+        assert!(s.is_seed());
+        assert!(s.buffer.is_complete());
+        assert!(!s.gone(SimTime::from_secs_f64(1e6)));
+        assert_eq!(s.position(SimTime::from_secs_f64(50.0)), 0.0);
+        assert_eq!(s.video(), VideoId::new(3));
+        assert_eq!(s.isp(), IspId::new(1));
+        assert_eq!(s.upload_capacity(), Bandwidth::new(800));
+    }
+}

@@ -1,0 +1,608 @@
+//! The slot-driven streaming system.
+
+use crate::config::{SeedPlacement, SystemConfig};
+use crate::peer::PeerState;
+use crate::tracker::Tracker;
+use p2p_core::WelfareInstance;
+use p2p_metrics::{SlotMetrics, SlotRecorder};
+use p2p_sched::{ChunkScheduler, Schedule, SlotProblem};
+use p2p_topology::Topology;
+use p2p_types::{
+    Bandwidth, ChunkId, IspId, P2pError, PeerId, Result, SimDuration, SimTime, SlotIndex, VideoId,
+};
+use p2p_workload::churn::{ChurnConfig, ChurnModel};
+use p2p_workload::{PeerArrival, UniformRange, VideoCatalog, ZipfMandelbrot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// The assembled P2P VoD system: peers + tracker + topology + scheduler,
+/// advanced one time slot at a time.
+///
+/// # Examples
+///
+/// See the crate-level example.
+pub struct System {
+    config: SystemConfig,
+    catalog: VideoCatalog,
+    topology: Topology,
+    tracker: Tracker,
+    peers: Vec<Option<PeerState>>,
+    scheduler: Box<dyn ChunkScheduler>,
+    recorder: SlotRecorder,
+    slot: SlotIndex,
+    rng: StdRng,
+    churn: Option<ChurnState>,
+    pending_static: Vec<PeerArrival>,
+    next_isp: u16,
+}
+
+struct ChurnState {
+    model: ChurnModel,
+    pending: Option<PeerArrival>,
+}
+
+impl System {
+    /// Builds the system: catalog, topology and seed peers; no watchers yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for invalid configuration.
+    pub fn new(config: SystemConfig, scheduler: Box<dyn ChunkScheduler>) -> Result<Self> {
+        config.validate()?;
+        let catalog = VideoCatalog::uniform(config.video_count, config.streaming)?;
+        let topology = Topology::new(config.topology)?;
+        let mut sys = System {
+            rng: StdRng::seed_from_u64(config.seed),
+            recorder: SlotRecorder::new(config.slot_len),
+            catalog,
+            topology,
+            tracker: Tracker::new(),
+            peers: Vec::new(),
+            scheduler,
+            slot: SlotIndex::new(0),
+            churn: None,
+            pending_static: Vec::new(),
+            next_isp: 0,
+            config,
+        };
+        sys.spawn_seeds()?;
+        Ok(sys)
+    }
+
+    fn spawn_seeds(&mut self) -> Result<()> {
+        let chunk_count = self.catalog.params().chunks_per_video();
+        let capacity = Bandwidth::new(self.config.seed_capacity());
+        let placements: Vec<(VideoId, IspId)> = match self.config.seeds {
+            SeedPlacement::PerVideoTotal(k) => (0..self.config.video_count)
+                .flat_map(|v| {
+                    let m = self.config.isp_count as usize;
+                    (0..k as usize).map(move |j| {
+                        (VideoId::new(v as u32), IspId::new(((v * k as usize + j) % m) as u16))
+                    })
+                })
+                .collect(),
+            SeedPlacement::PerIspPerVideo(k) => (0..self.config.video_count)
+                .flat_map(|v| {
+                    (0..self.config.isp_count).flat_map(move |isp| {
+                        (0..k).map(move |_| (VideoId::new(v as u32), IspId::new(isp)))
+                    })
+                })
+                .collect(),
+        };
+        for (video, isp) in placements {
+            let id = self.alloc_peer_id();
+            let seed = PeerState::seed(id, isp, video, chunk_count, capacity);
+            self.topology.register_peer(id, isp)?;
+            self.tracker.register(id, video, true);
+            self.peers[id.index()] = Some(seed);
+        }
+        Ok(())
+    }
+
+    fn alloc_peer_id(&mut self) -> PeerId {
+        self.peers.push(None);
+        PeerId::new((self.peers.len() - 1) as u32)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The video catalog.
+    pub fn catalog(&self) -> &VideoCatalog {
+        &self.catalog
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The metrics recorder.
+    pub fn recorder(&self) -> &SlotRecorder {
+        &self.recorder
+    }
+
+    /// The upcoming slot index.
+    pub fn current_slot(&self) -> SlotIndex {
+        self.slot
+    }
+
+    /// The simulated time at the upcoming slot's start.
+    pub fn now(&self) -> SimTime {
+        self.slot.start(self.config.slot_len)
+    }
+
+    /// A peer's state, if online.
+    pub fn peer(&self, id: PeerId) -> Option<&PeerState> {
+        self.peers.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Number of online watchers (excludes seeds).
+    pub fn watcher_count(&self) -> usize {
+        self.peers
+            .iter()
+            .flatten()
+            .filter(|p| !p.is_seed())
+            .count()
+    }
+
+    /// Number of online peers including seeds.
+    pub fn online_count(&self) -> usize {
+        self.peers.iter().flatten().count()
+    }
+
+    /// Adds `n` watchers with join times staggered over
+    /// `config.static_stagger`, Zipf-chosen videos, round-robin ISPs and
+    /// uniform upload capacities — the paper's "static network".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if distribution parameters are
+    /// invalid.
+    pub fn add_static_peers(&mut self, n: usize) -> Result<()> {
+        let zipf = ZipfMandelbrot::new(self.config.video_count, 0.78, 4.0)?;
+        let caps = UniformRange::new(self.config.upload_multiple.0, self.config.upload_multiple.1)?;
+        let stagger = self.config.static_stagger.as_secs_f64();
+        let mut arrivals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = SimTime::from_secs_f64(self.rng.gen::<f64>() * stagger);
+            let isp = IspId::new(self.next_isp);
+            self.next_isp = (self.next_isp + 1) % self.config.isp_count;
+            arrivals.push(PeerArrival {
+                at,
+                isp,
+                video: VideoId::new(zipf.sample_index(&mut self.rng) as u32),
+                upload_rate_multiple: caps.sample(&mut self.rng),
+                departs_at: None,
+            });
+        }
+        // Pop-from-end admission order ⇒ sort descending by time.
+        arrivals.sort_by(|a, b| b.at.cmp(&a.at));
+        self.pending_static.extend(arrivals);
+        self.pending_static.sort_by(|a, b| b.at.cmp(&a.at));
+        Ok(())
+    }
+
+    /// Enables Poisson churn (dynamic experiments): joins at
+    /// `config.arrival_rate`, early departures with
+    /// `config.early_departure_prob`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if churn parameters are invalid.
+    pub fn enable_poisson_churn(&mut self) -> Result<()> {
+        let cc = ChurnConfig {
+            arrival_rate: self.config.arrival_rate,
+            early_departure_prob: self.config.early_departure_prob,
+            upload_multiple: self.config.upload_multiple,
+            isp_count: self.config.isp_count,
+        };
+        self.churn = Some(ChurnState { model: ChurnModel::new(cc, &self.catalog)?, pending: None });
+        Ok(())
+    }
+
+    fn spawn_watcher(&mut self, arrival: PeerArrival) -> Result<PeerId> {
+        let id = self.alloc_peer_id();
+        let chunk_count = self.catalog.video(arrival.video)?.chunk_count();
+        let watcher = PeerState::watcher(
+            id,
+            arrival.isp,
+            arrival.video,
+            chunk_count,
+            self.catalog.params().chunks_per_second(),
+            arrival.at + self.config.startup_delay,
+            Bandwidth::new(self.config.watcher_capacity(arrival.upload_rate_multiple)),
+            arrival.departs_at,
+        );
+        self.topology.register_peer(id, arrival.isp)?;
+        self.tracker.register(id, arrival.video, false);
+        self.peers[id.index()] = Some(watcher);
+        Ok(id)
+    }
+
+    /// Admits all pending joins with `at <= now` (the paper admits newly
+    /// joined peers at slot boundaries so running auctions are undisturbed).
+    fn admit_pending(&mut self, now: SimTime) -> Result<()> {
+        while let Some(a) = self.pending_static.last() {
+            if a.at > now {
+                break;
+            }
+            let a = self.pending_static.pop().expect("peeked");
+            self.spawn_watcher(a)?;
+        }
+        // Poisson arrivals.
+        loop {
+            let Some(churn) = self.churn.as_mut() else { break };
+            let arrival = match churn.pending.take() {
+                Some(a) => a,
+                None => churn.model.next_arrival(&self.catalog, &mut self.rng),
+            };
+            if arrival.at > now {
+                self.churn.as_mut().expect("churn exists").pending = Some(arrival);
+                break;
+            }
+            self.spawn_watcher(arrival)?;
+        }
+        Ok(())
+    }
+
+    /// Removes watchers that finished or departed by `now`.
+    fn remove_gone(&mut self, now: SimTime) {
+        let gone: Vec<PeerId> = self
+            .peers
+            .iter()
+            .flatten()
+            .filter(|p| p.gone(now))
+            .map(PeerState::id)
+            .collect();
+        for id in gone {
+            if let Some(p) = self.peers[id.index()].take() {
+                self.tracker.unregister(id, p.video());
+                self.topology.unregister_peer(id);
+            }
+        }
+        // Drop departed peers from neighbor lists.
+        let online: HashSet<PeerId> =
+            self.peers.iter().flatten().map(PeerState::id).collect();
+        for p in self.peers.iter_mut().flatten() {
+            p.neighbors.retain(|n| online.contains(n));
+        }
+    }
+
+    /// Refills neighbor lists up to the configured target.
+    fn refresh_neighbors(&mut self, now: SimTime) {
+        let positions: HashMap<PeerId, f64> = self
+            .peers
+            .iter()
+            .flatten()
+            .map(|p| (p.id(), p.position(now)))
+            .collect();
+        let needy: Vec<(PeerId, VideoId, f64)> = self
+            .peers
+            .iter()
+            .flatten()
+            .filter(|p| !p.is_seed() && p.neighbors.len() < self.config.neighbor_count)
+            .map(|p| (p.id(), p.video(), p.position(now)))
+            .collect();
+        for (id, video, pos) in needy {
+            let neighbors = self.tracker.neighbors_for(
+                id,
+                video,
+                self.config.neighbor_count,
+                self.config.max_seed_neighbors,
+                pos,
+                |p| positions.get(&p).copied().unwrap_or(0.0),
+            );
+            if let Some(p) = self.peers[id.index()].as_mut() {
+                p.neighbors = neighbors;
+            }
+        }
+    }
+
+    /// Builds the slot's welfare-maximization problem from current buffers,
+    /// windows and prices (Sec. III-B). Public so harnesses (e.g. the
+    /// Fig. 2 message-level auction) can drive slots manually.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on internal inconsistency.
+    pub fn prepare_slot(&mut self) -> Result<SlotProblem> {
+        let now = self.now();
+        self.admit_pending(now)?;
+        self.remove_gone(now);
+        self.refresh_neighbors(now);
+        self.build_slot_problem(now)
+    }
+
+    fn build_slot_problem(&self, now: SimTime) -> Result<SlotProblem> {
+        let delivery_time = now
+            + SimDuration::from_secs_f64(
+                self.config.slot_len.as_secs_f64() * self.config.delivery_fraction,
+            );
+        let mut b = WelfareInstance::builder();
+        let mut provider_idx: HashMap<PeerId, usize> = HashMap::new();
+        for p in self.peers.iter().flatten() {
+            let idx = b.add_provider(p.id(), p.upload_capacity().chunks_per_slot());
+            provider_idx.insert(p.id(), idx);
+        }
+        let mut urgency = Vec::new();
+        let window = self.config.lookahead_chunks();
+        for p in self.peers.iter().flatten() {
+            if p.is_seed() {
+                continue;
+            }
+            let chunk_count = p.buffer.chunk_count();
+            let pos = p.position(now);
+            let first = if pos < 0.0 { 0 } else { (pos.floor() as i64 + 1).max(0) as u32 };
+            let last = first.saturating_add(window).min(chunk_count);
+            if first >= last {
+                continue;
+            }
+            for k in first..last {
+                if p.buffer.has_index(k) {
+                    continue;
+                }
+                let deadline = p.deadline_of(k);
+                // Chunks that no slot (including this one) can deliver
+                // before their deadline are skipped: fetching them would
+                // only waste bandwidth on an already-lost chunk.
+                if deadline < delivery_time {
+                    continue;
+                }
+                let chunk = ChunkId::new(p.video(), k);
+                // Candidates: neighbors caching the chunk.
+                let mut edges = Vec::new();
+                for &n in &p.neighbors {
+                    if let Some(np) = self.peer(n) {
+                        if np.video() == p.video() && np.buffer.has_index(k) {
+                            edges.push(n);
+                        }
+                    }
+                }
+                if edges.is_empty() {
+                    continue;
+                }
+                let d_time = deadline.since(now);
+                // Remaining scheduling slack: how many future slots' mid-
+                // slot deliveries would still beat the deadline.
+                let slack_slots = (deadline.since(delivery_time).as_secs_f64()
+                    / self.config.slot_len.as_secs_f64())
+                    .floor() as u32;
+                let valuation = self.config.chunk_valuation(d_time, slack_slots);
+                let r = b.add_request(p2p_types::RequestId::new(p.id(), chunk));
+                for u in edges {
+                    let cost = self.topology.cost(u, p.id())?;
+                    b.add_edge(r, provider_idx[&u], valuation, cost)
+                        .map_err(|e| P2pError::MalformedInstance(e.to_string()))?;
+                }
+                urgency.push(d_time);
+            }
+        }
+        SlotProblem::new(b.build()?, urgency)
+    }
+
+    /// Applies a schedule to the system: chunk deliveries, welfare and
+    /// traffic accounting, playback advance with miss accounting, and
+    /// advancing to the next slot. Public counterpart of
+    /// [`System::prepare_slot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the schedule references unknown peers.
+    pub fn complete_slot(&mut self, problem: &SlotProblem, schedule: &Schedule) -> Result<SlotMetrics> {
+        let now = self.now();
+        let slot_end = now + self.config.slot_len;
+        let delivery_time = now
+            + SimDuration::from_secs_f64(
+                self.config.slot_len.as_secs_f64() * self.config.delivery_fraction,
+            );
+
+        let mut metrics = SlotMetrics::default();
+        let mut delivered: HashMap<(PeerId, u32), SimTime> = HashMap::new();
+        let instance = &problem.instance;
+        for (r, choice) in schedule.assignment.choices().iter().enumerate() {
+            let Some(e) = choice else { continue };
+            let req = instance.request(r);
+            let edge = &req.edges[*e];
+            let downstream = req.id.downstream();
+            let upstream = instance.provider(edge.provider).peer;
+            let inter = self.topology.is_inter_isp(upstream, downstream)?;
+            metrics.record_transfer(edge.utility(), inter);
+            delivered.insert((downstream, req.id.chunk().index_in_video()), delivery_time);
+        }
+
+        // Miss accounting: chunks due during this slot are hits only if
+        // buffered at slot start or delivered before their deadline.
+        for p in self.peers.iter().flatten() {
+            if p.is_seed() {
+                continue;
+            }
+            let pos_now = p.position(now);
+            let pos_end = p.position(slot_end);
+            let first = (pos_now.floor() as i64 + 1).max(0);
+            let last = pos_end.floor() as i64;
+            for k in first..=last {
+                if k < 0 || k >= i64::from(p.buffer.chunk_count()) {
+                    continue;
+                }
+                let k = k as u32;
+                metrics.due_chunks += 1;
+                let hit = p.buffer.has_index(k)
+                    || delivered
+                        .get(&(p.id(), k))
+                        .is_some_and(|&t| p.deadline_of(k) >= t);
+                if !hit {
+                    metrics.missed_chunks += 1;
+                }
+            }
+        }
+
+        // Apply deliveries.
+        for ((peer, k), _) in delivered {
+            if let Some(p) = self.peers[peer.index()].as_mut() {
+                p.buffer.insert_index(k);
+            }
+        }
+
+        metrics.online_peers = self.watcher_count() as u64;
+        self.recorder.record(self.slot, metrics);
+        self.slot = self.slot.next();
+        Ok(metrics)
+    }
+
+    /// Runs one full slot with the system's own scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler and accounting errors.
+    pub fn step_slot(&mut self) -> Result<SlotMetrics> {
+        let problem = self.prepare_slot()?;
+        let schedule = self.scheduler.schedule(&problem)?;
+        self.complete_slot(&problem, &schedule)
+    }
+
+    /// Runs `n` consecutive slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first slot error.
+    pub fn run_slots(&mut self, n: u64) -> Result<()> {
+        for _ in 0..n {
+            self.step_slot()?;
+        }
+        Ok(())
+    }
+
+    /// Name of the installed scheduler.
+    pub fn scheduler_name(&self) -> String {
+        self.scheduler.name().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_sched::{AuctionScheduler, SimpleLocalityScheduler};
+
+    fn small_system(seed: u64) -> System {
+        let config = SystemConfig::small_test().with_seed(seed);
+        System::new(config, Box::new(AuctionScheduler::paper())).unwrap()
+    }
+
+    #[test]
+    fn seeds_are_spawned_per_placement() {
+        let sys = small_system(1);
+        // PerVideoTotal(2) × 5 videos = 10 seeds.
+        assert_eq!(sys.online_count(), 10);
+        assert_eq!(sys.watcher_count(), 0);
+    }
+
+    #[test]
+    fn per_isp_per_video_placement() {
+        let mut config = SystemConfig::small_test();
+        config.seeds = SeedPlacement::PerIspPerVideo(2);
+        let sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+        // 2 seeds × 2 ISPs × 5 videos = 20.
+        assert_eq!(sys.online_count(), 20);
+    }
+
+    #[test]
+    fn static_peers_join_within_stagger_window() {
+        let mut sys = small_system(2);
+        sys.add_static_peers(12).unwrap();
+        assert_eq!(sys.watcher_count(), 0, "not admitted before first slot");
+        sys.run_slots(3).unwrap();
+        assert!(sys.watcher_count() > 0);
+        // All admitted after the stagger window has fully elapsed.
+        sys.run_slots(3).unwrap();
+        assert_eq!(sys.watcher_count(), 12);
+    }
+
+    #[test]
+    fn slots_produce_metrics_and_transfers() {
+        let mut sys = small_system(3);
+        sys.add_static_peers(10).unwrap();
+        sys.run_slots(8).unwrap();
+        assert_eq!(sys.recorder().len(), 8);
+        let total_transfers: u64 =
+            sys.recorder().slots().iter().map(|(_, m)| m.transfers).sum();
+        assert!(total_transfers > 0, "peers must download chunks");
+        let welfare: f64 = sys.recorder().slots().iter().map(|(_, m)| m.welfare).sum();
+        assert!(welfare > 0.0, "auction welfare must be positive");
+    }
+
+    #[test]
+    fn buffers_fill_monotonically() {
+        let mut sys = small_system(4);
+        sys.add_static_peers(6).unwrap();
+        sys.run_slots(4).unwrap();
+        let filled: Vec<f64> = sys
+            .peers
+            .iter()
+            .flatten()
+            .filter(|p| !p.is_seed())
+            .map(|p| p.buffer.fill_ratio())
+            .collect();
+        assert!(filled.iter().any(|&f| f > 0.0), "someone downloaded something");
+    }
+
+    #[test]
+    fn watchers_leave_after_finishing() {
+        let mut sys = small_system(5);
+        sys.add_static_peers(5).unwrap();
+        // Small video: 125 chunks = 12.5 s; startup 10 s; stagger 10 s.
+        // By t = 50 s everyone is done and gone.
+        sys.run_slots(12).unwrap();
+        assert_eq!(sys.watcher_count(), 0);
+    }
+
+    #[test]
+    fn churn_admits_and_departs() {
+        let config = SystemConfig::small_test().with_seed(6).with_departures(0.5);
+        let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+        sys.enable_poisson_churn().unwrap();
+        sys.run_slots(10).unwrap();
+        let pops = sys.recorder().population_series();
+        assert!(pops.y_max().unwrap() > 0.0, "peers joined");
+    }
+
+    #[test]
+    fn locality_scheduler_also_runs() {
+        let config = SystemConfig::small_test().with_seed(7);
+        let mut sys = System::new(config, Box::new(SimpleLocalityScheduler::new())).unwrap();
+        sys.add_static_peers(10).unwrap();
+        sys.run_slots(6).unwrap();
+        assert_eq!(sys.scheduler_name(), "simple_locality");
+        let transfers: u64 = sys.recorder().slots().iter().map(|(_, m)| m.transfers).sum();
+        assert!(transfers > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let mut sys = small_system(seed);
+            sys.add_static_peers(8).unwrap();
+            sys.run_slots(5).unwrap();
+            sys.recorder()
+                .slots()
+                .iter()
+                .map(|(_, m)| (m.welfare.to_bits(), m.transfers, m.missed_chunks))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn prepare_and_complete_can_drive_slots_manually() {
+        let mut sys = small_system(8);
+        sys.add_static_peers(6).unwrap();
+        let problem = sys.prepare_slot().unwrap();
+        let schedule = AuctionScheduler::paper().schedule(&problem).unwrap();
+        let metrics = sys.complete_slot(&problem, &schedule).unwrap();
+        assert_eq!(sys.recorder().len(), 1);
+        assert_eq!(metrics.transfers, schedule.assignment.assigned_count() as u64);
+    }
+}

@@ -1,0 +1,175 @@
+//! The tracker server: keeps track of online peers and bootstraps joiners
+//! with neighbors of close playback position.
+
+use p2p_types::{PeerId, VideoId};
+use std::collections::HashMap;
+
+/// The tracker's view of one online peer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    peer: PeerId,
+    is_seed: bool,
+}
+
+/// The tracker server.
+///
+/// "There is a track server which keeps track of online peers and
+/// bootstraps new joining peers with a list of neighbors with close
+/// playback positions" (Sec. V). Playback positions are supplied by the
+/// caller at query time (the tracker itself only stores membership).
+#[derive(Debug, Clone, Default)]
+pub struct Tracker {
+    by_video: HashMap<VideoId, Vec<Entry>>,
+}
+
+impl Tracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Tracker::default()
+    }
+
+    /// Registers an online peer.
+    pub fn register(&mut self, peer: PeerId, video: VideoId, is_seed: bool) {
+        self.by_video.entry(video).or_default().push(Entry { peer, is_seed });
+    }
+
+    /// Removes a departed peer.
+    pub fn unregister(&mut self, peer: PeerId, video: VideoId) {
+        if let Some(v) = self.by_video.get_mut(&video) {
+            v.retain(|e| e.peer != peer);
+        }
+    }
+
+    /// Number of online peers (incl. seeds) on a video.
+    pub fn population(&self, video: VideoId) -> usize {
+        self.by_video.get(&video).map_or(0, Vec::len)
+    }
+
+    /// Chooses up to `count` neighbors for `who`: seeds of the video come
+    /// first (capped at `max_seeds` per list, rotated by the asker's id so
+    /// different peers know different seeds — modelling a tracker that
+    /// returns a random subset), then watchers by closeness of playback
+    /// position (per the paper's bootstrap rule). Deterministic: ties break
+    /// by peer id.
+    pub fn neighbors_for(
+        &self,
+        who: PeerId,
+        video: VideoId,
+        count: usize,
+        max_seeds: Option<usize>,
+        my_position: f64,
+        position_of: impl Fn(PeerId) -> f64,
+    ) -> Vec<PeerId> {
+        let Some(entries) = self.by_video.get(&video) else {
+            return Vec::new();
+        };
+        let mut seeds: Vec<PeerId> = Vec::new();
+        let mut watchers: Vec<(f64, PeerId)> = Vec::new();
+        for e in entries {
+            if e.peer == who {
+                continue;
+            }
+            if e.is_seed {
+                seeds.push(e.peer);
+            } else {
+                let dist = (position_of(e.peer) - my_position).abs();
+                watchers.push((dist, e.peer));
+            }
+        }
+        seeds.sort_unstable();
+        watchers.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+
+        // Rotate the seed roster by the asker's id, then cap.
+        let seed_budget = max_seeds.unwrap_or(seeds.len()).min(count);
+        if !seeds.is_empty() {
+            let shift = who.index() % seeds.len();
+            seeds.rotate_left(shift);
+        }
+        let mut out: Vec<PeerId> = Vec::with_capacity(count);
+        for s in seeds.into_iter().take(seed_budget) {
+            out.push(s);
+        }
+        for (_, w) in watchers {
+            if out.len() >= count {
+                break;
+            }
+            out.push(w);
+        }
+        out
+    }
+
+    /// All online peers of a video (used by tests and the Fig. 2 harness).
+    pub fn peers_on(&self, video: VideoId) -> Vec<PeerId> {
+        self.by_video.get(&video).map_or_else(Vec::new, |v| {
+            v.iter().map(|e| e.peer).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_unregister_population() {
+        let mut t = Tracker::new();
+        let v = VideoId::new(0);
+        t.register(PeerId::new(1), v, false);
+        t.register(PeerId::new(2), v, true);
+        assert_eq!(t.population(v), 2);
+        t.unregister(PeerId::new(1), v);
+        assert_eq!(t.population(v), 1);
+        assert_eq!(t.population(VideoId::new(9)), 0);
+    }
+
+    #[test]
+    fn neighbors_prefer_seeds_then_closest_watchers() {
+        let mut t = Tracker::new();
+        let v = VideoId::new(0);
+        t.register(PeerId::new(100), v, true); // seed
+        for i in 0..5 {
+            t.register(PeerId::new(i), v, false);
+        }
+        // Watcher i sits at position 10·i; we ask from position 20 (peer 2).
+        let pos = |p: PeerId| f64::from(p.get()) * 10.0;
+        let n = t.neighbors_for(PeerId::new(2), v, 3, None, 20.0, pos);
+        assert_eq!(n.len(), 3);
+        assert_eq!(n[0], PeerId::new(100), "seed comes first");
+        // Closest watchers to 20 are peers 1 and 3 (distance 10 each).
+        assert!(n.contains(&PeerId::new(1)));
+        assert!(n.contains(&PeerId::new(3)));
+    }
+
+    #[test]
+    fn excludes_self_and_caps_count() {
+        let mut t = Tracker::new();
+        let v = VideoId::new(0);
+        for i in 0..10 {
+            t.register(PeerId::new(i), v, false);
+        }
+        let n = t.neighbors_for(PeerId::new(0), v, 4, None, 0.0, |_| 0.0);
+        assert_eq!(n.len(), 4);
+        assert!(!n.contains(&PeerId::new(0)));
+    }
+
+    #[test]
+    fn empty_video_yields_no_neighbors() {
+        let t = Tracker::new();
+        assert!(t
+            .neighbors_for(PeerId::new(0), VideoId::new(5), 10, None, 0.0, |_| 0.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut t = Tracker::new();
+        let v = VideoId::new(0);
+        for i in 0..6 {
+            t.register(PeerId::new(i), v, false);
+        }
+        let a = t.neighbors_for(PeerId::new(0), v, 3, None, 0.0, |_| 1.0);
+        let b = t.neighbors_for(PeerId::new(0), v, 3, None, 0.0, |_| 1.0);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![PeerId::new(1), PeerId::new(2), PeerId::new(3)]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the streaming system: conservation and accounting
+//! invariants must hold for any configuration and seed.
+
+use p2p_sched::{AuctionScheduler, SimpleLocalityScheduler};
+use p2p_streaming::{System, SystemConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SystemConfig> {
+    (
+        1u64..1000,     // seed
+        2usize..6,      // videos
+        3usize..10,     // neighbor count
+        0.0f64..1.0,    // departure prob
+        1u32..4,        // seeds per video
+    )
+        .prop_map(|(seed, videos, neighbors, depart, seed_count)| {
+            let mut c = SystemConfig::small_test().with_seed(seed).with_departures(depart);
+            c.video_count = videos;
+            c.neighbor_count = neighbors;
+            c.seeds = p2p_streaming::SeedPlacement::PerVideoTotal(seed_count);
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Accounting invariants hold every slot, for every config.
+    #[test]
+    fn slot_accounting_invariants(config in arb_config(), peers in 2usize..15) {
+        let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+        sys.add_static_peers(peers).unwrap();
+        for _ in 0..6 {
+            let m = sys.step_slot().unwrap();
+            prop_assert!(m.inter_isp_transfers <= m.transfers);
+            prop_assert!(m.missed_chunks <= m.due_chunks);
+            prop_assert!(m.welfare.is_finite());
+            prop_assert!((0.0..=1.0).contains(&m.miss_rate()));
+            prop_assert!((0.0..=1.0).contains(&m.inter_isp_fraction()));
+        }
+    }
+
+    /// The auction system never books negative welfare in any slot — it
+    /// refuses loss-making transfers by construction.
+    #[test]
+    fn auction_welfare_is_never_negative(config in arb_config(), peers in 2usize..12) {
+        let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+        sys.add_static_peers(peers).unwrap();
+        sys.run_slots(5).unwrap();
+        for (_, m) in sys.recorder().slots() {
+            prop_assert!(m.welfare >= -1e-9);
+        }
+    }
+
+    /// Fixed seed ⇒ bit-identical metrics, regardless of configuration.
+    #[test]
+    fn runs_are_reproducible(config in arb_config(), peers in 2usize..12) {
+        let run = |cfg: SystemConfig| {
+            let mut sys = System::new(cfg, Box::new(AuctionScheduler::paper())).unwrap();
+            sys.add_static_peers(peers).unwrap();
+            sys.run_slots(4).unwrap();
+            sys.recorder()
+                .slots()
+                .iter()
+                .map(|(_, m)| (m.welfare.to_bits(), m.transfers, m.missed_chunks))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(config.clone()), run(config));
+    }
+
+    /// Identical workloads: the two schedulers see identical populations
+    /// (scheduling must not perturb churn).
+    #[test]
+    fn scheduling_does_not_perturb_the_workload(config in arb_config(), peers in 2usize..12) {
+        let pop = |sched: Box<dyn p2p_sched::ChunkScheduler>, cfg: SystemConfig| {
+            let mut sys = System::new(cfg, sched).unwrap();
+            sys.add_static_peers(peers).unwrap();
+            sys.run_slots(4).unwrap();
+            sys.recorder().population_series().points().to_vec()
+        };
+        let a = pop(Box::new(AuctionScheduler::paper()), config.clone());
+        let l = pop(Box::new(SimpleLocalityScheduler::new()), config);
+        prop_assert_eq!(a, l);
+    }
+
+    /// Online watchers never exceed the number ever added.
+    #[test]
+    fn population_is_conserved(config in arb_config(), peers in 2usize..15) {
+        let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+        sys.add_static_peers(peers).unwrap();
+        for _ in 0..6 {
+            sys.step_slot().unwrap();
+            prop_assert!(sys.watcher_count() <= peers);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Link-cost models for `w_{u→d}`.
+
+use crate::splitmix::SplitMix64;
+use p2p_types::{Cost, IspId, P2pError, PeerId};
+use p2p_workload::TruncatedNormal;
+use serde::{Deserialize, Serialize};
+
+/// The pair of truncated-normal distributions the paper samples link costs
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostDistributions {
+    /// Cost law for links crossing ISP boundaries (paper: `N(5,1)` on `[1,10]`).
+    pub inter: TruncatedNormal,
+    /// Cost law for links within one ISP (paper: `N(1,1)` on `[0,2]`).
+    pub intra: TruncatedNormal,
+}
+
+impl CostDistributions {
+    /// The paper's Sec. V parameterisation.
+    pub fn paper_defaults() -> Self {
+        CostDistributions {
+            inter: TruncatedNormal::paper_inter_isp(),
+            intra: TruncatedNormal::paper_intra_isp(),
+        }
+    }
+
+    /// A parameterisation with a configurable inter-ISP mean, used by the
+    /// EXP-A3 ablation (how strongly the auction localizes traffic as the
+    /// inter/intra cost gap widens).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if the resulting distribution is
+    /// invalid (e.g. non-positive mean window).
+    pub fn with_inter_mean(mean: f64) -> Result<Self, P2pError> {
+        Ok(CostDistributions {
+            inter: TruncatedNormal::new(mean, 1.0, (mean - 4.0).max(0.1), mean + 5.0)?,
+            intra: TruncatedNormal::paper_intra_isp(),
+        })
+    }
+}
+
+/// Abstraction over the network cost `w_{u→d}` between two peers with known
+/// ISP membership.
+///
+/// Implementations must be deterministic: the same `(from, to)` pair always
+/// yields the same cost, so that repeated queries within and across time
+/// slots see a stable network.
+pub trait LinkCostModel: Send + Sync + std::fmt::Debug {
+    /// The cost of sending one chunk from `from` (in `from_isp`) to `to`
+    /// (in `to_isp`).
+    fn link_cost(&self, from: PeerId, from_isp: IspId, to: PeerId, to_isp: IspId) -> Cost;
+}
+
+/// Per-peer-pair cost model: each unordered peer pair draws its own cost
+/// from the inter- or intra-ISP distribution.
+///
+/// The draw is computed on the fly from `hash(seed, {u,d})`, so the model is
+/// stateless, O(1)-memory and deterministic — the same pair always sees the
+/// same link cost, and `w_{u→d} = w_{d→u}` (latency-like symmetry).
+///
+/// # Examples
+///
+/// ```
+/// use p2p_topology::{PairwiseCost, CostDistributions, LinkCostModel};
+/// use p2p_types::{PeerId, IspId};
+///
+/// let m = PairwiseCost::new(CostDistributions::paper_defaults(), 42);
+/// let a = m.link_cost(PeerId::new(1), IspId::new(0), PeerId::new(2), IspId::new(0));
+/// let b = m.link_cost(PeerId::new(2), IspId::new(0), PeerId::new(1), IspId::new(0));
+/// assert_eq!(a, b); // symmetric and stable
+/// assert!((0.0..=2.0).contains(&a.get())); // intra-ISP range
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairwiseCost {
+    dists: CostDistributions,
+    seed: u64,
+}
+
+impl PairwiseCost {
+    /// Creates a pairwise model with the given distributions and seed.
+    pub fn new(dists: CostDistributions, seed: u64) -> Self {
+        PairwiseCost { dists, seed }
+    }
+
+    /// The distributions in use.
+    pub fn distributions(&self) -> &CostDistributions {
+        &self.dists
+    }
+}
+
+impl LinkCostModel for PairwiseCost {
+    fn link_cost(&self, from: PeerId, from_isp: IspId, to: PeerId, to_isp: IspId) -> Cost {
+        let (a, b) = if from.get() <= to.get() { (from, to) } else { (to, from) };
+        let mut rng =
+            SplitMix64::from_words(&[self.seed, u64::from(a.get()), u64::from(b.get())]);
+        let dist = if from_isp == to_isp { &self.dists.intra } else { &self.dists.inter };
+        Cost::new(dist.sample(&mut rng))
+    }
+}
+
+/// Per-ISP-pair cost model: one draw per ordered ISP pair, shared by every
+/// peer pair across those ISPs (the coarser reading of the paper's
+/// "different values between peers in different pairs of ISPs").
+///
+/// # Examples
+///
+/// ```
+/// use p2p_topology::{IspPairCost, CostDistributions, LinkCostModel};
+/// use p2p_types::{PeerId, IspId};
+///
+/// let m = IspPairCost::new(3, CostDistributions::paper_defaults(), 7).unwrap();
+/// let w1 = m.link_cost(PeerId::new(0), IspId::new(0), PeerId::new(1), IspId::new(2));
+/// let w2 = m.link_cost(PeerId::new(5), IspId::new(0), PeerId::new(9), IspId::new(2));
+/// assert_eq!(w1, w2); // same ISP pair ⇒ same cost
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IspPairCost {
+    isp_count: u16,
+    matrix: Vec<f64>,
+}
+
+impl IspPairCost {
+    /// Samples the `isp_count × isp_count` cost matrix. Diagonal entries
+    /// come from the intra distribution, off-diagonal from the inter
+    /// distribution; the matrix is made symmetric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if `isp_count == 0`.
+    pub fn new(isp_count: u16, dists: CostDistributions, seed: u64) -> Result<Self, P2pError> {
+        if isp_count == 0 {
+            return Err(P2pError::invalid_config("isp_count", "must be positive"));
+        }
+        let n = isp_count as usize;
+        let mut matrix = vec![0.0; n * n];
+        let mut rng = SplitMix64::from_words(&[seed, 0xC057]);
+        for i in 0..n {
+            for j in i..n {
+                let w = if i == j { dists.intra.sample(&mut rng) } else { dists.inter.sample(&mut rng) };
+                matrix[i * n + j] = w;
+                matrix[j * n + i] = w;
+            }
+        }
+        Ok(IspPairCost { isp_count, matrix })
+    }
+
+    /// The cost between a pair of ISPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either ISP id is out of range.
+    pub fn isp_cost(&self, a: IspId, b: IspId) -> Cost {
+        let n = self.isp_count as usize;
+        assert!(a.index() < n && b.index() < n, "isp id out of range");
+        Cost::new(self.matrix[a.index() * n + b.index()])
+    }
+}
+
+impl LinkCostModel for IspPairCost {
+    fn link_cost(&self, _from: PeerId, from_isp: IspId, _to: PeerId, to_isp: IspId) -> Cost {
+        self.isp_cost(from_isp, to_isp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_costs_fall_in_declared_ranges() {
+        let m = PairwiseCost::new(CostDistributions::paper_defaults(), 1);
+        for i in 0..200u32 {
+            let intra =
+                m.link_cost(PeerId::new(i), IspId::new(0), PeerId::new(i + 1), IspId::new(0));
+            assert!((0.0..=2.0).contains(&intra.get()), "{intra}");
+            let inter =
+                m.link_cost(PeerId::new(i), IspId::new(0), PeerId::new(i + 1), IspId::new(1));
+            assert!((1.0..=10.0).contains(&inter.get()), "{inter}");
+        }
+    }
+
+    #[test]
+    fn pairwise_is_symmetric_and_stable() {
+        let m = PairwiseCost::new(CostDistributions::paper_defaults(), 99);
+        let a = m.link_cost(PeerId::new(3), IspId::new(1), PeerId::new(8), IspId::new(4));
+        let b = m.link_cost(PeerId::new(8), IspId::new(4), PeerId::new(3), IspId::new(1));
+        assert_eq!(a, b);
+        let again = m.link_cost(PeerId::new(3), IspId::new(1), PeerId::new(8), IspId::new(4));
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    fn pairwise_seed_changes_costs() {
+        let m1 = PairwiseCost::new(CostDistributions::paper_defaults(), 1);
+        let m2 = PairwiseCost::new(CostDistributions::paper_defaults(), 2);
+        let p = |m: &PairwiseCost| {
+            m.link_cost(PeerId::new(0), IspId::new(0), PeerId::new(1), IspId::new(1))
+        };
+        assert_ne!(p(&m1), p(&m2));
+    }
+
+    #[test]
+    fn inter_costs_exceed_intra_on_average() {
+        let m = PairwiseCost::new(CostDistributions::paper_defaults(), 5);
+        let n = 2000u32;
+        let mut intra_sum = 0.0;
+        let mut inter_sum = 0.0;
+        for i in 0..n {
+            intra_sum += m
+                .link_cost(PeerId::new(2 * i), IspId::new(0), PeerId::new(2 * i + 1), IspId::new(0))
+                .get();
+            inter_sum += m
+                .link_cost(PeerId::new(2 * i), IspId::new(0), PeerId::new(2 * i + 1), IspId::new(1))
+                .get();
+        }
+        assert!(inter_sum / n as f64 > 3.0 + intra_sum / n as f64);
+    }
+
+    #[test]
+    fn isp_pair_model_is_constant_within_pair() {
+        let m = IspPairCost::new(4, CostDistributions::paper_defaults(), 3).unwrap();
+        let w1 = m.link_cost(PeerId::new(0), IspId::new(1), PeerId::new(1), IspId::new(2));
+        let w2 = m.link_cost(PeerId::new(7), IspId::new(1), PeerId::new(9), IspId::new(2));
+        assert_eq!(w1, w2);
+        assert_eq!(m.isp_cost(IspId::new(1), IspId::new(2)), m.isp_cost(IspId::new(2), IspId::new(1)));
+    }
+
+    #[test]
+    fn isp_pair_validation() {
+        assert!(IspPairCost::new(0, CostDistributions::paper_defaults(), 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn isp_pair_out_of_range_panics() {
+        let m = IspPairCost::new(2, CostDistributions::paper_defaults(), 0).unwrap();
+        let _ = m.isp_cost(IspId::new(0), IspId::new(5));
+    }
+
+    #[test]
+    fn ablation_distributions_construct() {
+        let d = CostDistributions::with_inter_mean(8.0).unwrap();
+        assert_eq!(d.inter.mean(), 8.0);
+        assert!(CostDistributions::with_inter_mean(2.0).is_ok());
+    }
+}

@@ -1,0 +1,178 @@
+//! Peer → ISP assignment registry.
+
+use p2p_types::{IspId, P2pError, PeerId};
+use serde::{Deserialize, Serialize};
+
+/// Tracks which ISP every peer belongs to (the paper's `P_m` sets).
+///
+/// The registry grows as peers join; lookups are O(1) on the dense peer id.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_topology::IspRegistry;
+/// use p2p_types::{IspId, PeerId};
+///
+/// let mut reg = IspRegistry::new(5).unwrap();
+/// reg.register(PeerId::new(0), IspId::new(2)).unwrap();
+/// assert_eq!(reg.isp_of(PeerId::new(0)).unwrap(), IspId::new(2));
+/// assert_eq!(reg.peers_in(IspId::new(2)), vec![PeerId::new(0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IspRegistry {
+    isp_count: u16,
+    assignment: Vec<Option<IspId>>,
+    population: Vec<u32>,
+}
+
+impl IspRegistry {
+    /// Creates a registry over `isp_count` ISPs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if `isp_count == 0`.
+    pub fn new(isp_count: u16) -> Result<Self, P2pError> {
+        if isp_count == 0 {
+            return Err(P2pError::invalid_config("isp_count", "must be positive"));
+        }
+        Ok(IspRegistry {
+            isp_count,
+            assignment: Vec::new(),
+            population: vec![0; isp_count as usize],
+        })
+    }
+
+    /// Number of ISPs (`M`).
+    pub fn isp_count(&self) -> u16 {
+        self.isp_count
+    }
+
+    /// Registers (or re-registers) a peer with an ISP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if the ISP id is out of range.
+    pub fn register(&mut self, peer: PeerId, isp: IspId) -> Result<(), P2pError> {
+        if isp.get() >= self.isp_count {
+            return Err(P2pError::invalid_config("isp", "isp id out of range"));
+        }
+        let idx = peer.index();
+        if idx >= self.assignment.len() {
+            self.assignment.resize(idx + 1, None);
+        }
+        if let Some(old) = self.assignment[idx] {
+            self.population[old.index()] -= 1;
+        }
+        self.assignment[idx] = Some(isp);
+        self.population[isp.index()] += 1;
+        Ok(())
+    }
+
+    /// Removes a peer from the registry (e.g. on departure).
+    ///
+    /// Removing an unknown peer is a no-op.
+    pub fn unregister(&mut self, peer: PeerId) {
+        if let Some(slot) = self.assignment.get_mut(peer.index()) {
+            if let Some(isp) = slot.take() {
+                self.population[isp.index()] -= 1;
+            }
+        }
+    }
+
+    /// Looks up a peer's ISP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::UnknownPeer`] if the peer was never registered or
+    /// has been unregistered.
+    pub fn isp_of(&self, peer: PeerId) -> Result<IspId, P2pError> {
+        self.assignment
+            .get(peer.index())
+            .copied()
+            .flatten()
+            .ok_or(P2pError::UnknownPeer(peer))
+    }
+
+    /// Returns `true` if the peer is currently registered.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        matches!(self.assignment.get(peer.index()), Some(Some(_)))
+    }
+
+    /// Number of registered peers in one ISP.
+    pub fn population_of(&self, isp: IspId) -> u32 {
+        self.population.get(isp.index()).copied().unwrap_or(0)
+    }
+
+    /// Total number of registered peers.
+    pub fn total_population(&self) -> u32 {
+        self.population.iter().sum()
+    }
+
+    /// All peers currently registered in `isp` (O(total peers)).
+    pub fn peers_in(&self, isp: IspId) -> Vec<PeerId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| (*a == Some(isp)).then(|| PeerId::new(i as u32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_unregister() {
+        let mut reg = IspRegistry::new(3).unwrap();
+        reg.register(PeerId::new(5), IspId::new(1)).unwrap();
+        assert!(reg.contains(PeerId::new(5)));
+        assert_eq!(reg.isp_of(PeerId::new(5)).unwrap(), IspId::new(1));
+        assert_eq!(reg.population_of(IspId::new(1)), 1);
+        reg.unregister(PeerId::new(5));
+        assert!(!reg.contains(PeerId::new(5)));
+        assert_eq!(reg.population_of(IspId::new(1)), 0);
+        assert!(reg.isp_of(PeerId::new(5)).is_err());
+    }
+
+    #[test]
+    fn reregistration_moves_population() {
+        let mut reg = IspRegistry::new(2).unwrap();
+        reg.register(PeerId::new(0), IspId::new(0)).unwrap();
+        reg.register(PeerId::new(0), IspId::new(1)).unwrap();
+        assert_eq!(reg.population_of(IspId::new(0)), 0);
+        assert_eq!(reg.population_of(IspId::new(1)), 1);
+        assert_eq!(reg.total_population(), 1);
+    }
+
+    #[test]
+    fn out_of_range_isp_rejected() {
+        let mut reg = IspRegistry::new(2).unwrap();
+        assert!(reg.register(PeerId::new(0), IspId::new(2)).is_err());
+        assert!(IspRegistry::new(0).is_err());
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let reg = IspRegistry::new(2).unwrap();
+        assert_eq!(reg.isp_of(PeerId::new(9)).unwrap_err(), P2pError::UnknownPeer(PeerId::new(9)));
+    }
+
+    #[test]
+    fn peers_in_lists_members() {
+        let mut reg = IspRegistry::new(2).unwrap();
+        for i in 0..6 {
+            reg.register(PeerId::new(i), IspId::new((i % 2) as u16)).unwrap();
+        }
+        assert_eq!(reg.peers_in(IspId::new(0)).len(), 3);
+        assert_eq!(reg.peers_in(IspId::new(1)).len(), 3);
+        assert_eq!(reg.total_population(), 6);
+    }
+
+    #[test]
+    fn unregister_unknown_is_noop() {
+        let mut reg = IspRegistry::new(1).unwrap();
+        reg.unregister(PeerId::new(42));
+        assert_eq!(reg.total_population(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Mapping from abstract cost units to simulated message latency.
+
+use p2p_types::{Cost, P2pError, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Converts link costs (the paper uses "network latency as the network
+/// cost") into one-way message latencies for the in-slot auction emulation.
+///
+/// `latency = base + ms_per_cost_unit × cost`. With the default scale of
+/// 100 ms per cost unit, an intra-ISP link (cost ≈ 1) has ~105 ms one-way
+/// latency and an inter-ISP link (cost ≈ 5) ~505 ms, which reproduces the
+/// paper's ~5-second within-slot convergence of the bandwidth price
+/// (Fig. 2): a few dozen bid/price round trips fit in half a slot.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_topology::LatencyModel;
+/// use p2p_types::Cost;
+///
+/// let lat = LatencyModel::paper_defaults();
+/// let d = lat.one_way(Cost::new(5.0));
+/// assert!((d.as_secs_f64() - 0.505).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    base_ms: f64,
+    ms_per_cost_unit: f64,
+}
+
+impl LatencyModel {
+    /// 5 ms base plus 100 ms per cost unit.
+    pub fn paper_defaults() -> Self {
+        LatencyModel { base_ms: 5.0, ms_per_cost_unit: 100.0 }
+    }
+
+    /// Creates a latency model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if either parameter is negative
+    /// or non-finite.
+    pub fn new(base_ms: f64, ms_per_cost_unit: f64) -> Result<Self, P2pError> {
+        if !base_ms.is_finite() || base_ms < 0.0 {
+            return Err(P2pError::invalid_config("base_ms", "must be finite and >= 0"));
+        }
+        if !ms_per_cost_unit.is_finite() || ms_per_cost_unit < 0.0 {
+            return Err(P2pError::invalid_config("ms_per_cost_unit", "must be finite and >= 0"));
+        }
+        Ok(LatencyModel { base_ms, ms_per_cost_unit })
+    }
+
+    /// Fixed per-message latency component in milliseconds.
+    pub fn base_ms(&self) -> f64 {
+        self.base_ms
+    }
+
+    /// Per-cost-unit latency component in milliseconds.
+    pub fn ms_per_cost_unit(&self) -> f64 {
+        self.ms_per_cost_unit
+    }
+
+    /// One-way latency of a message across a link of the given cost.
+    pub fn one_way(&self, cost: Cost) -> SimDuration {
+        SimDuration::from_secs_f64((self.base_ms + self.ms_per_cost_unit * cost.get()) / 1e3)
+    }
+
+    /// Round-trip latency (twice one-way).
+    pub fn round_trip(&self, cost: Cost) -> SimDuration {
+        self.one_way(cost) * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_way_is_affine_in_cost() {
+        let lat = LatencyModel::new(10.0, 50.0).unwrap();
+        assert_eq!(lat.one_way(Cost::new(0.0)).as_micros(), 10_000);
+        assert_eq!(lat.one_way(Cost::new(2.0)).as_micros(), 110_000);
+    }
+
+    #[test]
+    fn round_trip_doubles() {
+        let lat = LatencyModel::paper_defaults();
+        let c = Cost::new(1.0);
+        assert_eq!(lat.round_trip(c).as_micros(), 2 * lat.one_way(c).as_micros());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LatencyModel::new(-1.0, 0.0).is_err());
+        assert!(LatencyModel::new(0.0, -1.0).is_err());
+        assert!(LatencyModel::new(f64::NAN, 0.0).is_err());
+        assert!(LatencyModel::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let lat = LatencyModel::paper_defaults();
+        assert_eq!(lat.base_ms(), 5.0);
+        assert_eq!(lat.ms_per_cost_unit(), 100.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! ISP topology and network-cost model.
+//!
+//! The paper deploys the P2P system over `M` ISPs. The network cost
+//! `w_{u→d}` of shipping a chunk from peer `u` to peer `d` "has different
+//! values between peers in different pairs of ISPs"; the evaluation draws
+//! inter-ISP link costs from a truncated normal `N(5,1)` on `[1,10]` and
+//! intra-ISP costs from `N(1,1)` on `[0,2]`, interpreting cost as latency.
+//!
+//! This crate provides:
+//!
+//! * [`IspRegistry`] — the peer → ISP assignment;
+//! * [`LinkCostModel`] — the `w_{u→d}` abstraction, with two faithful
+//!   implementations: [`PairwiseCost`] (an independent draw per peer pair,
+//!   computed deterministically and statelessly from a seed) and
+//!   [`IspPairCost`] (one draw per ISP pair);
+//! * [`LatencyModel`] — the mapping from abstract cost units to simulated
+//!   message latency, used by the in-slot auction emulation;
+//! * [`Topology`] — the assembled view used by the rest of the system.
+//!
+//! # Examples
+//!
+//! ```
+//! use p2p_topology::{Topology, TopologyConfig};
+//! use p2p_types::{PeerId, IspId};
+//!
+//! let mut topo = Topology::new(TopologyConfig::paper_defaults(5)).unwrap();
+//! topo.register_peer(PeerId::new(0), IspId::new(0)).unwrap();
+//! topo.register_peer(PeerId::new(1), IspId::new(3)).unwrap();
+//! let w = topo.cost(PeerId::new(0), PeerId::new(1)).unwrap();
+//! assert!(w.get() >= 1.0 && w.get() <= 10.0); // inter-ISP range
+//! assert!(topo.is_inter_isp(PeerId::new(0), PeerId::new(1)).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod isp;
+pub mod latency;
+mod splitmix;
+mod topology;
+
+pub use cost::{CostDistributions, IspPairCost, LinkCostModel, PairwiseCost};
+pub use isp::IspRegistry;
+pub use latency::LatencyModel;
+pub use topology::{Topology, TopologyConfig};

@@ -1,0 +1,248 @@
+//! The assembled topology: ISP registry + cost model + latency model.
+
+use crate::cost::{CostDistributions, IspPairCost, LinkCostModel, PairwiseCost};
+use crate::isp::IspRegistry;
+use crate::latency::LatencyModel;
+use p2p_types::{Cost, IspId, P2pError, PeerId, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which cost model variant a [`Topology`] should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostModelKind {
+    /// One independent draw per peer pair ([`PairwiseCost`]); the default
+    /// and the reading used for all headline experiments.
+    Pairwise,
+    /// One draw per ISP pair ([`IspPairCost`]).
+    PerIspPair,
+}
+
+/// Configuration for building a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Number of ISPs `M` (paper: 5).
+    pub isp_count: u16,
+    /// Link-cost distributions (paper defaults available).
+    pub distributions: CostDistributions,
+    /// Cost model granularity.
+    pub cost_model: CostModelKind,
+    /// Cost → latency mapping for in-slot message timing.
+    pub latency: LatencyModel,
+    /// Seed for all cost draws.
+    pub seed: u64,
+}
+
+impl TopologyConfig {
+    /// The paper's evaluation topology: `isp_count` ISPs, truncated-normal
+    /// costs, pairwise draws, default latency mapping, seed 0.
+    pub fn paper_defaults(isp_count: u16) -> Self {
+        TopologyConfig {
+            isp_count,
+            distributions: CostDistributions::paper_defaults(),
+            cost_model: CostModelKind::Pairwise,
+            latency: LatencyModel::paper_defaults(),
+            seed: 0,
+        }
+    }
+
+    /// Replaces the seed (builder-style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the cost distributions (builder-style).
+    #[must_use]
+    pub fn with_distributions(mut self, dists: CostDistributions) -> Self {
+        self.distributions = dists;
+        self
+    }
+}
+
+/// The network substrate every experiment runs on: who is in which ISP,
+/// what each link costs, and how long messages take.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_topology::{Topology, TopologyConfig};
+/// use p2p_types::{PeerId, IspId};
+///
+/// let mut topo = Topology::new(TopologyConfig::paper_defaults(2)).unwrap();
+/// topo.register_peer(PeerId::new(0), IspId::new(0)).unwrap();
+/// topo.register_peer(PeerId::new(1), IspId::new(1)).unwrap();
+/// assert!(topo.cost(PeerId::new(0), PeerId::new(1)).unwrap().get() >= 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    config: TopologyConfig,
+    registry: IspRegistry,
+    cost_model: Arc<dyn LinkCostModel>,
+}
+
+impl Topology {
+    /// Builds a topology from configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for zero ISPs.
+    pub fn new(config: TopologyConfig) -> Result<Self, P2pError> {
+        let registry = IspRegistry::new(config.isp_count)?;
+        let cost_model: Arc<dyn LinkCostModel> = match config.cost_model {
+            CostModelKind::Pairwise => {
+                Arc::new(PairwiseCost::new(config.distributions, config.seed))
+            }
+            CostModelKind::PerIspPair => Arc::new(IspPairCost::new(
+                config.isp_count,
+                config.distributions,
+                config.seed,
+            )?),
+        };
+        Ok(Topology { config, registry, cost_model })
+    }
+
+    /// The configuration this topology was built from.
+    pub fn config(&self) -> &TopologyConfig {
+        &self.config
+    }
+
+    /// The underlying peer → ISP registry.
+    pub fn registry(&self) -> &IspRegistry {
+        &self.registry
+    }
+
+    /// Number of ISPs.
+    pub fn isp_count(&self) -> u16 {
+        self.registry.isp_count()
+    }
+
+    /// Registers a peer with an ISP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if the ISP id is out of range.
+    pub fn register_peer(&mut self, peer: PeerId, isp: IspId) -> Result<(), P2pError> {
+        self.registry.register(peer, isp)
+    }
+
+    /// Unregisters a departed peer.
+    pub fn unregister_peer(&mut self, peer: PeerId) {
+        self.registry.unregister(peer);
+    }
+
+    /// The ISP of a registered peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::UnknownPeer`] for unregistered peers.
+    pub fn isp_of(&self, peer: PeerId) -> Result<IspId, P2pError> {
+        self.registry.isp_of(peer)
+    }
+
+    /// The network cost `w_{u→d}` from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::UnknownPeer`] if either peer is unregistered.
+    pub fn cost(&self, from: PeerId, to: PeerId) -> Result<Cost, P2pError> {
+        let from_isp = self.registry.isp_of(from)?;
+        let to_isp = self.registry.isp_of(to)?;
+        Ok(self.cost_model.link_cost(from, from_isp, to, to_isp))
+    }
+
+    /// Whether a transfer between the two peers crosses an ISP boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::UnknownPeer`] if either peer is unregistered.
+    pub fn is_inter_isp(&self, a: PeerId, b: PeerId) -> Result<bool, P2pError> {
+        Ok(self.registry.isp_of(a)? != self.registry.isp_of(b)?)
+    }
+
+    /// One-way message latency between two registered peers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::UnknownPeer`] if either peer is unregistered.
+    pub fn one_way_latency(&self, from: PeerId, to: PeerId) -> Result<SimDuration, P2pError> {
+        Ok(self.config.latency.one_way(self.cost(from, to)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        let mut t = Topology::new(TopologyConfig::paper_defaults(3)).unwrap();
+        t.register_peer(PeerId::new(0), IspId::new(0)).unwrap();
+        t.register_peer(PeerId::new(1), IspId::new(0)).unwrap();
+        t.register_peer(PeerId::new(2), IspId::new(1)).unwrap();
+        t
+    }
+
+    #[test]
+    fn intra_and_inter_costs_differ_in_range() {
+        let t = topo();
+        let intra = t.cost(PeerId::new(0), PeerId::new(1)).unwrap();
+        let inter = t.cost(PeerId::new(0), PeerId::new(2)).unwrap();
+        assert!((0.0..=2.0).contains(&intra.get()));
+        assert!((1.0..=10.0).contains(&inter.get()));
+        assert!(!t.is_inter_isp(PeerId::new(0), PeerId::new(1)).unwrap());
+        assert!(t.is_inter_isp(PeerId::new(0), PeerId::new(2)).unwrap());
+    }
+
+    #[test]
+    fn unknown_peer_propagates() {
+        let t = topo();
+        assert!(t.cost(PeerId::new(0), PeerId::new(9)).is_err());
+        assert!(t.is_inter_isp(PeerId::new(9), PeerId::new(0)).is_err());
+        assert!(t.one_way_latency(PeerId::new(9), PeerId::new(0)).is_err());
+    }
+
+    #[test]
+    fn latency_reflects_cost() {
+        let t = topo();
+        let c = t.cost(PeerId::new(0), PeerId::new(2)).unwrap();
+        let l = t.one_way_latency(PeerId::new(0), PeerId::new(2)).unwrap();
+        let expected = LatencyModel::paper_defaults().one_way(c);
+        assert_eq!(l, expected);
+    }
+
+    #[test]
+    fn per_isp_pair_variant_builds() {
+        let cfg = TopologyConfig {
+            cost_model: CostModelKind::PerIspPair,
+            ..TopologyConfig::paper_defaults(2)
+        };
+        let mut t = Topology::new(cfg).unwrap();
+        t.register_peer(PeerId::new(0), IspId::new(0)).unwrap();
+        t.register_peer(PeerId::new(1), IspId::new(1)).unwrap();
+        t.register_peer(PeerId::new(2), IspId::new(0)).unwrap();
+        t.register_peer(PeerId::new(3), IspId::new(1)).unwrap();
+        // Per-ISP-pair: both cross-ISP links share a cost.
+        let w1 = t.cost(PeerId::new(0), PeerId::new(1)).unwrap();
+        let w2 = t.cost(PeerId::new(2), PeerId::new(3)).unwrap();
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let cfg = TopologyConfig::paper_defaults(2)
+            .with_seed(7)
+            .with_distributions(CostDistributions::paper_defaults());
+        assert_eq!(cfg.seed, 7);
+        let t = Topology::new(cfg).unwrap();
+        assert_eq!(t.isp_count(), 2);
+        assert_eq!(t.config().seed, 7);
+    }
+
+    #[test]
+    fn unregister_removes_peer() {
+        let mut t = topo();
+        t.unregister_peer(PeerId::new(0));
+        assert!(t.isp_of(PeerId::new(0)).is_err());
+        assert_eq!(t.registry().total_population(), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the topology: cost determinism, symmetry, range
+//! membership and latency consistency across the whole parameter space.
+
+use p2p_topology::{
+    CostDistributions, IspPairCost, LinkCostModel, PairwiseCost, Topology, TopologyConfig,
+};
+use p2p_types::{IspId, PeerId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pairwise costs are symmetric, stable and land in the distribution's
+    /// declared support.
+    #[test]
+    fn pairwise_cost_properties(
+        seed in 0u64..10_000,
+        a in 0u32..5_000,
+        b in 0u32..5_000,
+        same_isp in any::<bool>(),
+    ) {
+        prop_assume!(a != b);
+        let m = PairwiseCost::new(CostDistributions::paper_defaults(), seed);
+        let (ia, ib) = if same_isp {
+            (IspId::new(0), IspId::new(0))
+        } else {
+            (IspId::new(0), IspId::new(1))
+        };
+        let w1 = m.link_cost(PeerId::new(a), ia, PeerId::new(b), ib);
+        let w2 = m.link_cost(PeerId::new(b), ib, PeerId::new(a), ia);
+        prop_assert_eq!(w1, w2, "symmetry");
+        let w3 = m.link_cost(PeerId::new(a), ia, PeerId::new(b), ib);
+        prop_assert_eq!(w1, w3, "stability");
+        if same_isp {
+            prop_assert!((0.0..=2.0).contains(&w1.get()));
+        } else {
+            prop_assert!((1.0..=10.0).contains(&w1.get()));
+        }
+    }
+
+    /// The per-ISP-pair model is constant within a pair and symmetric.
+    #[test]
+    fn isp_pair_cost_properties(
+        seed in 0u64..10_000,
+        isps in 2u16..8,
+        p1 in 0u32..100,
+        p2 in 0u32..100,
+    ) {
+        let m = IspPairCost::new(isps, CostDistributions::paper_defaults(), seed).unwrap();
+        let ia = IspId::new(0);
+        let ib = IspId::new(isps - 1);
+        let w1 = m.link_cost(PeerId::new(p1), ia, PeerId::new(p2), ib);
+        let w2 = m.link_cost(PeerId::new(p2 + 500), ia, PeerId::new(p1 + 900), ib);
+        prop_assert_eq!(w1, w2, "constant within the ISP pair");
+        prop_assert_eq!(m.isp_cost(ia, ib), m.isp_cost(ib, ia), "symmetric matrix");
+    }
+
+    /// Topology lookups agree with the latency model and the registry.
+    #[test]
+    fn topology_cost_and_latency_are_consistent(
+        seed in 0u64..1_000,
+        isps in 1u16..6,
+        peers in 2u32..30,
+    ) {
+        let mut t = Topology::new(TopologyConfig::paper_defaults(isps).with_seed(seed)).unwrap();
+        for p in 0..peers {
+            t.register_peer(PeerId::new(p), IspId::new((p as u16) % isps)).unwrap();
+        }
+        for a in 0..peers.min(6) {
+            for b in 0..peers.min(6) {
+                if a == b { continue; }
+                let pa = PeerId::new(a);
+                let pb = PeerId::new(b);
+                let w = t.cost(pa, pb).unwrap();
+                prop_assert!(w.get() >= 0.0);
+                let lat = t.one_way_latency(pa, pb).unwrap();
+                let expected = t.config().latency.one_way(w);
+                prop_assert_eq!(lat, expected);
+                let inter = t.is_inter_isp(pa, pb).unwrap();
+                prop_assert_eq!(inter, a % u32::from(isps) != b % u32::from(isps));
+            }
+        }
+    }
+}

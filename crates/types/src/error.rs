@@ -1,0 +1,100 @@
+//! Error types shared across the workspace.
+
+use crate::ids::{ChunkId, PeerId, VideoId};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenience alias used by public APIs across the workspace.
+pub type Result<T> = std::result::Result<T, P2pError>;
+
+/// Errors surfaced by the P2P system crates.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_types::{P2pError, PeerId};
+/// let err = P2pError::UnknownPeer(PeerId::new(9));
+/// assert!(err.to_string().contains("peer#9"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum P2pError {
+    /// A peer id was not found in the registry it was used against.
+    UnknownPeer(PeerId),
+    /// A video id was not found in the catalog.
+    UnknownVideo(VideoId),
+    /// A chunk index exceeds the video's chunk count.
+    UnknownChunk(ChunkId),
+    /// A configuration value failed validation.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        field: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The auction failed to converge within its iteration budget.
+    AuctionDiverged {
+        /// Number of iterations executed before giving up.
+        iterations: u64,
+    },
+    /// A solver was handed an inconsistent instance (e.g. an edge referring
+    /// to a provider index that does not exist).
+    MalformedInstance(String),
+}
+
+impl fmt::Display for P2pError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            P2pError::UnknownPeer(p) => write!(f, "unknown {p}"),
+            P2pError::UnknownVideo(v) => write!(f, "unknown {v}"),
+            P2pError::UnknownChunk(c) => write!(f, "unknown chunk {c}"),
+            P2pError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            P2pError::AuctionDiverged { iterations } => {
+                write!(f, "auction failed to converge after {iterations} iterations")
+            }
+            P2pError::MalformedInstance(msg) => write!(f, "malformed instance: {msg}"),
+        }
+    }
+}
+
+impl StdError for P2pError {}
+
+impl P2pError {
+    /// Shorthand for an [`P2pError::InvalidConfig`] value.
+    pub fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
+        P2pError::InvalidConfig { field, reason: reason.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_static() {
+        fn assert_bounds<T: StdError + Send + Sync + 'static>() {}
+        assert_bounds::<P2pError>();
+    }
+
+    #[test]
+    fn messages_are_lowercase_without_trailing_punctuation() {
+        let samples = [
+            P2pError::UnknownPeer(PeerId::new(1)).to_string(),
+            P2pError::invalid_config("neighbors", "must be positive").to_string(),
+            P2pError::AuctionDiverged { iterations: 5 }.to_string(),
+            P2pError::MalformedInstance("edge out of range".into()).to_string(),
+        ];
+        for s in samples {
+            assert!(!s.ends_with('.'), "{s}");
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn invalid_config_formats_field() {
+        let e = P2pError::invalid_config("isp_count", "must be at least 1");
+        assert!(e.to_string().contains("isp_count"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Identifier newtypes.
+//!
+//! All identifiers are dense small integers so that simulation state can be
+//! stored in flat `Vec`s indexed by id. The newtypes keep peers, ISPs, videos
+//! and chunks statically distinct (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a peer (both downstream requesters and upstream providers).
+///
+/// Corresponds to `I_d` / `I_u` in the paper's request tuple `(I_d, I_u, c)`.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_types::PeerId;
+/// let p = PeerId::new(42);
+/// assert_eq!(p.get(), 42);
+/// assert_eq!(format!("{p}"), "peer#42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeerId(u32);
+
+impl PeerId {
+    /// Creates a peer id from its dense index.
+    pub const fn new(raw: u32) -> Self {
+        PeerId(raw)
+    }
+
+    /// Returns the dense index.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize` suitable for `Vec` indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer#{}", self.0)
+    }
+}
+
+impl From<u32> for PeerId {
+    fn from(raw: u32) -> Self {
+        PeerId(raw)
+    }
+}
+
+/// Identifier of an Internet Service Provider.
+///
+/// The paper deploys the system over the networks of `M` ISPs; `IspId`
+/// indexes into `0..M`.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_types::IspId;
+/// assert_eq!(IspId::new(2).get(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IspId(u16);
+
+impl IspId {
+    /// Creates an ISP id from its dense index.
+    pub const fn new(raw: u16) -> Self {
+        IspId(raw)
+    }
+
+    /// Returns the dense index.
+    pub const fn get(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the id as a `usize` suitable for `Vec` indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for IspId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "isp#{}", self.0)
+    }
+}
+
+impl From<u16> for IspId {
+    fn from(raw: u16) -> Self {
+        IspId(raw)
+    }
+}
+
+/// Identifier of a video (a content item divided into equal-sized chunks).
+///
+/// # Examples
+///
+/// ```
+/// use p2p_types::VideoId;
+/// assert_eq!(VideoId::new(99).index(), 99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VideoId(u32);
+
+impl VideoId {
+    /// Creates a video id from its dense index.
+    pub const fn new(raw: u32) -> Self {
+        VideoId(raw)
+    }
+
+    /// Returns the dense index.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize` suitable for `Vec` indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VideoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "video#{}", self.0)
+    }
+}
+
+/// Identifier of a chunk: a `(video, index-within-video)` pair.
+///
+/// Corresponds to `c` in the paper. Chunks are equal-sized (8 KB in the
+/// paper's evaluation) and indexed in playback order.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_types::{ChunkId, VideoId};
+/// let c = ChunkId::new(VideoId::new(1), 250);
+/// assert_eq!(c.index_in_video(), 250);
+/// assert!(c < ChunkId::new(VideoId::new(1), 251));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChunkId {
+    video: VideoId,
+    index: u32,
+}
+
+impl ChunkId {
+    /// Creates a chunk id for `index`-th chunk of `video`.
+    pub const fn new(video: VideoId, index: u32) -> Self {
+        ChunkId { video, index }
+    }
+
+    /// The video this chunk belongs to.
+    pub const fn video(self) -> VideoId {
+        self.video
+    }
+
+    /// Position of the chunk within its video, in playback order.
+    pub const fn index_in_video(self) -> u32 {
+        self.index
+    }
+
+    /// Returns the chunk that follows this one in playback order.
+    pub const fn next(self) -> ChunkId {
+        ChunkId {
+            video: self.video,
+            index: self.index + 1,
+        }
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:c{}", self.video, self.index)
+    }
+}
+
+/// Identifier of a download request: the pair `(I_d, c)`.
+///
+/// In the transportation-problem view of the paper this is a *source* node;
+/// constraint (3) allows each `RequestId` to be matched to at most one
+/// provider.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_types::{RequestId, PeerId, ChunkId, VideoId};
+/// let r = RequestId::new(PeerId::new(4), ChunkId::new(VideoId::new(0), 17));
+/// assert_eq!(r.downstream(), PeerId::new(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId {
+    downstream: PeerId,
+    chunk: ChunkId,
+}
+
+impl RequestId {
+    /// Creates the request id for peer `downstream` wanting `chunk`.
+    pub const fn new(downstream: PeerId, chunk: ChunkId) -> Self {
+        RequestId { downstream, chunk }
+    }
+
+    /// The requesting (downstream) peer `I_d`.
+    pub const fn downstream(self) -> PeerId {
+        self.downstream
+    }
+
+    /// The requested chunk `c`.
+    pub const fn chunk(self) -> ChunkId {
+        self.chunk
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req({}, {})", self.downstream, self.chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_id_roundtrip() {
+        let p = PeerId::new(123);
+        assert_eq!(p.get(), 123);
+        assert_eq!(p.index(), 123);
+        assert_eq!(PeerId::from(123u32), p);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty_and_distinct() {
+        let p = format!("{}", PeerId::new(1));
+        let i = format!("{}", IspId::new(1));
+        let v = format!("{}", VideoId::new(1));
+        let c = format!("{}", ChunkId::new(VideoId::new(1), 2));
+        assert!(p.contains("peer"));
+        assert!(i.contains("isp"));
+        assert!(v.contains("video"));
+        assert!(c.contains("c2"));
+    }
+
+    #[test]
+    fn chunk_ordering_follows_playback_order() {
+        let v = VideoId::new(0);
+        let a = ChunkId::new(v, 1);
+        let b = ChunkId::new(v, 2);
+        assert!(a < b);
+        assert_eq!(a.next(), b);
+    }
+
+    #[test]
+    fn chunk_ordering_is_video_major() {
+        let a = ChunkId::new(VideoId::new(0), 900);
+        let b = ChunkId::new(VideoId::new(1), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn request_id_accessors() {
+        let r = RequestId::new(PeerId::new(9), ChunkId::new(VideoId::new(2), 5));
+        assert_eq!(r.downstream().get(), 9);
+        assert_eq!(r.chunk().video().get(), 2);
+        assert_eq!(r.chunk().index_in_video(), 5);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(RequestId::new(PeerId::new(1), ChunkId::new(VideoId::new(0), 0)), 10);
+        assert_eq!(
+            m[&RequestId::new(PeerId::new(1), ChunkId::new(VideoId::new(0), 0))],
+            10
+        );
+    }
+
+    #[test]
+    fn isp_id_display() {
+        assert_eq!(format!("{}", IspId::new(3)), "isp#3");
+    }
+}

@@ -1,0 +1,159 @@
+//! Request and transfer records.
+
+use crate::ids::{ChunkId, PeerId, RequestId};
+use crate::time::SimTime;
+use crate::units::{Cost, Utility, Valuation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's request three-tuple `(I_d, I_u, c)`: downstream peer `I_d`
+/// asks upstream peer `I_u` for chunk `c`.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_types::{ChunkRequest, PeerId, ChunkId, VideoId};
+/// let r = ChunkRequest::new(PeerId::new(1), PeerId::new(2), ChunkId::new(VideoId::new(0), 3));
+/// assert_eq!(r.downstream(), PeerId::new(1));
+/// assert_eq!(r.upstream(), PeerId::new(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChunkRequest {
+    downstream: PeerId,
+    upstream: PeerId,
+    chunk: ChunkId,
+}
+
+impl ChunkRequest {
+    /// Creates the request tuple.
+    pub const fn new(downstream: PeerId, upstream: PeerId, chunk: ChunkId) -> Self {
+        ChunkRequest { downstream, upstream, chunk }
+    }
+
+    /// The requesting peer `I_d`.
+    pub const fn downstream(self) -> PeerId {
+        self.downstream
+    }
+
+    /// The requested peer `I_u`.
+    pub const fn upstream(self) -> PeerId {
+        self.upstream
+    }
+
+    /// The requested chunk `c`.
+    pub const fn chunk(self) -> ChunkId {
+        self.chunk
+    }
+
+    /// The `(I_d, c)` source identity of this request (the transportation
+    /// problem's source node).
+    pub const fn request_id(self) -> RequestId {
+        RequestId::new(self.downstream, self.chunk)
+    }
+}
+
+impl fmt::Display for ChunkRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} <- {}, {})", self.downstream, self.upstream, self.chunk)
+    }
+}
+
+/// A chunk transfer decided by a scheduler: the realized assignment
+/// `a^{(c)}_{u→d} = 1` plus the welfare bookkeeping that went into it.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_types::*;
+/// let t = ScheduledTransfer::new(
+///     ChunkRequest::new(PeerId::new(1), PeerId::new(2), ChunkId::new(VideoId::new(0), 3)),
+///     Valuation::new(4.0),
+///     Cost::new(1.0),
+/// );
+/// assert_eq!(t.utility(), Utility::new(3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledTransfer {
+    request: ChunkRequest,
+    valuation: Valuation,
+    cost: Cost,
+    decided_at: SimTime,
+}
+
+impl ScheduledTransfer {
+    /// Records a scheduled transfer with its valuation and network cost.
+    pub fn new(request: ChunkRequest, valuation: Valuation, cost: Cost) -> Self {
+        ScheduledTransfer { request, valuation, cost, decided_at: SimTime::ZERO }
+    }
+
+    /// Attaches the simulated instant at which the schedule was decided.
+    #[must_use]
+    pub fn decided_at(mut self, at: SimTime) -> Self {
+        self.decided_at = at;
+        self
+    }
+
+    /// The underlying request tuple.
+    pub const fn request(self) -> ChunkRequest {
+        self.request
+    }
+
+    /// The downstream peer's valuation `v^{(c)}(d)` for the chunk.
+    pub const fn valuation(self) -> Valuation {
+        self.valuation
+    }
+
+    /// The network cost `w_{u→d}` paid by the transfer.
+    pub const fn cost(self) -> Cost {
+        self.cost
+    }
+
+    /// The welfare contribution `v − w` of this transfer.
+    pub fn utility(self) -> Utility {
+        self.valuation - self.cost
+    }
+
+    /// When the schedule was decided (auction convergence instant).
+    pub const fn decision_time(self) -> SimTime {
+        self.decided_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VideoId;
+
+    fn sample_request() -> ChunkRequest {
+        ChunkRequest::new(PeerId::new(1), PeerId::new(2), ChunkId::new(VideoId::new(0), 3))
+    }
+
+    #[test]
+    fn request_accessors() {
+        let r = sample_request();
+        assert_eq!(r.downstream().get(), 1);
+        assert_eq!(r.upstream().get(), 2);
+        assert_eq!(r.chunk().index_in_video(), 3);
+        assert_eq!(r.request_id(), RequestId::new(PeerId::new(1), r.chunk()));
+    }
+
+    #[test]
+    fn transfer_welfare_is_v_minus_w() {
+        let t = ScheduledTransfer::new(sample_request(), Valuation::new(8.0), Cost::new(10.0));
+        assert_eq!(t.utility(), Utility::new(-2.0));
+    }
+
+    #[test]
+    fn transfer_decision_time_defaults_to_zero() {
+        let t = ScheduledTransfer::new(sample_request(), Valuation::new(1.0), Cost::new(0.5));
+        assert_eq!(t.decision_time(), SimTime::ZERO);
+        let t = t.decided_at(SimTime::from_secs_f64(4.0));
+        assert_eq!(t.decision_time().as_secs_f64(), 4.0);
+    }
+
+    #[test]
+    fn request_display_mentions_both_peers() {
+        let s = format!("{}", sample_request());
+        assert!(s.contains("peer#1") && s.contains("peer#2"));
+    }
+}

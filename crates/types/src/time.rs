@@ -1,0 +1,275 @@
+//! Simulated time.
+//!
+//! The system "works in a time slotted fashion over t = 0, 1, 2, …, T".
+//! Within a slot, the auction exchanges messages whose latency we model at
+//! sub-second resolution, so [`SimTime`] is an integer count of microseconds
+//! since simulation start: exact, totally ordered and deterministic (no
+//! floating-point drift in the event queue).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in integer microseconds since start.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_types::{SimTime, SimDuration};
+/// let t = SimTime::ZERO + SimDuration::from_secs_f64(1.5);
+/// assert_eq!(t.as_secs_f64(), 1.5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from integer microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates a time from (possibly fractional) seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "time must be finite and non-negative");
+        SimTime((secs * 1e6).round() as u64)
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The index of the time slot containing this instant, for a given slot
+    /// length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_len` is zero.
+    pub fn slot(self, slot_len: SimDuration) -> SlotIndex {
+        assert!(slot_len.0 > 0, "slot length must be positive");
+        SlotIndex(self.0 / slot_len.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+/// A span of simulated time, in integer microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_types::SimDuration;
+/// let d = SimDuration::from_millis(250) * 4;
+/// assert_eq!(d.as_secs_f64(), 1.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from integer microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration from integer milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration from integer seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        SimDuration((secs * 1e6).round() as u64)
+    }
+
+    /// Microseconds in this duration.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in this duration.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns `true` if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+/// Index of a time slot (the paper's `t = 0, 1, 2, …, T`).
+///
+/// # Examples
+///
+/// ```
+/// use p2p_types::{SlotIndex, SimDuration, SimTime};
+/// let slot = SimTime::from_secs_f64(25.0).slot(SimDuration::from_secs(10));
+/// assert_eq!(slot, SlotIndex::new(2));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SlotIndex(u64);
+
+impl SlotIndex {
+    /// Creates a slot index.
+    pub const fn new(raw: u64) -> Self {
+        SlotIndex(raw)
+    }
+
+    /// Returns the raw index.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The next slot.
+    pub const fn next(self) -> SlotIndex {
+        SlotIndex(self.0 + 1)
+    }
+
+    /// The simulated instant at which this slot starts.
+    pub fn start(self, slot_len: SimDuration) -> SimTime {
+        SimTime(self.0 * slot_len.as_micros())
+    }
+}
+
+impl fmt::Display for SlotIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrips_through_seconds() {
+        let t = SimTime::from_secs_f64(123.456789);
+        assert!((t.as_secs_f64() - 123.456789).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_secs(2) + SimDuration::from_millis(500);
+        assert_eq!(d.as_secs_f64(), 2.5);
+        assert_eq!((d * 2).as_secs_f64(), 5.0);
+        assert!(SimDuration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn time_add_duration() {
+        let mut t = SimTime::ZERO + SimDuration::from_secs(1);
+        t += SimDuration::from_millis(500);
+        assert_eq!(t.as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_secs_f64(1.0);
+        let b = SimTime::from_secs_f64(2.0);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!(b.since(a), SimDuration::from_secs(1));
+        assert_eq!(b - a, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn slot_boundaries() {
+        let slot_len = SimDuration::from_secs(10);
+        assert_eq!(SimTime::from_secs_f64(0.0).slot(slot_len), SlotIndex::new(0));
+        assert_eq!(SimTime::from_secs_f64(9.999999).slot(slot_len), SlotIndex::new(0));
+        assert_eq!(SimTime::from_secs_f64(10.0).slot(slot_len), SlotIndex::new(1));
+        assert_eq!(SlotIndex::new(3).start(slot_len), SimTime::from_secs_f64(30.0));
+        assert_eq!(SlotIndex::new(3).next(), SlotIndex::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot length must be positive")]
+    fn zero_slot_len_rejected() {
+        let _ = SimTime::ZERO.slot(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,345 @@
+//! Physical-unit newtypes: bandwidth, network cost, valuation and utility.
+//!
+//! Costs, valuations and utilities are real-valued (`f64`) quantities that
+//! must be totally ordered for the auction's argmax computations. The wrappers
+//! here expose `total_cmp`-based comparisons so algorithm code never has to
+//! reason about NaN. Constructors reject non-finite values (C-VALIDATE).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Upload bandwidth of a peer, in *chunks per time slot*.
+///
+/// This is `B(u)` in the paper: "the number of chunks peer `u` can upload in
+/// a time slot (suppose one unit of bandwidth is used to upload one chunk)".
+///
+/// # Examples
+///
+/// ```
+/// use p2p_types::Bandwidth;
+/// let b = Bandwidth::new(400);
+/// assert_eq!(b.chunks_per_slot(), 400);
+/// assert_eq!((b + Bandwidth::new(100)).chunks_per_slot(), 500);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bandwidth(u32);
+
+impl Bandwidth {
+    /// Zero bandwidth.
+    pub const ZERO: Bandwidth = Bandwidth(0);
+
+    /// Creates a bandwidth of `chunks_per_slot` chunk-uploads per slot.
+    pub const fn new(chunks_per_slot: u32) -> Self {
+        Bandwidth(chunks_per_slot)
+    }
+
+    /// Number of chunks this peer can upload in one time slot.
+    pub const fn chunks_per_slot(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if no chunk can be uploaded.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating decrement by one chunk-upload.
+    #[must_use]
+    pub const fn minus_one_chunk(self) -> Bandwidth {
+        Bandwidth(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} chunks/slot", self.0)
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bandwidth {
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        Bandwidth(iter.map(|b| b.0).sum())
+    }
+}
+
+macro_rules! real_unit {
+    ($(#[$meta:meta])* $name:ident, $display:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates a new value.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `value` is NaN or infinite; algorithm code relies on
+            /// finite, totally ordered quantities.
+            pub fn new(value: f64) -> Self {
+                assert!(value.is_finite(), concat!(stringify!($name), " must be finite"));
+                $name(value)
+            }
+
+            /// Returns the inner `f64`.
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other` under total order.
+            #[must_use]
+            pub fn max(self, other: $name) -> $name {
+                if self >= other { self } else { other }
+            }
+
+            /// Returns the smaller of `self` and `other` under total order.
+            #[must_use]
+            pub fn min(self, other: $name) -> $name {
+                if self <= other { self } else { other }
+            }
+
+            /// Clamps the value into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[must_use]
+            pub fn clamp(self, lo: $name, hi: $name) -> $name {
+                assert!(lo <= hi, "clamp requires lo <= hi");
+                self.max(lo).min(hi)
+            }
+        }
+
+        impl Eq for $name {}
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl Ord for $name {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!("{:.4} ", $display), self.0)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+real_unit!(
+    /// Network cost `w_{u→d}` of transmitting one chunk from peer `u` to
+    /// peer `d`.
+    ///
+    /// The paper uses network latency as the cost in its evaluation; it "can
+    /// represent network latency for sending a chunk between peers, or the
+    /// possibility that the chunk is being blocked due to filtering of
+    /// egress/ingress P2P traffic at one ISP". Costs differ between pairs of
+    /// ISPs (inter-ISP links are substantially more expensive than intra-ISP
+    /// links).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use p2p_types::Cost;
+    /// let w = Cost::new(5.0);
+    /// assert!(w > Cost::new(1.0));
+    /// ```
+    Cost,
+    "cost"
+);
+
+real_unit!(
+    /// A peer's valuation `v^{(c)}(d)` for receiving a chunk — the value the
+    /// chunk brings to the peer (e.g. a deadline-based urgency value in VoD).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use p2p_types::{Valuation, Cost};
+    /// let v = Valuation::new(8.0);
+    /// let u = v - Cost::new(5.0); // net utility v - w
+    /// assert_eq!(u.get(), 3.0);
+    /// ```
+    Valuation,
+    "value"
+);
+
+real_unit!(
+    /// Net utility `v^{(c)}(d) − w_{u→d}` (optionally minus the bandwidth
+    /// price `λ_u`). Also used for social welfare totals and dual prices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use p2p_types::Utility;
+    /// let a = Utility::new(1.5) + Utility::new(0.5);
+    /// assert_eq!(a, Utility::new(2.0));
+    /// ```
+    Utility,
+    "util"
+);
+
+impl Sub<Cost> for Valuation {
+    type Output = Utility;
+    /// The paper's net utility of a transfer: `v − w`.
+    fn sub(self, rhs: Cost) -> Utility {
+        Utility::new(self.0 - rhs.0)
+    }
+}
+
+impl From<Valuation> for Utility {
+    fn from(v: Valuation) -> Utility {
+        Utility::new(v.get())
+    }
+}
+
+impl From<Cost> for Utility {
+    fn from(c: Cost) -> Utility {
+        Utility::new(c.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_arithmetic() {
+        let b = Bandwidth::new(3) + Bandwidth::new(4);
+        assert_eq!(b.chunks_per_slot(), 7);
+        assert_eq!(b.minus_one_chunk().chunks_per_slot(), 6);
+        assert!(Bandwidth::ZERO.is_zero());
+        assert_eq!(Bandwidth::ZERO.minus_one_chunk(), Bandwidth::ZERO);
+        let total: Bandwidth = vec![Bandwidth::new(1), Bandwidth::new(2)].into_iter().sum();
+        assert_eq!(total, Bandwidth::new(3));
+    }
+
+    #[test]
+    fn utility_is_valuation_minus_cost() {
+        let u = Valuation::new(8.0) - Cost::new(5.5);
+        assert_eq!(u, Utility::new(2.5));
+    }
+
+    #[test]
+    fn negative_utilities_are_representable() {
+        let u = Valuation::new(0.8) - Cost::new(10.0);
+        assert!(u < Utility::ZERO);
+        assert_eq!(-u, Utility::new(9.2));
+    }
+
+    #[test]
+    fn total_order_and_minmax() {
+        let a = Cost::new(1.0);
+        let b = Cost::new(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Cost::new(5.0).clamp(a, b), b);
+        assert_eq!(Cost::new(1.5).clamp(a, b), Cost::new(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_rejected() {
+        let _ = Cost::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn infinity_rejected() {
+        let _ = Valuation::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn sums_and_scaling() {
+        let total: Utility = vec![Utility::new(1.0), Utility::new(2.5)].into_iter().sum();
+        assert_eq!(total, Utility::new(3.5));
+        assert_eq!(Utility::new(2.0) * 3.0, Utility::new(6.0));
+        assert_eq!(Utility::new(6.0) / 3.0, Utility::new(2.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Cost::new(1.0)).is_empty());
+        assert!(!format!("{}", Bandwidth::new(5)).is_empty());
+        assert!(!format!("{}", Utility::new(0.0)).is_empty());
+    }
+}

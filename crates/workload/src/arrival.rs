@@ -1,0 +1,115 @@
+//! Poisson arrival process.
+
+use crate::dist::Exponential;
+use p2p_types::{P2pError, SimDuration, SimTime};
+use rand::Rng;
+
+/// A homogeneous Poisson process generating arrival instants.
+///
+/// "Peers join the system as a Poisson process with rate 1 peer per second"
+/// (Sec. V). Inter-arrival gaps are exponential with the given rate.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_workload::PoissonProcess;
+/// use p2p_types::SimTime;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut proc = PoissonProcess::new(1.0).unwrap();
+/// let t1 = proc.next_arrival(&mut rng);
+/// let t2 = proc.next_arrival(&mut rng);
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonProcess {
+    gap: Exponential,
+    now: SimTime,
+}
+
+impl PoissonProcess {
+    /// Creates a Poisson process with `rate` arrivals per second, starting
+    /// at time zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if the rate is not positive.
+    pub fn new(rate: f64) -> Result<Self, P2pError> {
+        Ok(PoissonProcess { gap: Exponential::new(rate)?, now: SimTime::ZERO })
+    }
+
+    /// The arrival rate, per second.
+    pub fn rate(&self) -> f64 {
+        self.gap.rate()
+    }
+
+    /// The time of the most recently generated arrival.
+    pub fn current_time(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the process and returns the next arrival instant.
+    pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SimTime {
+        let gap = SimDuration::from_secs_f64(self.gap.sample(rng));
+        self.now = self.now + gap;
+        self.now
+    }
+
+    /// Generates all arrivals strictly before `horizon`.
+    pub fn arrivals_until<R: Rng + ?Sized>(&mut self, horizon: SimTime, rng: &mut R) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_arrival(rng);
+            if t >= horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_are_strictly_ordered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = PoissonProcess::new(1.0).unwrap();
+        let ts = p.arrivals_until(SimTime::from_secs_f64(100.0), &mut rng);
+        for w in ts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn arrival_count_matches_rate() {
+        // With rate 1/s over 5000 s we expect ~5000 arrivals (±3σ ≈ 212).
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = PoissonProcess::new(1.0).unwrap();
+        let ts = p.arrivals_until(SimTime::from_secs_f64(5000.0), &mut rng);
+        let n = ts.len() as f64;
+        assert!((n - 5000.0).abs() < 250.0, "n = {n}");
+    }
+
+    #[test]
+    fn rate_accessor_and_validation() {
+        assert_eq!(PoissonProcess::new(2.0).unwrap().rate(), 2.0);
+        assert!(PoissonProcess::new(0.0).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let seq = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut p = PoissonProcess::new(1.0).unwrap();
+            p.arrivals_until(SimTime::from_secs_f64(50.0), &mut rng)
+        };
+        assert_eq!(seq(9), seq(9));
+    }
+}

@@ -1,0 +1,275 @@
+//! The video catalog and derived streaming constants.
+//!
+//! The paper's evaluation uses "short video files just like most videos on
+//! YouTube": ~20 MB per file, 640 kbps playback bitrate, 8 KB chunks (the
+//! sub-piece size of PPStream), and 100 videos. Everything else — chunks per
+//! second, chunks per video, video duration — is *derived* from those
+//! primitive parameters rather than hard-coded.
+
+use p2p_types::{ChunkId, P2pError, SimDuration, VideoId};
+use serde::{Deserialize, Serialize};
+
+/// Primitive streaming parameters from which all rates are derived.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_workload::StreamingParams;
+/// let p = StreamingParams::paper_defaults();
+/// assert_eq!(p.chunks_per_second(), 10.0);        // 640 kbps / 8 KB
+/// assert_eq!(p.chunks_per_video(), 2500);         // 20 MB / 8 KB
+/// assert_eq!(p.video_duration().as_secs_f64(), 250.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamingParams {
+    /// Size of one chunk in bytes (paper: 8 KB).
+    pub chunk_size_bytes: u64,
+    /// Playback bitrate in bits per second (paper: 640 kbps).
+    pub bitrate_bps: u64,
+    /// Size of one video file in bytes (paper: ~20 MB).
+    pub video_size_bytes: u64,
+}
+
+impl StreamingParams {
+    /// The paper's parameters: 8 KB chunks, 640 kbps, 20 MB videos.
+    ///
+    /// Decimal units (8 KB = 8000 B, 20 MB = 2×10⁷ B) are used so the
+    /// paper's derived constants come out exactly: 640 kbps / 8 KB =
+    /// 10 chunks/s, hence the 10-second prefetch window is exactly the
+    /// "next 100 chunks" of Sec. V, and a video is 2500 chunks ≈ 250 s.
+    pub fn paper_defaults() -> Self {
+        StreamingParams {
+            chunk_size_bytes: 8_000,
+            bitrate_bps: 640_000,
+            video_size_bytes: 20_000_000,
+        }
+    }
+
+    /// A scaled-down preset for fast unit tests: 8 KB chunks, 640 kbps,
+    /// 1 MB videos (125 chunks = 12.5 s of playback).
+    pub fn small_test() -> Self {
+        StreamingParams {
+            chunk_size_bytes: 8_000,
+            bitrate_bps: 640_000,
+            video_size_bytes: 1_000_000,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if any parameter is zero or the
+    /// video is smaller than one chunk.
+    pub fn validate(&self) -> Result<(), P2pError> {
+        if self.chunk_size_bytes == 0 {
+            return Err(P2pError::invalid_config("chunk_size_bytes", "must be positive"));
+        }
+        if self.bitrate_bps == 0 {
+            return Err(P2pError::invalid_config("bitrate_bps", "must be positive"));
+        }
+        if self.video_size_bytes < self.chunk_size_bytes {
+            return Err(P2pError::invalid_config(
+                "video_size_bytes",
+                "must be at least one chunk",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Playback consumption rate in chunks per second
+    /// (= bitrate / chunk size).
+    pub fn chunks_per_second(&self) -> f64 {
+        (self.bitrate_bps as f64 / 8.0) / self.chunk_size_bytes as f64
+    }
+
+    /// Number of chunks in one video (= video size / chunk size, rounded up).
+    pub fn chunks_per_video(&self) -> u32 {
+        self.video_size_bytes.div_ceil(self.chunk_size_bytes) as u32
+    }
+
+    /// Wall-clock duration of one video at the playback bitrate.
+    pub fn video_duration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.chunks_per_video() as f64 / self.chunks_per_second())
+    }
+
+    /// The number of chunks consumed by playback over `dur`.
+    pub fn chunks_in(&self, dur: SimDuration) -> f64 {
+        dur.as_secs_f64() * self.chunks_per_second()
+    }
+
+    /// Converts a streaming-rate multiplier into an upload budget in chunks
+    /// per slot of length `slot_len` (e.g. the paper's seeds upload at 8×
+    /// the streaming rate ⇒ `8 × 10 chunks/s × 10 s = 800 chunks/slot`).
+    pub fn rate_multiple_per_slot(&self, multiplier: f64, slot_len: SimDuration) -> u32 {
+        (multiplier * self.chunks_per_second() * slot_len.as_secs_f64()).round() as u32
+    }
+}
+
+/// Description of one video in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VideoSpec {
+    id: VideoId,
+    chunk_count: u32,
+}
+
+impl VideoSpec {
+    /// The video's identifier.
+    pub fn id(&self) -> VideoId {
+        self.id
+    }
+
+    /// Number of chunks in the video.
+    pub fn chunk_count(&self) -> u32 {
+        self.chunk_count
+    }
+
+    /// Iterator over every chunk id of the video, in playback order.
+    pub fn chunks(&self) -> impl Iterator<Item = ChunkId> + '_ {
+        let id = self.id;
+        (0..self.chunk_count).map(move |i| ChunkId::new(id, i))
+    }
+}
+
+/// The content catalog: a set of equally-sized videos.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_workload::{StreamingParams, VideoCatalog};
+/// use p2p_types::VideoId;
+///
+/// let cat = VideoCatalog::uniform(100, StreamingParams::paper_defaults()).unwrap();
+/// assert_eq!(cat.len(), 100);
+/// assert_eq!(cat.video(VideoId::new(5)).unwrap().chunk_count(), 2500);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoCatalog {
+    params: StreamingParams,
+    videos: Vec<VideoSpec>,
+}
+
+impl VideoCatalog {
+    /// Builds a catalog of `n` videos all sharing the same parameters (the
+    /// paper's setup: 100 videos of ~20 MB).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if `n == 0` or the parameters are
+    /// invalid.
+    pub fn uniform(n: usize, params: StreamingParams) -> Result<Self, P2pError> {
+        if n == 0 {
+            return Err(P2pError::invalid_config("video_count", "must be positive"));
+        }
+        params.validate()?;
+        let chunk_count = params.chunks_per_video();
+        let videos = (0..n)
+            .map(|i| VideoSpec { id: VideoId::new(i as u32), chunk_count })
+            .collect();
+        Ok(VideoCatalog { params, videos })
+    }
+
+    /// The shared streaming parameters.
+    pub fn params(&self) -> &StreamingParams {
+        &self.params
+    }
+
+    /// Number of videos.
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// Returns `true` if the catalog has no videos (constructed catalogs
+    /// never do; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// Looks up a video.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::UnknownVideo`] for ids outside the catalog.
+    pub fn video(&self, id: VideoId) -> Result<&VideoSpec, P2pError> {
+        self.videos.get(id.index()).ok_or(P2pError::UnknownVideo(id))
+    }
+
+    /// Iterator over all videos.
+    pub fn iter(&self) -> impl Iterator<Item = &VideoSpec> {
+        self.videos.iter()
+    }
+
+    /// Validates that a chunk id is within the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::UnknownVideo`] or [`P2pError::UnknownChunk`].
+    pub fn validate_chunk(&self, chunk: ChunkId) -> Result<(), P2pError> {
+        let v = self.video(chunk.video())?;
+        if chunk.index_in_video() >= v.chunk_count() {
+            return Err(P2pError::UnknownChunk(chunk));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_derived_constants() {
+        let p = StreamingParams::paper_defaults();
+        assert_eq!(p.chunks_per_second(), 10.0);
+        assert_eq!(p.chunks_per_video(), 2500);
+        assert_eq!(p.video_duration().as_secs_f64(), 250.0);
+        // seeds: 8× streaming rate over a 10-second slot = 800 chunks
+        assert_eq!(p.rate_multiple_per_slot(8.0, SimDuration::from_secs(10)), 800);
+        // regular peers: 1×–4× ⇒ 100–400 chunks per slot
+        assert_eq!(p.rate_multiple_per_slot(1.0, SimDuration::from_secs(10)), 100);
+        assert_eq!(p.rate_multiple_per_slot(4.0, SimDuration::from_secs(10)), 400);
+    }
+
+    #[test]
+    fn chunks_in_duration() {
+        let p = StreamingParams::paper_defaults();
+        assert_eq!(p.chunks_in(SimDuration::from_secs(10)), 100.0);
+    }
+
+    #[test]
+    fn catalog_lookup_and_bounds() {
+        let cat = VideoCatalog::uniform(3, StreamingParams::small_test()).unwrap();
+        assert_eq!(cat.len(), 3);
+        assert!(cat.video(VideoId::new(2)).is_ok());
+        assert_eq!(
+            cat.video(VideoId::new(3)).unwrap_err(),
+            P2pError::UnknownVideo(VideoId::new(3))
+        );
+        let v = cat.video(VideoId::new(0)).unwrap();
+        assert_eq!(v.chunks().count() as u32, v.chunk_count());
+        assert!(cat.validate_chunk(ChunkId::new(VideoId::new(0), 0)).is_ok());
+        assert!(cat.validate_chunk(ChunkId::new(VideoId::new(0), v.chunk_count())).is_err());
+        assert!(cat.validate_chunk(ChunkId::new(VideoId::new(9), 0)).is_err());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(VideoCatalog::uniform(0, StreamingParams::paper_defaults()).is_err());
+        let bad = StreamingParams { chunk_size_bytes: 0, ..StreamingParams::paper_defaults() };
+        assert!(bad.validate().is_err());
+        let bad = StreamingParams { bitrate_bps: 0, ..StreamingParams::paper_defaults() };
+        assert!(bad.validate().is_err());
+        let bad = StreamingParams {
+            video_size_bytes: 1,
+            ..StreamingParams::paper_defaults()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn small_test_preset_is_valid() {
+        let p = StreamingParams::small_test();
+        p.validate().unwrap();
+        assert_eq!(p.chunks_per_video(), 125);
+    }
+}

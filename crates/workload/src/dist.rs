@@ -1,0 +1,450 @@
+//! Probability distributions implemented from first principles.
+//!
+//! Only [`rand`]'s uniform primitives are used; normal variates come from the
+//! Box–Muller transform, truncation from rejection sampling, exponentials
+//! from inverse-transform sampling, and Zipf–Mandelbrot from a precomputed
+//! CDF with binary search.
+
+use p2p_types::P2pError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Standard-normal variate via the Box–Muller transform.
+///
+/// Consumes two uniforms and returns one of the two produced normals (the
+/// other is discarded for simplicity; throughput is not a concern here).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        // u1 ∈ (0,1] so ln(u1) is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let z = r * (std::f64::consts::TAU * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+/// A normal distribution `N(mean, std²)` truncated to `[lo, hi]`, sampled by
+/// rejection.
+///
+/// The paper draws inter-ISP link delay costs from `N(5, 1)` truncated to
+/// `[1, 10]` and intra-ISP costs from `N(1, 1)` truncated to `[0, 2]`
+/// (Sec. V, citing passive RTT estimation).
+///
+/// # Examples
+///
+/// ```
+/// use p2p_workload::TruncatedNormal;
+/// use rand::SeedableRng;
+///
+/// let inter = TruncatedNormal::new(5.0, 1.0, 1.0, 10.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let w = inter.sample(&mut rng);
+/// assert!((1.0..=10.0).contains(&w));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TruncatedNormal {
+    mean: f64,
+    std: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a truncated normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if `std` is not positive, any
+    /// parameter is non-finite, or `lo >= hi`.
+    pub fn new(mean: f64, std: f64, lo: f64, hi: f64) -> Result<Self, P2pError> {
+        if !(mean.is_finite() && std.is_finite() && lo.is_finite() && hi.is_finite()) {
+            return Err(P2pError::invalid_config("truncated_normal", "parameters must be finite"));
+        }
+        if std <= 0.0 {
+            return Err(P2pError::invalid_config("truncated_normal", "std must be positive"));
+        }
+        if lo >= hi {
+            return Err(P2pError::invalid_config("truncated_normal", "lo must be < hi"));
+        }
+        Ok(TruncatedNormal { mean, std, lo, hi })
+    }
+
+    /// The paper's inter-ISP link-cost distribution: `N(5,1)` on `[1,10]`.
+    pub fn paper_inter_isp() -> Self {
+        TruncatedNormal { mean: 5.0, std: 1.0, lo: 1.0, hi: 10.0 }
+    }
+
+    /// The paper's intra-ISP link-cost distribution: `N(1,1)` on `[0,2]`.
+    pub fn paper_intra_isp() -> Self {
+        TruncatedNormal { mean: 1.0, std: 1.0, lo: 0.0, hi: 2.0 }
+    }
+
+    /// Mean of the underlying (untruncated) normal.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the underlying normal.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Lower truncation bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper truncation bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Draws one sample, guaranteed to lie in `[lo, hi]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Rejection sampling; for the paper's parameterisations acceptance is
+        // ≥ 68 %, so the expected loop count is < 1.5. A hard cap guards
+        // against pathological configurations: fall back to a uniform draw.
+        for _ in 0..1024 {
+            let z = self.mean + self.std * standard_normal(rng);
+            if z >= self.lo && z <= self.hi {
+                return z;
+            }
+        }
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+/// An exponential distribution with the given rate, via inverse transform.
+///
+/// Used for Poisson inter-arrival times (the paper's joins arrive "as a
+/// Poisson process with rate 1 peer per second").
+///
+/// # Examples
+///
+/// ```
+/// use p2p_workload::Exponential;
+/// use rand::SeedableRng;
+///
+/// let exp = Exponential::new(1.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// assert!(exp.sample(&mut rng) >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with events per unit time `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if `rate` is not positive and
+    /// finite.
+    pub fn new(rate: f64) -> Result<Self, P2pError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(P2pError::invalid_config("exponential", "rate must be positive"));
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draws one inter-arrival time.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        -u.ln() / self.rate
+    }
+}
+
+/// The Zipf–Mandelbrot popularity law `p(i) ∝ 1/(i+q)^α` over ranks
+/// `1..=n`, sampled by binary search on the precomputed CDF.
+///
+/// The paper selects videos with `α = 0.78`, `q = 4` over 100 videos
+/// (following Dai et al., INFOCOM'11).
+///
+/// # Examples
+///
+/// ```
+/// use p2p_workload::ZipfMandelbrot;
+/// use rand::SeedableRng;
+///
+/// let z = ZipfMandelbrot::paper_video_popularity(100);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// assert!(z.sample_index(&mut rng) < 100);
+/// // rank 1 is the most popular
+/// assert!(z.pmf(0) > z.pmf(99));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZipfMandelbrot {
+    alpha: f64,
+    q: f64,
+    cdf: Vec<f64>,
+}
+
+impl ZipfMandelbrot {
+    /// Creates a Zipf–Mandelbrot law over `n` items with exponent `alpha`
+    /// and flattening constant `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if `n == 0`, or parameters are
+    /// non-finite, or `q <= -1` (which would make rank 1 undefined).
+    pub fn new(n: usize, alpha: f64, q: f64) -> Result<Self, P2pError> {
+        if n == 0 {
+            return Err(P2pError::invalid_config("zipf", "n must be positive"));
+        }
+        if !alpha.is_finite() || !q.is_finite() || q <= -1.0 {
+            return Err(P2pError::invalid_config("zipf", "alpha/q must be finite, q > -1"));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64 + q).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(ZipfMandelbrot { alpha, q, cdf })
+    }
+
+    /// The paper's video-popularity law: `α = 0.78`, `q = 4`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn paper_video_popularity(n: usize) -> Self {
+        ZipfMandelbrot::new(n, 0.78, 4.0).expect("paper parameters are valid")
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the law has no items (never true for constructed
+    /// values; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of the 0-based rank `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws a 0-based rank (0 = most popular).
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Uniform distribution over a closed `f64` range, as used for peer upload
+/// capacities ("uniform distribution within the range of [1, 4] times of the
+/// streaming bitrate").
+///
+/// # Examples
+///
+/// ```
+/// use p2p_workload::UniformRange;
+/// use rand::SeedableRng;
+///
+/// let u = UniformRange::new(1.0, 4.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let x = u.sample(&mut rng);
+/// assert!((1.0..=4.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Creates a uniform law on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if bounds are non-finite or
+    /// `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, P2pError> {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(P2pError::invalid_config("uniform", "need finite lo <= hi"));
+        }
+        Ok(UniformRange { lo, hi })
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let tn = TruncatedNormal::paper_intra_isp();
+        let mut r = rng(42);
+        for _ in 0..10_000 {
+            let x = tn.sample(&mut r);
+            assert!((0.0..=2.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn truncated_normal_sample_mean_close_to_theory() {
+        // For N(5,1) on [1,10] the truncation barely bites: mean ≈ 5.
+        let tn = TruncatedNormal::paper_inter_isp();
+        let mut r = rng(7);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| tn.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn truncated_normal_intra_mean_is_shifted_up() {
+        // N(1,1) on [0,2]: symmetric truncation around the mean keeps mean ≈ 1.
+        let tn = TruncatedNormal::paper_intra_isp();
+        let mut r = rng(8);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| tn.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn truncated_normal_validation() {
+        assert!(TruncatedNormal::new(0.0, 0.0, 0.0, 1.0).is_err());
+        assert!(TruncatedNormal::new(0.0, 1.0, 2.0, 1.0).is_err());
+        assert!(TruncatedNormal::new(f64::NAN, 1.0, 0.0, 1.0).is_err());
+        assert!(TruncatedNormal::new(0.0, 1.0, 0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let e = Exponential::new(2.0).unwrap();
+        let mut r = rng(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| e.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_validation() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_is_decreasing() {
+        let z = ZipfMandelbrot::paper_video_popularity(100);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for i in 1..100 {
+            assert!(z.pmf(i) <= z.pmf(i - 1));
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_matches_pmf() {
+        let z = ZipfMandelbrot::paper_video_popularity(100);
+        let mut r = rng(13);
+        let n = 200_000;
+        let mut counts = vec![0usize; 100];
+        for _ in 0..n {
+            counts[z.sample_index(&mut r)] += 1;
+        }
+        for i in [0usize, 1, 10, 50, 99] {
+            let emp = counts[i] as f64 / n as f64;
+            assert!((emp - z.pmf(i)).abs() < 0.005, "rank {i}: emp {emp} vs pmf {}", z.pmf(i));
+        }
+    }
+
+    #[test]
+    fn zipf_paper_values() {
+        // p(1) = (1/(1+4)^0.78) / Σ — spot-check against a hand computation.
+        let z = ZipfMandelbrot::paper_video_popularity(100);
+        let raw: Vec<f64> = (1..=100).map(|i| 1.0 / (i as f64 + 4.0).powf(0.78)).collect();
+        let total: f64 = raw.iter().sum();
+        assert!((z.pmf(0) - raw[0] / total).abs() < 1e-12);
+        assert!((z.pmf(42) - raw[42] / total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_validation() {
+        assert!(ZipfMandelbrot::new(0, 1.0, 0.0).is_err());
+        assert!(ZipfMandelbrot::new(10, f64::NAN, 0.0).is_err());
+        assert!(ZipfMandelbrot::new(10, 1.0, -1.0).is_err());
+        assert!(!ZipfMandelbrot::new(10, 1.0, 0.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn uniform_range_bounds_and_degenerate() {
+        let u = UniformRange::new(1.0, 4.0).unwrap();
+        let mut r = rng(17);
+        for _ in 0..1000 {
+            let x = u.sample(&mut r);
+            assert!((1.0..=4.0).contains(&x));
+        }
+        let point = UniformRange::new(2.0, 2.0).unwrap();
+        assert_eq!(point.sample(&mut r), 2.0);
+        assert!(UniformRange::new(4.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_fixed_seed() {
+        let tn = TruncatedNormal::paper_inter_isp();
+        let a: Vec<f64> = {
+            let mut r = rng(99);
+            (0..32).map(|_| tn.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(99);
+            (0..32).map(|_| tn.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,44 @@
+//! Statistical workload generators for the ISP-aware P2P evaluation.
+//!
+//! Implements, from first principles (no `rand_distr` dependency), every
+//! stochastic ingredient of the paper's Sec. V evaluation setup:
+//!
+//! * [`dist::ZipfMandelbrot`] — video popularity `p(i) ∝ 1/(i+q)^α` with
+//!   `α = 0.78`, `q = 4` over 100 videos;
+//! * [`dist::TruncatedNormal`] — inter-ISP link costs `N(5,1)` truncated to
+//!   `[1,10]` and intra-ISP costs `N(1,1)` truncated to `[0,2]`;
+//! * [`dist::Exponential`] / [`arrival::PoissonProcess`] — peer joins at
+//!   1 peer/second;
+//! * [`catalog::VideoCatalog`] — 100 videos of ~20 MB at 640 kbps in 8 KB
+//!   chunks (⇒ 10 chunks/second, 2560 chunks, 256 s per video);
+//! * [`valuation::DeadlineValuation`] — the deadline-based chunk valuation
+//!   `α_d / ln(β_d + d)` clamped to `[0.8, 8]`;
+//! * [`churn::ChurnModel`] — the arrival/departure process of Sec. V-E
+//!   (departure probability 0.6 at a uniform instant of the viewing period).
+//!
+//! # Examples
+//!
+//! ```
+//! use p2p_workload::dist::ZipfMandelbrot;
+//! use rand::SeedableRng;
+//!
+//! let zipf = ZipfMandelbrot::new(100, 0.78, 4.0).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let video_index = zipf.sample_index(&mut rng);
+//! assert!(video_index < 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod catalog;
+pub mod churn;
+pub mod dist;
+pub mod valuation;
+
+pub use arrival::PoissonProcess;
+pub use catalog::{StreamingParams, VideoCatalog, VideoSpec};
+pub use churn::{ChurnModel, PeerArrival};
+pub use dist::{Exponential, TruncatedNormal, UniformRange, ZipfMandelbrot};
+pub use valuation::DeadlineValuation;

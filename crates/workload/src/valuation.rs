@@ -1,0 +1,168 @@
+//! Deadline-based chunk valuation.
+
+use p2p_types::{P2pError, SimDuration, Valuation};
+use serde::{Deserialize, Serialize};
+
+/// The paper's deadline-based valuation function
+/// `v = α_d / ln(β_d + d)`, clamped to a closed range.
+///
+/// `d` is the time to the chunk's playback deadline in seconds; `α_d = 2`
+/// and `β_d = 1.2` by default, making the valuation "within the range of
+/// [0.8, 8]" (Sec. V): chunks due within ~84 ms saturate at 8, chunks due
+/// beyond ~11 s floor at 0.8.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_workload::DeadlineValuation;
+/// use p2p_types::SimDuration;
+///
+/// let v = DeadlineValuation::paper_defaults();
+/// let urgent = v.value(SimDuration::from_millis(50));
+/// let relaxed = v.value(SimDuration::from_secs(20));
+/// assert!(urgent > relaxed);
+/// assert_eq!(urgent.get(), 8.0);
+/// assert_eq!(relaxed.get(), 0.8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineValuation {
+    alpha: f64,
+    beta: f64,
+    min: f64,
+    max: f64,
+}
+
+impl DeadlineValuation {
+    /// The paper's parameters: `α_d = 2`, `β_d = 1.2`, range `[0.8, 8]`.
+    pub fn paper_defaults() -> Self {
+        DeadlineValuation { alpha: 2.0, beta: 1.2, min: 0.8, max: 8.0 }
+    }
+
+    /// Creates a valuation function with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] unless `alpha > 0`, `beta > 1`
+    /// (so the logarithm is positive for every `d ≥ 0`) and
+    /// `0 <= min <= max`.
+    pub fn new(alpha: f64, beta: f64, min: f64, max: f64) -> Result<Self, P2pError> {
+        if !(alpha.is_finite() && beta.is_finite() && min.is_finite() && max.is_finite()) {
+            return Err(P2pError::invalid_config("valuation", "parameters must be finite"));
+        }
+        if alpha <= 0.0 {
+            return Err(P2pError::invalid_config("valuation.alpha", "must be positive"));
+        }
+        if beta <= 1.0 {
+            return Err(P2pError::invalid_config(
+                "valuation.beta",
+                "must exceed 1 so ln(beta + d) > 0 for all d >= 0",
+            ));
+        }
+        if min < 0.0 || min > max {
+            return Err(P2pError::invalid_config("valuation.range", "need 0 <= min <= max"));
+        }
+        Ok(DeadlineValuation { alpha, beta, min, max })
+    }
+
+    /// `α_d` (numerator constant).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// `β_d` (log offset).
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Lower clamp of the valuation range.
+    pub fn min_value(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper clamp of the valuation range.
+    pub fn max_value(&self) -> f64 {
+        self.max
+    }
+
+    /// Values a chunk whose playback deadline is `time_to_deadline` away.
+    pub fn value(&self, time_to_deadline: SimDuration) -> Valuation {
+        let d = time_to_deadline.as_secs_f64();
+        let raw = self.alpha / (self.beta + d).ln();
+        Valuation::new(raw.clamp(self.min, self.max))
+    }
+
+    /// Values a chunk from a raw `d` in seconds (negative values, i.e.
+    /// already-overdue chunks, saturate at the maximum valuation).
+    pub fn value_secs(&self, d: f64) -> Valuation {
+        self.value(SimDuration::from_secs_f64(d.max(0.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valuation_is_monotone_decreasing_in_deadline() {
+        let v = DeadlineValuation::paper_defaults();
+        let mut prev = v.value(SimDuration::ZERO);
+        for secs in 1..=30 {
+            let cur = v.value(SimDuration::from_secs(secs));
+            assert!(cur <= prev, "d={secs}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn paper_range_is_respected() {
+        let v = DeadlineValuation::paper_defaults();
+        for ms in (0..20_000).step_by(37) {
+            let val = v.value(SimDuration::from_millis(ms)).get();
+            assert!((0.8..=8.0).contains(&val), "d={ms}ms v={val}");
+        }
+    }
+
+    #[test]
+    fn clamp_boundaries_match_hand_computation() {
+        // v = 8 ⇔ ln(1.2 + d) = 0.25 ⇔ d = e^0.25 − 1.2 ≈ 0.0840
+        // v = 0.8 ⇔ ln(1.2 + d) = 2.5 ⇔ d = e^2.5 − 1.2 ≈ 10.98
+        let v = DeadlineValuation::paper_defaults();
+        assert_eq!(v.value_secs(0.05).get(), 8.0);
+        assert!(v.value_secs(0.2).get() < 8.0);
+        assert!(v.value_secs(10.0).get() > 0.8);
+        assert_eq!(v.value_secs(11.5).get(), 0.8);
+    }
+
+    #[test]
+    fn mid_range_value_matches_formula() {
+        let v = DeadlineValuation::paper_defaults();
+        let d = 3.0;
+        let expected = 2.0 / (1.2f64 + d).ln();
+        assert!((v.value_secs(d).get() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdue_chunks_saturate_high() {
+        let v = DeadlineValuation::paper_defaults();
+        assert_eq!(v.value_secs(-5.0).get(), 8.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DeadlineValuation::new(0.0, 1.2, 0.8, 8.0).is_err());
+        assert!(DeadlineValuation::new(2.0, 1.0, 0.8, 8.0).is_err());
+        assert!(DeadlineValuation::new(2.0, 1.2, 9.0, 8.0).is_err());
+        assert!(DeadlineValuation::new(2.0, 1.2, -1.0, 8.0).is_err());
+        assert!(DeadlineValuation::new(2.0, f64::NAN, 0.8, 8.0).is_err());
+        assert!(DeadlineValuation::new(2.0, 1.2, 0.8, 8.0).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = DeadlineValuation::paper_defaults();
+        assert_eq!(v.alpha(), 2.0);
+        assert_eq!(v.beta(), 1.2);
+        assert_eq!(v.min_value(), 0.8);
+        assert_eq!(v.max_value(), 8.0);
+    }
+}

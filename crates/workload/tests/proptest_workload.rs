@@ -1,0 +1,123 @@
+//! Property tests for the workload generators: bounds, monotonicity and
+//! determinism over the whole parameter space.
+
+use p2p_types::SimDuration;
+use p2p_workload::{
+    DeadlineValuation, Exponential, StreamingParams, TruncatedNormal, UniformRange, VideoCatalog,
+    ZipfMandelbrot,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn truncated_normal_never_escapes_bounds(
+        mean in -10.0f64..10.0,
+        std in 0.1f64..5.0,
+        width in 0.5f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let lo = mean - width;
+        let hi = mean + width;
+        let tn = TruncatedNormal::new(mean, std, lo, hi).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = tn.sample(&mut rng);
+            prop_assert!(x >= lo && x <= hi);
+        }
+    }
+
+    #[test]
+    fn zipf_is_a_probability_law(n in 1usize..300, alpha in 0.1f64..2.0, q in 0.0f64..10.0) {
+        let z = ZipfMandelbrot::new(n, alpha, q).unwrap();
+        let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for i in 1..n {
+            prop_assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12, "pmf must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_within_range(n in 1usize..100, seed in 0u64..500) {
+        let z = ZipfMandelbrot::new(n, 0.78, 4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(z.sample_index(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn exponential_is_nonnegative(rate in 0.01f64..50.0, seed in 0u64..500) {
+        let e = Exponential::new(rate).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn valuation_is_monotone_and_clamped(
+        d1 in 0.0f64..60.0,
+        d2 in 0.0f64..60.0,
+    ) {
+        let v = DeadlineValuation::paper_defaults();
+        let (lo, hi) = (d1.min(d2), d1.max(d2));
+        let v_lo = v.value(SimDuration::from_secs_f64(lo));
+        let v_hi = v.value(SimDuration::from_secs_f64(hi));
+        prop_assert!(v_lo >= v_hi, "urgency must not increase with distance");
+        for x in [v_lo, v_hi] {
+            prop_assert!((0.8..=8.0).contains(&x.get()));
+        }
+    }
+
+    #[test]
+    fn uniform_range_is_bounded(lo in -5.0f64..5.0, w in 0.0f64..10.0, seed in 0u64..200) {
+        let u = UniformRange::new(lo, lo + w).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let x = u.sample(&mut rng);
+            prop_assert!(x >= lo && x <= lo + w);
+        }
+    }
+
+    #[test]
+    fn catalog_chunk_math_is_consistent(
+        chunk_kb in 1u64..64,
+        bitrate_kbps in 64u64..4000,
+        video_mb in 1u64..64,
+    ) {
+        let params = StreamingParams {
+            chunk_size_bytes: chunk_kb * 1000,
+            bitrate_bps: bitrate_kbps * 1000,
+            video_size_bytes: video_mb * 1_000_000,
+        };
+        prop_assume!(params.validate().is_ok());
+        let cat = VideoCatalog::uniform(3, params).unwrap();
+        let v = cat.video(p2p_types::VideoId::new(0)).unwrap();
+        // chunks × chunk size covers the video exactly (within one chunk).
+        let covered = u64::from(v.chunk_count()) * params.chunk_size_bytes;
+        prop_assert!(covered >= params.video_size_bytes);
+        prop_assert!(covered < params.video_size_bytes + params.chunk_size_bytes);
+        // duration × rate = chunk count.
+        let expected = v.chunk_count() as f64;
+        let derived = params.video_duration().as_secs_f64() * params.chunks_per_second();
+        prop_assert!((derived - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sampling_is_deterministic(seed in 0u64..1000) {
+        let tn = TruncatedNormal::paper_inter_isp();
+        let once: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..16).map(|_| tn.sample(&mut rng)).collect()
+        };
+        let twice: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..16).map(|_| tn.sample(&mut rng)).collect()
+        };
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,46 @@
+//! Churn resilience (the paper's Sec. V-E): peers join as a Poisson process
+//! and 60 % of them leave mid-video. Compares the auction and the locality
+//! baseline under this dynamic workload — a miniature of Fig. 6.
+//!
+//! Run with: `cargo run --release --example churn_resilience`
+
+use isp_p2p::prelude::*;
+
+fn run(scheduler: Box<dyn ChunkScheduler>) -> Result<SlotRecorder> {
+    let config = SystemConfig::paper().with_seed(23).with_departures(0.6);
+    let mut sys = System::new(config, scheduler)?;
+    sys.enable_poisson_churn()?;
+    sys.run_slots(20)?;
+    println!(
+        "{:>16}: welfare {:>9.1}/slot, inter-ISP {:>5.1}%, miss {:>5.2}%, final pop {}",
+        sys.scheduler_name(),
+        sys.recorder().welfare_series().mean_y().unwrap_or(0.0),
+        sys.recorder().inter_isp_series().mean_y().unwrap_or(0.0) * 100.0,
+        sys.recorder().miss_rate_series().mean_y().unwrap_or(0.0) * 100.0,
+        sys.watcher_count(),
+    );
+    Ok(sys.recorder().clone())
+}
+
+fn main() -> Result<()> {
+    println!("dynamic network: Poisson joins at 1/s, 60% early departures, 20 slots\n");
+
+    let auction = run(Box::new(AuctionScheduler::paper()))?;
+    let locality = run(Box::new(SimpleLocalityScheduler::new()))?;
+
+    println!("\npopulation over time (same workload for both runs):");
+    let pop = auction.population_series();
+    println!("{}", ascii_plot(&[&pop], 70, 10));
+
+    println!("social welfare under churn:");
+    let aw = auction.welfare_series().renamed("auction");
+    let lw = locality.welfare_series().renamed("locality");
+    println!("{}", ascii_plot(&[&aw, &lw], 70, 12));
+
+    assert!(
+        aw.mean_y().unwrap_or(0.0) >= lw.mean_y().unwrap_or(0.0),
+        "auction welfare should dominate under churn (Fig. 6a)"
+    );
+    println!("ok: the auction's welfare advantage survives churn");
+    Ok(())
+}

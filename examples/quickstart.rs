@@ -1,0 +1,59 @@
+//! Quickstart: solve one slot of the welfare problem with the paper's
+//! primal-dual auction and verify its optimality certificate.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use isp_p2p::prelude::*;
+
+fn main() -> Result<()> {
+    // --- Build a tiny slot instance by hand -----------------------------
+    // Two providers: a same-ISP neighbor (cheap) and a remote one (costly),
+    // and three requests with deadline-driven valuations.
+    let mut b = WelfareInstance::builder();
+    let local = b.add_provider(PeerId::new(100), 1); // B(u) = 1 chunk/slot
+    let remote = b.add_provider(PeerId::new(101), 2);
+
+    let chunk = |i| ChunkId::new(VideoId::new(0), i);
+    let r0 = b.add_request(RequestId::new(PeerId::new(0), chunk(40)));
+    let r1 = b.add_request(RequestId::new(PeerId::new(1), chunk(41)));
+    let r2 = b.add_request(RequestId::new(PeerId::new(2), chunk(42)));
+
+    // v = deadline valuation, w = network cost (higher across ISPs).
+    b.add_edge(r0, local, Valuation::new(8.0), Cost::new(0.9))?;
+    b.add_edge(r0, remote, Valuation::new(8.0), Cost::new(5.2))?;
+    b.add_edge(r1, local, Valuation::new(3.1), Cost::new(1.1))?;
+    b.add_edge(r1, remote, Valuation::new(3.1), Cost::new(4.8))?;
+    b.add_edge(r2, remote, Valuation::new(2.2), Cost::new(6.0))?; // v < w!
+    let instance = b.build()?;
+
+    // --- Run the auction -------------------------------------------------
+    let outcome = SyncAuction::new(AuctionConfig::paper()).run(&instance)?;
+    println!("auction converged in {} rounds, {} bids", outcome.rounds, outcome.bids_submitted);
+
+    for r in 0..instance.request_count() {
+        let who = instance.request(r).id;
+        match outcome.assignment.provider_of(&instance, r) {
+            Some(u) => println!("  {who} downloads from {}", instance.provider(u).peer),
+            None => println!("  {who} stays unserved (no profitable source)"),
+        }
+    }
+    println!("bandwidth prices λ = {:?}", outcome.duals.lambda);
+
+    // --- Verify Theorem 1 ------------------------------------------------
+    let report = verify_optimality(&instance, &outcome.assignment, &outcome.duals, 1e-9);
+    assert!(report.is_optimal(), "complementary slackness must certify the outcome");
+    let exact = instance.optimal_welfare();
+    println!(
+        "social welfare: auction {} vs exact optimum {} (duality gap {:.2e})",
+        outcome.assignment.welfare(&instance),
+        exact,
+        report.gap()
+    );
+    assert!((outcome.assignment.welfare(&instance).get() - exact.get()).abs() < 1e-9);
+
+    // The negative-utility request r2 must stay unserved: downloading a
+    // chunk worth 2.2 over a cost-6.0 link would destroy welfare.
+    assert_eq!(outcome.assignment.provider_of(&instance, r2), None);
+    println!("ok: the auction refuses welfare-destroying transfers");
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration: system-level invariants of the streaming
+//! emulator under every scheduler.
+
+use isp_p2p::prelude::*;
+use isp_p2p::streaming::SeedPlacement;
+
+fn small(seed: u64) -> SystemConfig {
+    SystemConfig::small_test().with_seed(seed)
+}
+
+#[test]
+fn transfers_never_exceed_provider_capacity() {
+    // Indirectly verified through Assignment::validate inside the system,
+    // but assert the aggregate too: per-slot transfers cannot exceed the
+    // total online upload capacity.
+    let mut sys = System::new(small(1), Box::new(AuctionScheduler::paper())).unwrap();
+    sys.add_static_peers(15).unwrap();
+    for _ in 0..6 {
+        let online_capacity: u64 = (0..200u32)
+            .filter_map(|i| sys.peer(PeerId::new(i)))
+            .map(|p| u64::from(p.upload_capacity().chunks_per_slot()))
+            .sum();
+        let m = sys.step_slot().unwrap();
+        assert!(m.transfers <= online_capacity, "{} > {online_capacity}", m.transfers);
+    }
+}
+
+#[test]
+fn miss_rate_is_a_valid_ratio_and_buffers_grow() {
+    let mut sys = System::new(small(2), Box::new(AuctionScheduler::paper())).unwrap();
+    sys.add_static_peers(12).unwrap();
+    sys.run_slots(8).unwrap();
+    for (_, m) in sys.recorder().slots() {
+        assert!(m.missed_chunks <= m.due_chunks);
+        assert!(m.inter_isp_transfers <= m.transfers);
+        let rate = m.miss_rate();
+        assert!((0.0..=1.0).contains(&rate));
+    }
+}
+
+#[test]
+fn welfare_equals_sum_of_transfer_utilities() {
+    // The welfare the system records must equal the schedule's welfare:
+    // drive one slot manually and compare.
+    let mut sys = System::new(small(3), Box::new(AuctionScheduler::paper())).unwrap();
+    sys.add_static_peers(10).unwrap();
+    sys.run_slots(2).unwrap();
+    let problem = sys.prepare_slot().unwrap();
+    let mut sched = AuctionScheduler::paper();
+    let schedule = sched.schedule(&problem).unwrap();
+    let expected = schedule.welfare(&problem).get();
+    let metrics = sys.complete_slot(&problem, &schedule).unwrap();
+    assert!((metrics.welfare - expected).abs() < 1e-9);
+}
+
+#[test]
+fn all_schedulers_drive_the_system() {
+    let schedulers: Vec<Box<dyn ChunkScheduler>> = vec![
+        Box::new(AuctionScheduler::paper()),
+        Box::new(SimpleLocalityScheduler::new()),
+        Box::new(RandomScheduler::new(9)),
+        Box::new(GreedyScheduler::new()),
+        Box::new(ExactScheduler::new()),
+    ];
+    for sched in schedulers {
+        let mut sys = System::new(small(4), sched).unwrap();
+        sys.add_static_peers(10).unwrap();
+        sys.run_slots(4).unwrap();
+        let transfers: u64 = sys.recorder().slots().iter().map(|(_, m)| m.transfers).sum();
+        assert!(transfers > 0, "{} moved no chunks", sys.scheduler_name());
+    }
+}
+
+#[test]
+fn exact_scheduler_dominates_all_heuristics_on_welfare() {
+    let run = |sched: Box<dyn ChunkScheduler>| {
+        let mut sys = System::new(small(5), sched).unwrap();
+        sys.add_static_peers(12).unwrap();
+        sys.run_slots(5).unwrap();
+        sys.recorder().slots().iter().map(|(_, m)| m.welfare).sum::<f64>()
+    };
+    let exact = run(Box::new(ExactScheduler::new()));
+    let auction = run(Box::new(AuctionScheduler::paper()));
+    let locality = run(Box::new(SimpleLocalityScheduler::new()));
+    let random = run(Box::new(RandomScheduler::new(1)));
+    // Per-slot exactness does not imply multi-slot dominance in general
+    // (schedules change future buffer states), but on identical workloads
+    // the auction must track the exact optimum closely and beat the naive
+    // baselines.
+    assert!(auction >= exact * 0.95, "auction {auction} vs exact {exact}");
+    assert!(auction >= locality, "auction {auction} vs locality {locality}");
+    assert!(auction >= random, "auction {auction} vs random {random}");
+}
+
+#[test]
+fn churn_departures_shrink_population() {
+    let config = small(6).with_departures(1.0); // everyone departs early
+    let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+    sys.enable_poisson_churn().unwrap();
+    sys.run_slots(12).unwrap();
+    let pops: Vec<f64> = sys.recorder().population_series().values().collect();
+    // With certain early departure and short videos, population cannot grow
+    // without bound.
+    let peak = pops.iter().cloned().fold(0.0, f64::max);
+    assert!(peak < 40.0, "population exploded: {peak}");
+}
+
+#[test]
+fn seed_placements_produce_expected_rosters() {
+    let mut c = small(7);
+    c.seeds = SeedPlacement::PerVideoTotal(3);
+    let sys = System::new(c, Box::new(AuctionScheduler::paper())).unwrap();
+    assert_eq!(sys.online_count(), 3 * 5); // 3 seeds × 5 videos
+
+    let mut c = small(8);
+    c.seeds = SeedPlacement::PerIspPerVideo(1);
+    let sys = System::new(c, Box::new(AuctionScheduler::paper())).unwrap();
+    assert_eq!(sys.online_count(), 2 * 5); // 1 × 2 ISPs × 5 videos
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let run = || {
+        let mut sys = System::new(small(9), Box::new(AuctionScheduler::paper())).unwrap();
+        sys.add_static_peers(10).unwrap();
+        sys.run_slots(5).unwrap();
+        sys.recorder()
+            .slots()
+            .iter()
+            .map(|(_, m)| (m.welfare.to_bits(), m.transfers, m.inter_isp_transfers))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
