@@ -74,10 +74,8 @@ fn bench_epsilon_scaling(c: &mut Criterion) {
     let u0 = b.add_provider(PeerId::new(1), 2);
     let u1 = b.add_provider(PeerId::new(2), 2);
     for d in 0..6u32 {
-        let r = b.add_request(RequestId::new(
-            PeerId::new(100 + d),
-            ChunkId::new(VideoId::new(0), d),
-        ));
+        let r =
+            b.add_request(RequestId::new(PeerId::new(100 + d), ChunkId::new(VideoId::new(0), d)));
         b.add_edge(r, u0, Valuation::new(40.0), Cost::new(0.0)).unwrap();
         b.add_edge(r, u1, Valuation::new(40.0), Cost::new(0.0)).unwrap();
     }

@@ -51,8 +51,7 @@ fn bench_mcmf_grid(c: &mut Criterion) {
                 }
                 for i in 0..k {
                     for j in 0..k - 1 {
-                        net.add_edge(node(i, j), node(i, j + 1), 3, rng.gen_range(1..20))
-                            .unwrap();
+                        net.add_edge(node(i, j), node(i, j + 1), 3, rng.gen_range(1..20)).unwrap();
                         if i + 1 < k {
                             net.add_edge(node(i, j), node(i + 1, j), 3, rng.gen_range(1..20))
                                 .unwrap();

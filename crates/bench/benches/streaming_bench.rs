@@ -17,34 +17,26 @@ fn bench_slot_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("system_slot");
     g.sample_size(10);
     for &peers in &[30usize, 100] {
-        g.bench_with_input(
-            BenchmarkId::new("auction", peers),
-            &peers,
-            |b, &peers| {
-                b.iter_batched(
-                    || warmed_system(Box::new(AuctionScheduler::paper()), peers),
-                    |mut sys| {
-                        sys.step_slot().expect("slot");
-                        black_box(sys.recorder().len())
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("locality", peers),
-            &peers,
-            |b, &peers| {
-                b.iter_batched(
-                    || warmed_system(Box::new(SimpleLocalityScheduler::new()), peers),
-                    |mut sys| {
-                        sys.step_slot().expect("slot");
-                        black_box(sys.recorder().len())
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("auction", peers), &peers, |b, &peers| {
+            b.iter_batched(
+                || warmed_system(Box::new(AuctionScheduler::paper()), peers),
+                |mut sys| {
+                    sys.step_slot().expect("slot");
+                    black_box(sys.recorder().len())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("locality", peers), &peers, |b, &peers| {
+            b.iter_batched(
+                || warmed_system(Box::new(SimpleLocalityScheduler::new()), peers),
+                |mut sys| {
+                    sys.step_slot().expect("slot");
+                    black_box(sys.recorder().len())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
         g.bench_with_input(BenchmarkId::new("greedy", peers), &peers, |b, &peers| {
             b.iter_batched(
                 || warmed_system(Box::new(GreedyScheduler::new()), peers),

@@ -18,18 +18,9 @@ pub struct Args {
     flags: HashMap<String, Option<String>>,
 }
 
-impl Args {
-    /// Parses the process arguments (skipping the binary name).
-    pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
-    }
-
+impl<S: Into<String>> FromIterator<S> for Args {
     /// Parses an explicit iterator of arguments.
-    pub fn from_iter<I, S>(iter: I) -> Self
-    where
-        I: IntoIterator<Item = S>,
-        S: Into<String>,
-    {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
         let mut flags = HashMap::new();
         let mut key: Option<String> = None;
         for raw in iter {
@@ -47,6 +38,13 @@ impl Args {
             flags.insert(k, None);
         }
         Args { flags }
+    }
+}
+
+impl Args {
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
     }
 
     /// Whether a flag is present (with or without a value).

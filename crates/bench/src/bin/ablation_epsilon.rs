@@ -31,9 +31,8 @@ fn main() {
         for t in 0..trials {
             let inst = random_instance(900 + t as u64, providers, requests, 6, 6);
             let exact = inst.optimal_welfare().get();
-            let out = SyncAuction::new(AuctionConfig::with_epsilon(eps))
-                .run(&inst)
-                .expect("converges");
+            let out =
+                SyncAuction::new(AuctionConfig::with_epsilon(eps)).run(&inst).expect("converges");
             rounds += out.rounds as f64;
             bids += out.bids_submitted as f64;
             gap = gap.max(exact - out.assignment.welfare(&inst).get());

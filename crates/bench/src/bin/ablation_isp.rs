@@ -18,7 +18,11 @@ fn main() {
     println!("ISP cost-gap ablation (static {peers} peers, {slots} slots)");
     println!(
         "{:>12} {:>16} {:>16} {:>16} {:>16}",
-        "inter_mean", "auction_interisp", "locality_interisp", "auction_welfare", "locality_welfare"
+        "inter_mean",
+        "auction_interisp",
+        "locality_interisp",
+        "auction_welfare",
+        "locality_welfare"
     );
 
     let mut points = Vec::new();

@@ -14,17 +14,14 @@ fn main() {
     let slots = args.get_u64("slots", 20);
 
     println!("neighbor-count ablation (auction, static {peers} peers, {slots} slots)");
-    println!(
-        "{:>10} {:>14} {:>14} {:>12}",
-        "neighbors", "mean_welfare", "inter_isp", "miss_rate"
-    );
+    println!("{:>10} {:>14} {:>14} {:>12}", "neighbors", "mean_welfare", "inter_isp", "miss_rate");
 
     let mut welfare_points = Vec::new();
     for &n in &[5usize, 10, 20, 30, 40, 50] {
         let mut config = SystemConfig::paper().with_seed(42);
         config.neighbor_count = n;
-        let run = run_static(&config, Box::new(AuctionScheduler::paper()), peers, slots)
-            .expect("run");
+        let run =
+            run_static(&config, Box::new(AuctionScheduler::paper()), peers, slots).expect("run");
         let w = run.recorder.welfare_series().mean_y().unwrap_or(0.0);
         let t = run.recorder.inter_isp_series().mean_y().unwrap_or(0.0);
         let m = run.recorder.miss_rate_series().mean_y().unwrap_or(0.0);

@@ -37,8 +37,8 @@ fn main() {
          (t in [{from_secs}, {to_secs}] s)"
     );
 
-    let mut sys = System::new(config, Box::new(AuctionScheduler::paper()))
-        .expect("paper config is valid");
+    let mut sys =
+        System::new(config, Box::new(AuctionScheduler::paper())).expect("paper config is valid");
     sys.add_static_peers(peers).expect("distributions are valid");
 
     // Warm up with the fast synchronous engine until the trace window.
@@ -89,11 +89,8 @@ fn main() {
     );
 
     let path = save_xy("fig2_price_evolution", "time_s,lambda", &series);
-    let conv_points: Vec<(f64, f64)> = slot_starts
-        .iter()
-        .zip(&conv)
-        .map(|(s, c)| (s.as_secs_f64(), *c))
-        .collect();
+    let conv_points: Vec<(f64, f64)> =
+        slot_starts.iter().zip(&conv).map(|(s, c)| (s.as_secs_f64(), *c)).collect();
     let path2 = save_xy("fig2_convergence_secs", "slot_start_s,convergence_s", &conv_points);
     println!("wrote {} and {}", path.display(), path2.display());
 }

@@ -22,8 +22,8 @@ fn main() {
     let config = SystemConfig::paper().with_seed(seed);
     eprintln!("fig3: dynamic joins 1/s, no early departures, {slots} slots");
 
-    let auction = run_dynamic(&config, Box::new(AuctionScheduler::paper()), slots)
-        .expect("auction run");
+    let auction =
+        run_dynamic(&config, Box::new(AuctionScheduler::paper()), slots).expect("auction run");
     let locality = run_dynamic(&config, Box::new(SimpleLocalityScheduler::new()), slots)
         .expect("locality run");
 
@@ -36,12 +36,7 @@ fn main() {
         "mean welfare/slot: auction {:.1}, locality {:.1}; final-slot population {}",
         a.mean_y().unwrap_or(0.0),
         l.mean_y().unwrap_or(0.0),
-        auction
-            .recorder
-            .population_series()
-            .points()
-            .last()
-            .map_or(0.0, |&(_, y)| y)
+        auction.recorder.population_series().points().last().map_or(0.0, |&(_, y)| y)
     );
     let locality_min = l.y_min().unwrap_or(0.0);
     println!(

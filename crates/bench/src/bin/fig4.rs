@@ -25,9 +25,8 @@ fn main() {
 
     let auction = run_static(&config, Box::new(AuctionScheduler::paper()), peers, slots)
         .expect("auction run");
-    let locality =
-        run_static(&config, Box::new(SimpleLocalityScheduler::new()), peers, slots)
-            .expect("locality run");
+    let locality = run_static(&config, Box::new(SimpleLocalityScheduler::new()), peers, slots)
+        .expect("locality run");
 
     let a = auction.recorder.inter_isp_series().renamed("auction");
     let l = locality.recorder.inter_isp_series().renamed("simple_locality");

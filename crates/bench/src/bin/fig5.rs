@@ -24,9 +24,8 @@ fn main() {
 
     let auction = run_static(&config, Box::new(AuctionScheduler::paper()), peers, slots)
         .expect("auction run");
-    let locality =
-        run_static(&config, Box::new(SimpleLocalityScheduler::new()), peers, slots)
-            .expect("locality run");
+    let locality = run_static(&config, Box::new(SimpleLocalityScheduler::new()), peers, slots)
+        .expect("locality run");
 
     let a = auction.recorder.miss_rate_series().renamed("auction");
     let l = locality.recorder.miss_rate_series().renamed("simple_locality");

@@ -20,8 +20,8 @@ fn main() {
     let config = SystemConfig::paper().with_seed(seed).with_departures(0.6);
     eprintln!("fig6: dynamic network (joins 1/s, departures w.p. 0.6), {slots} slots");
 
-    let auction = run_dynamic(&config, Box::new(AuctionScheduler::paper()), slots)
-        .expect("auction run");
+    let auction =
+        run_dynamic(&config, Box::new(AuctionScheduler::paper()), slots).expect("auction run");
     let locality = run_dynamic(&config, Box::new(SimpleLocalityScheduler::new()), slots)
         .expect("locality run");
 

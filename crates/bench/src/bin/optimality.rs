@@ -29,13 +29,8 @@ fn main() {
         let mut auction_ms = 0.0;
         let mut flow_ms = 0.0;
         for t in 0..trials {
-            let inst = random_instance(
-                1000 * providers as u64 + t as u64,
-                providers,
-                requests,
-                8,
-                6,
-            );
+            let inst =
+                random_instance(1000 * providers as u64 + t as u64, providers, requests, 8, 6);
             let t0 = Instant::now();
             let out = SyncAuction::new(AuctionConfig::paper()).run(&inst).expect("converges");
             auction_ms += t0.elapsed().as_secs_f64() * 1e3;

@@ -34,10 +34,9 @@ fn main() {
             let inst = random_instance(7_000 + t as u64, providers, requests, 6, 6);
             let k = (requests as f64 * frac) as usize;
             // Deterministic manipulator set: every ceil(1/frac)-th request.
-            let manipulators: Vec<usize> = if k == 0 {
-                Vec::new()
-            } else {
-                (0..requests).step_by((requests / k).max(1)).take(k).collect()
+            let manipulators: Vec<usize> = match requests.checked_div(k) {
+                None => Vec::new(),
+                Some(step) => (0..requests).step_by(step.max(1)).take(k).collect(),
             };
             let out = evaluate_manipulation(&inst, &manipulators, Misreport::MaxOut)
                 .expect("auction converges");
@@ -58,8 +57,7 @@ fn main() {
                 0.0
             };
             honest_loss += hl;
-            chunk_gain +=
-                out.manipulator_chunks as f64 - out.manipulator_truthful_chunks as f64;
+            chunk_gain += out.manipulator_chunks as f64 - out.manipulator_truthful_chunks as f64;
         }
         let n = trials as f64;
         println!(

@@ -21,9 +21,7 @@ pub fn random_instance(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = WelfareInstance::builder();
     let ps: Vec<usize> = (0..providers)
-        .map(|i| {
-            b.add_provider(PeerId::new(100_000 + i as u32), rng.gen_range(1..=max_capacity))
-        })
+        .map(|i| b.add_provider(PeerId::new(100_000 + i as u32), rng.gen_range(1..=max_capacity)))
         .collect();
     for d in 0..requests {
         let r = b.add_request(RequestId::new(

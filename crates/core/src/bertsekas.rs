@@ -168,9 +168,7 @@ pub fn solve_assignment_auction(
 /// The Fig. 1 expansion: a [`WelfareInstance`] as an [`AssignmentProblem`]
 /// where provider `u` becomes `B(u)` identical bandwidth-unit objects, plus
 /// the object → provider mapping.
-pub fn expand_to_assignment(
-    instance: &WelfareInstance,
-) -> (AssignmentProblem, Vec<ProviderIdx>) {
+pub fn expand_to_assignment(instance: &WelfareInstance) -> (AssignmentProblem, Vec<ProviderIdx>) {
     let mut object_of_provider: Vec<Vec<usize>> = Vec::with_capacity(instance.provider_count());
     let mut object_provider = Vec::new();
     for (u, p) in instance.providers().iter().enumerate() {
@@ -258,11 +256,7 @@ mod tests {
 
     #[test]
     fn contested_object_goes_to_higher_value_person() {
-        let p = AssignmentProblem::new(
-            1,
-            vec![vec![(0, 5.0)], vec![(0, 7.0)]],
-        )
-        .unwrap();
+        let p = AssignmentProblem::new(1, vec![vec![(0, 5.0)], vec![(0, 7.0)]]).unwrap();
         let r = solve_assignment_auction(&p, 0.01).unwrap();
         assert_eq!(r.matches, vec![None, Some(0)]);
         // Price must have been bid up beyond the loser's value minus ε.
@@ -292,11 +286,7 @@ mod tests {
             let r = solve_assignment_auction(&p, eps).unwrap();
 
             // Exact optimum via the netflow solver (capacity-1 providers).
-            let tp = p2p_netflow::TransportationProblem::new(
-                vec![1; objects],
-                values,
-            )
-            .unwrap();
+            let tp = p2p_netflow::TransportationProblem::new(vec![1; objects], values).unwrap();
             let exact = p2p_netflow::solve_max_profit(&tp).unwrap();
             assert!(
                 r.total_value >= exact.total_profit - persons as f64 * eps - 1e-9,

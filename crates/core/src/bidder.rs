@@ -162,10 +162,7 @@ pub fn decide_bid_with_floor(
 /// The best achievable net utility `max_u (v − w − λ_u)` for a request, or
 /// `None` when it has no candidates. Used for the dual variables
 /// `η^{(c)}_d` and the third complementary-slackness condition.
-pub fn best_net_utility(
-    edges: &[EdgeView],
-    price_of: impl Fn(ProviderIdx) -> f64,
-) -> Option<f64> {
+pub fn best_net_utility(edges: &[EdgeView], price_of: impl Fn(ProviderIdx) -> f64) -> Option<f64> {
     edges
         .iter()
         .map(|e| e.utility - price_of(e.provider))
@@ -185,10 +182,8 @@ mod tests {
         // φ0 = 5-1-λ0, φ1 = 5-4-λ1 with λ = (2, 0):
         // φ0 = 2, φ1 = 1 → bid at 0 with amount λ0 + (2-1) = 3
         // = w_hat - w_star + λ_hat = 4 - 1 + 0 = 3 ✓ (the paper's form)
-        let edges = [
-            EdgeView { provider: 0, utility: 4.0 },
-            EdgeView { provider: 1, utility: 1.0 },
-        ];
+        let edges =
+            [EdgeView { provider: 0, utility: 4.0 }, EdgeView { provider: 1, utility: 1.0 }];
         let d = decide_bid(&edges, prices(&[2.0, 0.0]), 0.0);
         assert_eq!(d, BidDecision::Bid { edge: 0, provider: 0, amount: 3.0 });
     }
@@ -218,10 +213,8 @@ mod tests {
 
     #[test]
     fn tie_abstains_without_epsilon_but_bids_with_it() {
-        let edges = [
-            EdgeView { provider: 0, utility: 2.0 },
-            EdgeView { provider: 1, utility: 2.0 },
-        ];
+        let edges =
+            [EdgeView { provider: 0, utility: 2.0 }, EdgeView { provider: 1, utility: 2.0 }];
         assert_eq!(
             decide_bid(&edges, |_| 0.0, 0.0),
             BidDecision::Abstain { reason: AbstainReason::ZeroMargin }
@@ -241,10 +234,8 @@ mod tests {
 
     #[test]
     fn negative_second_best_is_floored_at_outside_option() {
-        let edges = [
-            EdgeView { provider: 0, utility: 3.0 },
-            EdgeView { provider: 1, utility: -5.0 },
-        ];
+        let edges =
+            [EdgeView { provider: 0, utility: 3.0 }, EdgeView { provider: 1, utility: -5.0 }];
         // Without flooring the bid would be λ0 + 3 − (−5) = 8 > value 3.
         let d = decide_bid(&edges, |_| 0.0, 0.0);
         assert_eq!(d, BidDecision::Bid { edge: 0, provider: 0, amount: 3.0 });
@@ -274,10 +265,8 @@ mod tests {
 
     #[test]
     fn best_net_utility_matches_max() {
-        let edges = [
-            EdgeView { provider: 0, utility: 4.0 },
-            EdgeView { provider: 1, utility: 6.0 },
-        ];
+        let edges =
+            [EdgeView { provider: 0, utility: 4.0 }, EdgeView { provider: 1, utility: 6.0 }];
         let phi = best_net_utility(&edges, prices(&[0.0, 3.0])).unwrap();
         assert_eq!(phi, 4.0);
         assert_eq!(best_net_utility(&[], |_| 0.0), None);

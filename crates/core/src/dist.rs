@@ -184,19 +184,25 @@ impl DistWorld {
         }
         let known = &self.known[request];
         let views = &self.views[request];
-        let decision = decide_bid(views, |p| {
-            // Per-edge knowledge: find this request's view of provider p.
-            views
-                .iter()
-                .position(|v| v.provider == p)
-                .map(|k| known[k])
-                .unwrap_or(f64::INFINITY)
-        }, self.epsilon);
+        let decision = decide_bid(
+            views,
+            |p| {
+                // Per-edge knowledge: find this request's view of provider p.
+                views
+                    .iter()
+                    .position(|v| v.provider == p)
+                    .map(|k| known[k])
+                    .unwrap_or(f64::INFINITY)
+            },
+            self.epsilon,
+        );
         if let BidDecision::Bid { edge, provider, amount } = decision {
             self.bidders[request] = BidderState::Pending;
-            let delay =
-                (self.latency)(self.bidder_peer[request], self.provider_peer[provider]);
-            ctx.schedule_in(delay, Ev::Deliver(AuctionMsg::Bid { request, edge, provider, amount }));
+            let delay = (self.latency)(self.bidder_peer[request], self.provider_peer[provider]);
+            ctx.schedule_in(
+                delay,
+                Ev::Deliver(AuctionMsg::Bid { request, edge, provider, amount }),
+            );
         }
     }
 
@@ -568,13 +574,9 @@ mod tests {
     fn matches_synchronous_welfare() {
         let inst = instance();
         let sync = SyncAuction::default().run(&inst).unwrap();
-        let dist = DistributedAuction::new(DistConfig::paper(), uniform_latency(20))
-            .run(&inst)
-            .unwrap();
-        assert_eq!(
-            dist.assignment.welfare(&inst).get(),
-            sync.assignment.welfare(&inst).get()
-        );
+        let dist =
+            DistributedAuction::new(DistConfig::paper(), uniform_latency(20)).run(&inst).unwrap();
+        assert_eq!(dist.assignment.welfare(&inst).get(), sync.assignment.welfare(&inst).get());
         assert_eq!(dist.assignment.welfare(&inst), inst.optimal_welfare());
         assert!(dist.assignment.validate(&inst).is_ok());
         assert!(dist.duals.validate(&inst, 1e-9).is_ok());
@@ -583,24 +585,20 @@ mod tests {
     #[test]
     fn latency_shifts_convergence_time() {
         let inst = instance();
-        let fast = DistributedAuction::new(DistConfig::paper(), uniform_latency(10))
-            .run(&inst)
-            .unwrap();
-        let slow = DistributedAuction::new(DistConfig::paper(), uniform_latency(200))
-            .run(&inst)
-            .unwrap();
+        let fast =
+            DistributedAuction::new(DistConfig::paper(), uniform_latency(10)).run(&inst).unwrap();
+        let slow =
+            DistributedAuction::new(DistConfig::paper(), uniform_latency(200)).run(&inst).unwrap();
         assert!(slow.converged_at > fast.converged_at);
     }
 
     #[test]
     fn price_trace_is_monotone_per_provider() {
         let inst = instance();
-        let out = DistributedAuction::new(
-            DistConfig::paper().recording_trace(),
-            uniform_latency(30),
-        )
-        .run(&inst)
-        .unwrap();
+        let out =
+            DistributedAuction::new(DistConfig::paper().recording_trace(), uniform_latency(30))
+                .run(&inst)
+                .unwrap();
         assert!(!out.price_trace.is_empty());
         let mut last = vec![0.0; inst.provider_count()];
         for p in &out.price_trace {
@@ -656,8 +654,7 @@ mod tests {
         b.add_edge(r1, u1, Valuation::new(5.0), Cost::new(2.5)).unwrap();
         let reduced = b.build().unwrap();
         assert!(
-            (out.assignment.welfare(&inst).get() - reduced.optimal_welfare().get()).abs()
-                < 1e-9,
+            (out.assignment.welfare(&inst).get() - reduced.optimal_welfare().get()).abs() < 1e-9,
             "welfare {} vs reduced optimum {}",
             out.assignment.welfare(&inst).get(),
             reduced.optimal_welfare()
@@ -678,9 +675,8 @@ mod tests {
         let inst = b.build().unwrap();
 
         // Sanity: without the departure, A wins and B stays out.
-        let before = DistributedAuction::new(DistConfig::paper(), uniform_latency(20))
-            .run(&inst)
-            .unwrap();
+        let before =
+            DistributedAuction::new(DistConfig::paper(), uniform_latency(20)).run(&inst).unwrap();
         assert_eq!(before.assignment.provider_of(&inst, a), Some(u));
         assert_eq!(before.assignment.choice(rival), None);
 
@@ -728,9 +724,8 @@ mod tests {
     #[test]
     fn empty_instance_converges_with_no_messages() {
         let inst = WelfareInstance::builder().build().unwrap();
-        let out = DistributedAuction::new(DistConfig::paper(), uniform_latency(10))
-            .run(&inst)
-            .unwrap();
+        let out =
+            DistributedAuction::new(DistConfig::paper(), uniform_latency(10)).run(&inst).unwrap();
         assert!(out.converged);
         assert_eq!(out.messages, 0);
     }

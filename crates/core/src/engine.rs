@@ -216,9 +216,7 @@ impl SyncAuction {
             // makes overbid prices sticky, unlike the symmetric assignment
             // problem). Subtracting ε restores ε-complementary slackness
             // for the next phase.
-            prices = Some(
-                outcome.duals.lambda.iter().map(|l| (l - eps).max(0.0)).collect(),
-            );
+            prices = Some(outcome.duals.lambda.iter().map(|l| (l - eps).max(0.0)).collect());
             epsilon /= scaling.decay;
         }
     }
@@ -253,13 +251,7 @@ impl SyncAuction {
             .providers()
             .iter()
             .enumerate()
-            .map(|(u, p)| {
-                if p.capacity.is_zero() {
-                    f64::INFINITY
-                } else {
-                    auctioneers[u].price()
-                }
-            })
+            .map(|(u, p)| if p.capacity.is_zero() { f64::INFINITY } else { auctioneers[u].price() })
             .collect();
 
         let mut assigned: Vec<Option<usize>> = vec![None; instance.request_count()];
@@ -458,8 +450,7 @@ mod tests {
     #[test]
     fn price_trace_records_monotone_prices() {
         let inst = competitive_instance();
-        let out =
-            SyncAuction::new(AuctionConfig::paper().recording_trace()).run(&inst).unwrap();
+        let out = SyncAuction::new(AuctionConfig::paper().recording_trace()).run(&inst).unwrap();
         assert!(!out.price_trace.is_empty());
         let mut last: Vec<f64> = vec![0.0; inst.provider_count()];
         for pc in &out.price_trace {
@@ -476,12 +467,14 @@ mod tests {
         // argmax provider at final prices.
         for r in 0..inst.request_count() {
             if let Some(u) = out.assignment.provider_of(&inst, r) {
-                let best = inst.request(r)
+                let best = inst
+                    .request(r)
                     .edges
                     .iter()
                     .map(|e| e.utility().get() - out.duals.lambda[e.provider])
                     .fold(f64::NEG_INFINITY, f64::max);
-                let chosen = inst.request(r)
+                let chosen = inst
+                    .request(r)
                     .edges
                     .iter()
                     .find(|e| e.provider == u)

@@ -134,12 +134,7 @@ impl WelfareInstance {
         let edges = self
             .requests
             .iter()
-            .map(|r| {
-                r.edges
-                    .iter()
-                    .map(|e| (e.provider, e.utility().get()))
-                    .collect::<Vec<_>>()
-            })
+            .map(|r| r.edges.iter().map(|e| (e.provider, e.utility().get())).collect::<Vec<_>>())
             .collect();
         TransportationProblem::new(caps, edges)
             .expect("builder-validated instance cannot produce out-of-range edges")

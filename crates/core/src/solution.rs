@@ -224,14 +224,8 @@ mod tests {
     fn two_req_one_provider() -> WelfareInstance {
         let mut b = WelfareInstance::builder();
         let u = b.add_provider(PeerId::new(10), 1);
-        let r0 = b.add_request(RequestId::new(
-            PeerId::new(0),
-            ChunkId::new(VideoId::new(0), 0),
-        ));
-        let r1 = b.add_request(RequestId::new(
-            PeerId::new(1),
-            ChunkId::new(VideoId::new(0), 0),
-        ));
+        let r0 = b.add_request(RequestId::new(PeerId::new(0), ChunkId::new(VideoId::new(0), 0)));
+        let r1 = b.add_request(RequestId::new(PeerId::new(1), ChunkId::new(VideoId::new(0), 0)));
         b.add_edge(r0, u, Valuation::new(5.0), Cost::new(1.0)).unwrap();
         b.add_edge(r1, u, Valuation::new(4.0), Cost::new(1.0)).unwrap();
         b.build().unwrap()

@@ -113,9 +113,7 @@ pub fn misreport_instance(
 ) -> Result<WelfareInstance, P2pError> {
     for &m in manipulators {
         if m >= instance.request_count() {
-            return Err(P2pError::MalformedInstance(format!(
-                "manipulator index {m} out of range"
-            )));
+            return Err(P2pError::MalformedInstance(format!("manipulator index {m} out of range")));
         }
     }
     let mut b = WelfareInstance::builder();

@@ -211,10 +211,7 @@ mod tests {
         let d = DualSolution { lambda: vec![0.0, 0.0], eta: vec![0.0, 0.0] };
         let report = verify_optimality(&inst, &a, &d, 1e-9);
         assert!(!report.is_optimal());
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::DualInfeasible(_))));
+        assert!(report.violations.iter().any(|v| matches!(v, Violation::DualInfeasible(_))));
     }
 
     #[test]
@@ -252,10 +249,7 @@ mod tests {
         let a = Assignment::new(vec![Some(0), Some(0)]); // both at capacity-1 u0
         let d = DualSolution::from_prices(&inst, vec![9.0, 9.0]);
         let report = verify_optimality(&inst, &a, &d, 1e-9);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::PrimalInfeasible(_))));
+        assert!(report.violations.iter().any(|v| matches!(v, Violation::PrimalInfeasible(_))));
     }
 
     #[test]

@@ -68,7 +68,13 @@ pub fn ascii_plot(series: &[&TimeSeries], width: usize, height: usize) -> String
         out.push('\n');
     }
     out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
-    out.push_str(&format!("{:>12}{:<.2}{}{:>.2}\n", "", x_min, " ".repeat(width.saturating_sub(8)), x_max));
+    out.push_str(&format!(
+        "{:>12}{:<.2}{}{:>.2}\n",
+        "",
+        x_min,
+        " ".repeat(width.saturating_sub(8)),
+        x_max
+    ));
     for (si, s) in series.iter().enumerate() {
         out.push_str(&format!("{:>12}{} = {}\n", "", GLYPHS[si % GLYPHS.len()], s.name()));
     }

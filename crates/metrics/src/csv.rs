@@ -28,11 +28,7 @@ use std::io::{self, Write};
 /// let text = String::from_utf8(out).unwrap();
 /// assert_eq!(text, "time_s,auction,locality\n0,1,2\n");
 /// ```
-pub fn write_csv<W: Write>(
-    mut w: W,
-    x_name: &str,
-    series: &[&TimeSeries],
-) -> io::Result<()> {
+pub fn write_csv<W: Write>(mut w: W, x_name: &str, series: &[&TimeSeries]) -> io::Result<()> {
     if series.is_empty() {
         return Err(io::Error::new(io::ErrorKind::InvalidInput, "no series given"));
     }

@@ -92,12 +92,7 @@ impl TimeSeries {
     pub fn window(&self, lo: f64, hi: f64) -> TimeSeries {
         TimeSeries {
             name: self.name.clone(),
-            points: self
-                .points
-                .iter()
-                .copied()
-                .filter(|&(x, _)| x >= lo && x <= hi)
-                .collect(),
+            points: self.points.iter().copied().filter(|&(x, _)| x >= lo && x <= hi).collect(),
         }
     }
 }

@@ -41,14 +41,7 @@ impl Summary {
         }
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
-        Summary {
-            count,
-            mean,
-            std: var.sqrt(),
-            min: sorted[0],
-            max: sorted[count - 1],
-            sorted,
-        }
+        Summary { count, mean, std: var.sqrt(), min: sorted[0], max: sorted[count - 1], sorted }
     }
 
     /// Linear-interpolated percentile `p ∈ [0, 100]`.

@@ -143,10 +143,7 @@ impl FlowNetwork {
     /// SPFA (queue-based Bellman–Ford) over the residual graph. Handles the
     /// negative arc costs that arise from negated profits; detects negative
     /// cycles by counting per-node relaxations.
-    fn shortest_path(
-        &self,
-        source: usize,
-    ) -> Result<(Vec<i64>, Vec<Option<usize>>), NetflowError> {
+    fn shortest_path(&self, source: usize) -> Result<(Vec<i64>, Vec<Option<usize>>), NetflowError> {
         const INF: i64 = i64::MAX / 4;
         let n = self.adj.len();
         let mut dist = vec![INF; n];

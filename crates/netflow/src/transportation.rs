@@ -156,10 +156,7 @@ pub fn solve_max_profit(
             }
         }
     }
-    Ok(TransportationSolution {
-        assignment,
-        total_profit: -(outcome.cost as f64) / PROFIT_SCALE,
-    })
+    Ok(TransportationSolution { assignment, total_profit: -(outcome.cost as f64) / PROFIT_SCALE })
 }
 
 #[cfg(test)]
@@ -182,8 +179,7 @@ mod tests {
 
     #[test]
     fn negative_profit_edges_left_unassigned() {
-        let p = TransportationProblem::new(vec![4], vec![vec![(0, -1.0)], vec![(0, 2.0)]])
-            .unwrap();
+        let p = TransportationProblem::new(vec![4], vec![vec![(0, -1.0)], vec![(0, 2.0)]]).unwrap();
         let sol = solve_max_profit(&p).unwrap();
         assert_eq!(sol.assignment, vec![None, Some(0)]);
         assert!((sol.total_profit - 2.0).abs() < 1e-9);
@@ -225,11 +221,7 @@ mod tests {
     fn tie_breaking_still_reaches_optimal_value() {
         // Two identical requests, capacity one: either assignment is
         // optimal; the value must be exactly one edge's profit.
-        let p = TransportationProblem::new(
-            vec![1],
-            vec![vec![(0, 2.5)], vec![(0, 2.5)]],
-        )
-        .unwrap();
+        let p = TransportationProblem::new(vec![1], vec![vec![(0, 2.5)], vec![(0, 2.5)]]).unwrap();
         let sol = solve_max_profit(&p).unwrap();
         assert!((sol.total_profit - 2.5).abs() < 1e-9);
         let assigned = sol.assignment.iter().filter(|a| a.is_some()).count();
@@ -248,11 +240,8 @@ mod tests {
     fn brute_force_agreement_on_small_instances() {
         // Exhaustive check on a 3-request, 2-provider instance.
         let caps = vec![1u32, 2];
-        let edges = vec![
-            vec![(0usize, 4.0), (1usize, 3.5)],
-            vec![(0, 2.0), (1, 2.2)],
-            vec![(0, 1.0)],
-        ];
+        let edges =
+            vec![vec![(0usize, 4.0), (1usize, 3.5)], vec![(0, 2.0), (1, 2.2)], vec![(0, 1.0)]];
         let p = TransportationProblem::new(caps.clone(), edges.clone()).unwrap();
         let sol = solve_max_profit(&p).unwrap();
 

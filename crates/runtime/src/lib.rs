@@ -77,20 +77,12 @@ pub struct ThreadedConfig {
 impl ThreadedConfig {
     /// Settings for unit tests: tiny payloads, 30 s timeout.
     pub fn fast_test() -> Self {
-        ThreadedConfig {
-            epsilon: 0.0,
-            chunk_bytes: 64,
-            wall_timeout: Duration::from_secs(30),
-        }
+        ThreadedConfig { epsilon: 0.0, chunk_bytes: 64, wall_timeout: Duration::from_secs(30) }
     }
 
     /// Paper-like settings: 8 KB chunks.
     pub fn paper() -> Self {
-        ThreadedConfig {
-            epsilon: 0.0,
-            chunk_bytes: 8_000,
-            wall_timeout: Duration::from_secs(120),
-        }
+        ThreadedConfig { epsilon: 0.0, chunk_bytes: 8_000, wall_timeout: Duration::from_secs(120) }
     }
 }
 
@@ -169,8 +161,7 @@ impl ThreadedAuction {
             bidder_of_request.push(idx);
         }
         let bidder_count = bidder_peers.len();
-        let provider_peers: Vec<PeerId> =
-            instance.providers().iter().map(|p| p.peer).collect();
+        let provider_peers: Vec<PeerId> = instance.providers().iter().map(|p| p.peer).collect();
 
         // Mailboxes.
         let mut senders: Vec<Sender<RtMsg>> = Vec::new();
@@ -242,10 +233,7 @@ impl ThreadedAuction {
                                 BidOutcome::Accepted { evicted, new_price } => {
                                     out.send(
                                         bidder_node(owner[request]),
-                                        RtMsg::Proto(AuctionMsg::Accepted {
-                                            request,
-                                            provider: u,
-                                        }),
+                                        RtMsg::Proto(AuctionMsg::Accepted { request, provider: u }),
                                     );
                                     if let Some(loser) = evicted {
                                         out.send(
@@ -538,10 +526,20 @@ mod tests {
         let u1 = b.add_provider(PeerId::new(101), 2);
         for d in 0..4u32 {
             let r = b.add_request(rid(d, 0));
-            b.add_edge(r, u0, Valuation::new(6.0 - f64::from(d)), Cost::new(0.5 + 0.1 * f64::from(d)))
-                .unwrap();
-            b.add_edge(r, u1, Valuation::new(6.0 - f64::from(d)), Cost::new(2.0 + 0.2 * f64::from(d)))
-                .unwrap();
+            b.add_edge(
+                r,
+                u0,
+                Valuation::new(6.0 - f64::from(d)),
+                Cost::new(0.5 + 0.1 * f64::from(d)),
+            )
+            .unwrap();
+            b.add_edge(
+                r,
+                u1,
+                Valuation::new(6.0 - f64::from(d)),
+                Cost::new(2.0 + 0.2 * f64::from(d)),
+            )
+            .unwrap();
         }
         b.build().unwrap()
     }
@@ -556,9 +554,7 @@ mod tests {
         let inst = instance();
         let eps = 0.01;
         let cfg = ThreadedConfig { epsilon: eps, ..ThreadedConfig::fast_test() };
-        let out = ThreadedAuction::new(cfg)
-            .run(&inst, |_, _| Duration::from_micros(300))
-            .unwrap();
+        let out = ThreadedAuction::new(cfg).run(&inst, |_, _| Duration::from_micros(300)).unwrap();
         let exact = inst.optimal_welfare().get();
         let bound = inst.request_count() as f64 * eps + 1e-9;
         assert!(
@@ -591,9 +587,8 @@ mod tests {
         let eps = 0.01;
         let sync = SyncAuction::new(AuctionConfig::with_epsilon(eps)).run(&inst).unwrap();
         let cfg = ThreadedConfig { epsilon: eps, ..ThreadedConfig::fast_test() };
-        let threaded = ThreadedAuction::new(cfg)
-            .run(&inst, |_, _| Duration::from_micros(100))
-            .unwrap();
+        let threaded =
+            ThreadedAuction::new(cfg).run(&inst, |_, _| Duration::from_micros(100)).unwrap();
         let bound = inst.request_count() as f64 * eps + 1e-9;
         let exact = inst.optimal_welfare().get();
         assert!(threaded.assignment.welfare(&inst).get() >= exact - bound);
@@ -604,13 +599,8 @@ mod tests {
     fn payloads_are_delivered_to_every_winner() {
         let inst = instance();
         let cfg = ThreadedConfig { chunk_bytes: 128, ..ThreadedConfig::fast_test() };
-        let out = ThreadedAuction::new(cfg)
-            .run(&inst, |_, _| Duration::from_micros(200))
-            .unwrap();
-        assert_eq!(
-            out.bytes_delivered,
-            out.assignment.assigned_count() as u64 * 128
-        );
+        let out = ThreadedAuction::new(cfg).run(&inst, |_, _| Duration::from_micros(200)).unwrap();
+        assert_eq!(out.bytes_delivered, out.assignment.assigned_count() as u64 * 128);
     }
 
     #[test]

@@ -38,16 +38,17 @@ impl<M> PartialOrd for InFlight<M> {
 }
 impl<M> Ord for InFlight<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.deliver_at
-            .cmp(&other.deliver_at)
-            .then_with(|| self.seq.cmp(&other.seq))
+        self.deliver_at.cmp(&other.deliver_at).then_with(|| self.seq.cmp(&other.seq))
     }
 }
+
+/// An addressed message in transit: `(from, to, payload)`.
+type Envelope<M> = (NodeId, NodeId, M);
 
 /// A sending handle bound to one source node.
 pub struct Handle<M> {
     from: NodeId,
-    tx: Sender<(NodeId, NodeId, M)>,
+    tx: Sender<Envelope<M>>,
     pending: Arc<AtomicI64>,
 }
 
@@ -65,7 +66,7 @@ impl<M> Handle<M> {
 
 /// The router: owns the in-flight heap and the delivery thread.
 pub struct Router<M: Send + 'static> {
-    tx: Sender<(NodeId, NodeId, M)>,
+    tx: Sender<Envelope<M>>,
     pending: Arc<AtomicI64>,
     delivered: Arc<AtomicU64>,
     join: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -79,7 +80,7 @@ impl<M: Send + 'static> Router<M> {
         pending: Arc<AtomicI64>,
         latency: impl Fn(NodeId, NodeId) -> Duration + Send + 'static,
     ) -> Self {
-        let (tx, rx): (Sender<(NodeId, NodeId, M)>, Receiver<(NodeId, NodeId, M)>) = unbounded();
+        let (tx, rx): (Sender<Envelope<M>>, Receiver<Envelope<M>>) = unbounded();
         let delivered = Arc::new(AtomicU64::new(0));
         let delivered2 = delivered.clone();
         let pending2 = pending.clone();

@@ -43,10 +43,7 @@ impl ChunkScheduler for ExactScheduler {
                 })
             })
             .collect();
-        Ok(Schedule {
-            assignment: Assignment::new(choices),
-            stats: ScheduleStats::default(),
-        })
+        Ok(Schedule { assignment: Assignment::new(choices), stats: ScheduleStats::default() })
     }
 }
 

@@ -40,11 +40,8 @@ impl ChunkScheduler for GreedyScheduler {
         }
         edges.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
 
-        let mut remaining: Vec<u32> = instance
-            .providers()
-            .iter()
-            .map(|p| p.capacity.chunks_per_slot())
-            .collect();
+        let mut remaining: Vec<u32> =
+            instance.providers().iter().map(|p| p.capacity.chunks_per_slot()).collect();
         let mut assigned = vec![None; instance.request_count()];
         let mut taken = 0u64;
         for (r, e, _) in edges {

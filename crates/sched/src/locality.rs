@@ -82,11 +82,8 @@ impl ChunkScheduler for SimpleLocalityScheduler {
             .collect();
         let mut next_try = vec![0usize; n];
         let mut assigned: Vec<Option<usize>> = vec![None; n];
-        let mut remaining: Vec<u32> = instance
-            .providers()
-            .iter()
-            .map(|p| p.capacity.chunks_per_slot())
-            .collect();
+        let mut remaining: Vec<u32> =
+            instance.providers().iter().map(|p| p.capacity.chunks_per_slot()).collect();
 
         let mut rounds = 0u64;
         let mut proposals_total = 0u64;
@@ -117,9 +114,7 @@ impl ChunkScheduler for SimpleLocalityScheduler {
             // capacity remains.
             for (u, mut reqs) in proposals.into_iter().enumerate() {
                 reqs.sort_by(|&a, &b| {
-                    problem.urgency[a]
-                        .cmp(&problem.urgency[b])
-                        .then_with(|| a.cmp(&b))
+                    problem.urgency[a].cmp(&problem.urgency[b]).then_with(|| a.cmp(&b))
                 });
                 for r in reqs {
                     if remaining[u] == 0 {
@@ -172,11 +167,8 @@ mod tests {
         b.add_edge(relaxed, u, Valuation::new(1.0), Cost::new(1.0)).unwrap();
         b.add_edge(urgent, u, Valuation::new(1.0), Cost::new(1.0)).unwrap();
         let inst = b.build().unwrap();
-        let p = SlotProblem::new(
-            inst,
-            vec![SimDuration::from_secs(8), SimDuration::from_secs(1)],
-        )
-        .unwrap();
+        let p = SlotProblem::new(inst, vec![SimDuration::from_secs(8), SimDuration::from_secs(1)])
+            .unwrap();
         let out = SimpleLocalityScheduler::new().schedule(&p).unwrap();
         assert_eq!(out.assignment.choice(1), Some(0), "urgent request wins");
         assert_eq!(out.assignment.choice(0), None);
@@ -194,11 +186,8 @@ mod tests {
             b.add_edge(r, remote, Valuation::new(1.0), Cost::new(6.0)).unwrap();
         }
         let inst = b.build().unwrap();
-        let p = SlotProblem::new(
-            inst,
-            vec![SimDuration::from_secs(1), SimDuration::from_secs(2)],
-        )
-        .unwrap();
+        let p = SlotProblem::new(inst, vec![SimDuration::from_secs(1), SimDuration::from_secs(2)])
+            .unwrap();
         // Spilling to the next-cheapest provider requires a retry budget
         // beyond the default one-shot client.
         let out = SimpleLocalityScheduler::new().with_max_tries(2).schedule(&p).unwrap();

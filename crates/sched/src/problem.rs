@@ -71,10 +71,7 @@ mod tests {
     fn one_request_problem() -> SlotProblem {
         let mut b = WelfareInstance::builder();
         let u = b.add_provider(PeerId::new(1), 1);
-        let r = b.add_request(RequestId::new(
-            PeerId::new(0),
-            ChunkId::new(VideoId::new(0), 0),
-        ));
+        let r = b.add_request(RequestId::new(PeerId::new(0), ChunkId::new(VideoId::new(0), 0)));
         b.add_edge(r, u, Valuation::new(4.0), Cost::new(1.0)).unwrap();
         SlotProblem::new(b.build().unwrap(), vec![SimDuration::from_secs(1)]).unwrap()
     }

@@ -30,11 +30,8 @@ impl ChunkScheduler for RandomScheduler {
 
     fn schedule(&mut self, problem: &SlotProblem) -> Result<Schedule> {
         let instance = &problem.instance;
-        let mut remaining: Vec<u32> = instance
-            .providers()
-            .iter()
-            .map(|p| p.capacity.chunks_per_slot())
-            .collect();
+        let mut remaining: Vec<u32> =
+            instance.providers().iter().map(|p| p.capacity.chunks_per_slot()).collect();
         // Randomize request processing order too, so early ids get no
         // systematic advantage.
         let mut order: Vec<usize> = (0..instance.request_count()).collect();
@@ -43,9 +40,8 @@ impl ChunkScheduler for RandomScheduler {
         let mut proposals = 0u64;
         for r in order {
             let edges = &instance.request(r).edges;
-            let mut candidates: Vec<usize> = (0..edges.len())
-                .filter(|&e| remaining[edges[e].provider] > 0)
-                .collect();
+            let mut candidates: Vec<usize> =
+                (0..edges.len()).filter(|&e| remaining[edges[e].provider] > 0).collect();
             candidates.shuffle(&mut self.rng);
             if let Some(&e) = candidates.first() {
                 proposals += 1;
@@ -71,10 +67,7 @@ mod tests {
         let us: Vec<_> =
             (0..providers).map(|i| b.add_provider(PeerId::new(100 + i), capacity)).collect();
         for d in 0..requests {
-            let r = b.add_request(RequestId::new(
-                PeerId::new(d),
-                ChunkId::new(VideoId::new(0), 0),
-            ));
+            let r = b.add_request(RequestId::new(PeerId::new(d), ChunkId::new(VideoId::new(0), 0)));
             for &u in &us {
                 b.add_edge(r, u, Valuation::new(2.0), Cost::new(1.0 + u as f64)).unwrap();
             }

@@ -29,11 +29,7 @@ pub struct ChunkBuffer {
 impl ChunkBuffer {
     /// An empty buffer for a video of `chunk_count` chunks.
     pub fn empty(chunk_count: u32) -> Self {
-        ChunkBuffer {
-            words: vec![0; (chunk_count as usize).div_ceil(64)],
-            chunk_count,
-            held: 0,
-        }
+        ChunkBuffer { words: vec![0; (chunk_count as usize).div_ceil(64)], chunk_count, held: 0 }
     }
 
     /// A full buffer (seeds "cache the complete video").

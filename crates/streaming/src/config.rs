@@ -189,16 +189,10 @@ impl SystemConfig {
     /// The valuation of a chunk whose deadline is `d_time` away and which
     /// has `slack_slots` scheduling opportunities left after the current
     /// slot, respecting the configured time base.
-    pub fn chunk_valuation(
-        &self,
-        d_time: SimDuration,
-        slack_slots: u32,
-    ) -> p2p_types::Valuation {
+    pub fn chunk_valuation(&self, d_time: SimDuration, slack_slots: u32) -> p2p_types::Valuation {
         match self.valuation_time_base {
             ValuationTimeBase::Seconds => self.valuation.value(d_time),
-            ValuationTimeBase::SchedulingSlack => {
-                self.valuation.value_secs(f64::from(slack_slots))
-            }
+            ValuationTimeBase::SchedulingSlack => self.valuation.value_secs(f64::from(slack_slots)),
         }
     }
 
@@ -252,10 +246,7 @@ impl SystemConfig {
             return Err(P2pError::invalid_config("seed_rate_multiple", "must be positive"));
         }
         if self.isp_count != self.topology.isp_count {
-            return Err(P2pError::invalid_config(
-                "topology.isp_count",
-                "must match isp_count",
-            ));
+            return Err(P2pError::invalid_config("topology.isp_count", "must match isp_count"));
         }
         match self.seeds {
             SeedPlacement::PerVideoTotal(0) | SeedPlacement::PerIspPerVideo(0) => {

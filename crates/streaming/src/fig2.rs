@@ -55,12 +55,11 @@ pub fn run_distributed_slot(
     // base latency.
     let topo = sys.topology().clone();
     let fallback = topo.config().latency.one_way(p2p_types::Cost::new(1.0));
-    let latency: LatencyFn = Box::new(move |from, to| {
-        topo.one_way_latency(from, to).unwrap_or(fallback)
-    });
+    let latency: LatencyFn =
+        Box::new(move |from, to| topo.one_way_latency(from, to).unwrap_or(fallback));
 
-    let outcome = DistributedAuction::new(config.recording_trace(), latency)
-        .run(&problem.instance)?;
+    let outcome =
+        DistributedAuction::new(config.recording_trace(), latency).run(&problem.instance)?;
 
     // Group the price trace by provider and rebase times onto the absolute
     // slot clock.
@@ -148,7 +147,9 @@ mod tests {
         let out = run_distributed_slot(&mut sys, DistConfig::paper()).unwrap();
         assert!(out.metrics.transfers > 0, "distributed auction scheduled transfers");
         assert!(out.messages > 0);
-        assert!(out.convergence_secs > sys.now().as_secs_f64() - sys.config().slot_len.as_secs_f64());
+        assert!(
+            out.convergence_secs > sys.now().as_secs_f64() - sys.config().slot_len.as_secs_f64()
+        );
         // Prices moved somewhere.
         assert!(!out.traces.is_empty());
         for t in &out.traces {

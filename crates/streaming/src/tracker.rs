@@ -100,9 +100,7 @@ impl Tracker {
 
     /// All online peers of a video (used by tests and the Fig. 2 harness).
     pub fn peers_on(&self, video: VideoId) -> Vec<PeerId> {
-        self.by_video.get(&video).map_or_else(Vec::new, |v| {
-            v.iter().map(|e| e.peer).collect()
-        })
+        self.by_video.get(&video).map_or_else(Vec::new, |v| v.iter().map(|e| e.peer).collect())
     }
 }
 

@@ -7,11 +7,11 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SystemConfig> {
     (
-        1u64..1000,     // seed
-        2usize..6,      // videos
-        3usize..10,     // neighbor count
-        0.0f64..1.0,    // departure prob
-        1u32..4,        // seeds per video
+        1u64..1000,  // seed
+        2usize..6,   // videos
+        3usize..10,  // neighbor count
+        0.0f64..1.0, // departure prob
+        1u32..4,     // seeds per video
     )
         .prop_map(|(seed, videos, neighbors, depart, seed_count)| {
             let mut c = SystemConfig::small_test().with_seed(seed).with_departures(depart);

@@ -92,8 +92,7 @@ impl PairwiseCost {
 impl LinkCostModel for PairwiseCost {
     fn link_cost(&self, from: PeerId, from_isp: IspId, to: PeerId, to_isp: IspId) -> Cost {
         let (a, b) = if from.get() <= to.get() { (from, to) } else { (to, from) };
-        let mut rng =
-            SplitMix64::from_words(&[self.seed, u64::from(a.get()), u64::from(b.get())]);
+        let mut rng = SplitMix64::from_words(&[self.seed, u64::from(a.get()), u64::from(b.get())]);
         let dist = if from_isp == to_isp { &self.dists.intra } else { &self.dists.inter };
         Cost::new(dist.sample(&mut rng))
     }
@@ -137,7 +136,11 @@ impl IspPairCost {
         let mut rng = SplitMix64::from_words(&[seed, 0xC057]);
         for i in 0..n {
             for j in i..n {
-                let w = if i == j { dists.intra.sample(&mut rng) } else { dists.inter.sample(&mut rng) };
+                let w = if i == j {
+                    dists.intra.sample(&mut rng)
+                } else {
+                    dists.inter.sample(&mut rng)
+                };
                 matrix[i * n + j] = w;
                 matrix[j * n + i] = w;
             }
@@ -223,7 +226,10 @@ mod tests {
         let w1 = m.link_cost(PeerId::new(0), IspId::new(1), PeerId::new(1), IspId::new(2));
         let w2 = m.link_cost(PeerId::new(7), IspId::new(1), PeerId::new(9), IspId::new(2));
         assert_eq!(w1, w2);
-        assert_eq!(m.isp_cost(IspId::new(1), IspId::new(2)), m.isp_cost(IspId::new(2), IspId::new(1)));
+        assert_eq!(
+            m.isp_cost(IspId::new(1), IspId::new(2)),
+            m.isp_cost(IspId::new(2), IspId::new(1))
+        );
     }
 
     #[test]

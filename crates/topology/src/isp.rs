@@ -86,11 +86,7 @@ impl IspRegistry {
     /// Returns [`P2pError::UnknownPeer`] if the peer was never registered or
     /// has been unregistered.
     pub fn isp_of(&self, peer: PeerId) -> Result<IspId, P2pError> {
-        self.assignment
-            .get(peer.index())
-            .copied()
-            .flatten()
-            .ok_or(P2pError::UnknownPeer(peer))
+        self.assignment.get(peer.index()).copied().flatten().ok_or(P2pError::UnknownPeer(peer))
     }
 
     /// Returns `true` if the peer is currently registered.
@@ -113,7 +109,8 @@ impl IspRegistry {
         self.assignment
             .iter()
             .enumerate()
-            .filter_map(|(i, a)| (*a == Some(isp)).then(|| PeerId::new(i as u32)))
+            .filter(|(_, a)| **a == Some(isp))
+            .map(|(i, _)| PeerId::new(i as u32))
             .collect()
     }
 }

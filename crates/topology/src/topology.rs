@@ -93,11 +93,9 @@ impl Topology {
             CostModelKind::Pairwise => {
                 Arc::new(PairwiseCost::new(config.distributions, config.seed))
             }
-            CostModelKind::PerIspPair => Arc::new(IspPairCost::new(
-                config.isp_count,
-                config.distributions,
-                config.seed,
-            )?),
+            CostModelKind::PerIspPair => {
+                Arc::new(IspPairCost::new(config.isp_count, config.distributions, config.seed)?)
+            }
         };
         Ok(Topology { config, registry, cost_model })
     }

@@ -165,10 +165,7 @@ impl ChunkId {
 
     /// Returns the chunk that follows this one in playback order.
     pub const fn next(self) -> ChunkId {
-        ChunkId {
-            video: self.video,
-            index: self.index + 1,
-        }
+        ChunkId { video: self.video, index: self.index + 1 }
     }
 }
 
@@ -273,10 +270,7 @@ mod tests {
         use std::collections::HashMap;
         let mut m = HashMap::new();
         m.insert(RequestId::new(PeerId::new(1), ChunkId::new(VideoId::new(0), 0)), 10);
-        assert_eq!(
-            m[&RequestId::new(PeerId::new(1), ChunkId::new(VideoId::new(0), 0))],
-            10
-        );
+        assert_eq!(m[&RequestId::new(PeerId::new(1), ChunkId::new(VideoId::new(0), 0))], 10);
     }
 
     #[test]

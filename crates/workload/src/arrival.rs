@@ -52,12 +52,16 @@ impl PoissonProcess {
     /// Advances the process and returns the next arrival instant.
     pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SimTime {
         let gap = SimDuration::from_secs_f64(self.gap.sample(rng));
-        self.now = self.now + gap;
+        self.now += gap;
         self.now
     }
 
     /// Generates all arrivals strictly before `horizon`.
-    pub fn arrivals_until<R: Rng + ?Sized>(&mut self, horizon: SimTime, rng: &mut R) -> Vec<SimTime> {
+    pub fn arrivals_until<R: Rng + ?Sized>(
+        &mut self,
+        horizon: SimTime,
+        rng: &mut R,
+    ) -> Vec<SimTime> {
         let mut out = Vec::new();
         loop {
             let t = self.next_arrival(rng);

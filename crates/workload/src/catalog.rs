@@ -69,10 +69,7 @@ impl StreamingParams {
             return Err(P2pError::invalid_config("bitrate_bps", "must be positive"));
         }
         if self.video_size_bytes < self.chunk_size_bytes {
-            return Err(P2pError::invalid_config(
-                "video_size_bytes",
-                "must be at least one chunk",
-            ));
+            return Err(P2pError::invalid_config("video_size_bytes", "must be at least one chunk"));
         }
         Ok(())
     }
@@ -163,9 +160,8 @@ impl VideoCatalog {
         }
         params.validate()?;
         let chunk_count = params.chunks_per_video();
-        let videos = (0..n)
-            .map(|i| VideoSpec { id: VideoId::new(i as u32), chunk_count })
-            .collect();
+        let videos =
+            (0..n).map(|i| VideoSpec { id: VideoId::new(i as u32), chunk_count }).collect();
         Ok(VideoCatalog { params, videos })
     }
 
@@ -259,10 +255,7 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = StreamingParams { bitrate_bps: 0, ..StreamingParams::paper_defaults() };
         assert!(bad.validate().is_err());
-        let bad = StreamingParams {
-            video_size_bytes: 1,
-            ..StreamingParams::paper_defaults()
-        };
+        let bad = StreamingParams { video_size_bytes: 1, ..StreamingParams::paper_defaults() };
         assert!(bad.validate().is_err());
     }
 

@@ -98,10 +98,7 @@ impl ChurnModel {
     /// catalog, a departure probability outside `[0,1]`, or zero ISPs.
     pub fn new(config: ChurnConfig, catalog: &VideoCatalog) -> Result<Self, P2pError> {
         if !(0.0..=1.0).contains(&config.early_departure_prob) {
-            return Err(P2pError::invalid_config(
-                "early_departure_prob",
-                "must be within [0, 1]",
-            ));
+            return Err(P2pError::invalid_config("early_departure_prob", "must be within [0, 1]"));
         }
         if config.isp_count == 0 {
             return Err(P2pError::invalid_config("isp_count", "must be positive"));

@@ -17,12 +17,9 @@ fn main() -> Result<()> {
     let providers: Vec<_> =
         (0..6).map(|i| b.add_provider(PeerId::new(1000 + i), 3 + (i % 3))).collect();
     for d in 0..40u32 {
-        let r = b.add_request(RequestId::new(
-            PeerId::new(d),
-            ChunkId::new(VideoId::new(0), d),
-        ));
+        let r = b.add_request(RequestId::new(PeerId::new(d), ChunkId::new(VideoId::new(0), d)));
         for (k, &u) in providers.iter().enumerate() {
-            if (d as usize + k) % 2 == 0 {
+            if (d as usize + k).is_multiple_of(2) {
                 // Low-discrepancy irrational spreads keep every price
                 // difference generic: the ε = 0 auction is exactly optimal
                 // on tie-free instances (Theorem 1's generic position).

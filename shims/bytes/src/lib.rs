@@ -1,0 +1,82 @@
+//! Offline stand-in for the `bytes` crate: just [`Bytes`], a cheaply
+//! cloneable immutable byte buffer backed by an `Arc<[u8]>`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer. Cloning is O(1).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Self {
+        Bytes { data: v.as_bytes().into() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn roundtrip_and_cheap_clone() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b.len(), 3);
+        assert_eq!(&*c, &[1, 2, 3]);
+        assert!(!b.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+}

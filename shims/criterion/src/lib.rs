@@ -1,0 +1,248 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use (groups,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! `BenchmarkId`, `BatchSize`) with a deliberately simple measurement
+//! model: each benchmark runs a short warmup followed by a fixed number of
+//! timed iterations and prints the mean wall-clock time per iteration.
+//! There is no statistical analysis, HTML report, or baseline comparison —
+//! the goal is that `cargo bench` produces believable relative numbers and
+//! the bench targets stay compilable until real criterion can be vendored.
+//!
+//! Set `CRITERION_QUICK=1` to run every closure exactly once (used by CI to
+//! smoke-run benches cheaply).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// How `iter_batched` amortizes setup; ignored by this shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0")
+}
+
+/// The timing driver passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    report: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher { iters, report: None }
+    }
+
+    /// Times `routine` over this bencher's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warmup pass.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        self.report = Some((elapsed, self.iters));
+    }
+
+    /// Times `routine` on inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut total = 0.0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed().as_secs_f64();
+        }
+        self.report = Some((total, self.iters));
+    }
+}
+
+fn print_report(label: &str, bencher: &Bencher) {
+    match bencher.report {
+        Some((secs, iters)) if iters > 0 => {
+            let per_iter_ns = secs / iters as f64 * 1e9;
+            println!("bench {label:<50} {per_iter_ns:>14.0} ns/iter ({iters} iters)");
+        }
+        _ => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (mapped directly to iterations here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if !quick_mode() {
+            self.iters = (n as u64).max(1);
+        }
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.iters);
+        f(&mut b);
+        print_report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.iters);
+        f(&mut b, input);
+        print_report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Ends the group (no-op beyond upstream API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    fn default_iters() -> u64 {
+        if quick_mode() {
+            1
+        } else {
+            10
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), iters: Self::default_iters(), _criterion: self }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(Self::default_iters());
+        f(&mut b);
+        print_report(id, &b);
+        self
+    }
+}
+
+/// Re-export matching upstream's path; prefer `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("square", |b| b.iter(|| std::hint::black_box(7u64 * 7)));
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter_batched(
+                || (0..n).collect::<Vec<_>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            );
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_all_targets() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("a", 5).id, "a/5");
+        assert_eq!(BenchmarkId::from_parameter("10x2").id, "10x2");
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names the workspace derives on its
+//! data types. No in-tree code performs serialization, so the traits carry no
+//! methods and the derives (re-exported from the sibling `serde_derive` shim)
+//! expand to nothing. Swapping in real serde later is a manifest-only change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (no-op shim).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op shim).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! downstream consumers, but nothing in-tree serializes anything yet, so
+//! until real serde is vendorable these derives expand to nothing. The
+//! `attributes(serde)` declaration keeps `#[serde(...)]` field attributes
+//! accepted should any be introduced.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -67,10 +67,7 @@ fn distributed_equals_exact_under_heterogeneous_latency() {
         });
         let out = DistributedAuction::new(DistConfig::paper(), latency).run(&inst).unwrap();
         let exact = inst.optimal_welfare().get();
-        assert!(
-            (out.assignment.welfare(&inst).get() - exact).abs() < 1e-6,
-            "seed {seed}"
-        );
+        assert!((out.assignment.welfare(&inst).get() - exact).abs() < 1e-6, "seed {seed}");
     }
 }
 
@@ -79,9 +76,7 @@ fn threaded_respects_epsilon_bound() {
     let inst = random_instance(555, 5, 20);
     let eps = 0.01;
     let cfg = ThreadedConfig { epsilon: eps, ..ThreadedConfig::fast_test() };
-    let out = ThreadedAuction::new(cfg)
-        .run(&inst, |_, _| Duration::from_micros(150))
-        .unwrap();
+    let out = ThreadedAuction::new(cfg).run(&inst, |_, _| Duration::from_micros(150)).unwrap();
     let exact = inst.optimal_welfare().get();
     let bound = inst.request_count() as f64 * eps + 1e-9;
     assert!(out.assignment.welfare(&inst).get() >= exact - bound);
@@ -108,8 +103,7 @@ fn greedy_and_random_never_beat_exact() {
         let inst = random_instance(333 + seed, 5, 25);
         let exact = inst.optimal_welfare().get();
         let n = inst.request_count();
-        let problem =
-            SlotProblem::new(inst, vec![SimDuration::from_secs(1); n]).unwrap();
+        let problem = SlotProblem::new(inst, vec![SimDuration::from_secs(1); n]).unwrap();
         let g = GreedyScheduler::new().schedule(&problem).unwrap();
         let r = RandomScheduler::new(seed).schedule(&problem).unwrap();
         assert!(g.welfare(&problem).get() <= exact + 1e-9);

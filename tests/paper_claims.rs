@@ -20,8 +20,7 @@ fn run_static(sched: Box<dyn ChunkScheduler>, peers: usize, slots: u64, seed: u6
 }
 
 fn run_dynamic(sched: Box<dyn ChunkScheduler>, slots: u64, seed: u64, depart: f64) -> SlotRecorder {
-    let mut sys =
-        System::new(paper_cfg(seed).with_departures(depart), sched).unwrap();
+    let mut sys = System::new(paper_cfg(seed).with_departures(depart), sched).unwrap();
     sys.enable_poisson_churn().unwrap();
     sys.run_slots(slots).unwrap();
     sys.recorder().clone()
@@ -76,8 +75,7 @@ fn fig6_orderings_survive_churn() {
 
 #[test]
 fn fig2_prices_reset_climb_and_converge_within_slot() {
-    let mut sys =
-        System::new(paper_cfg(42), Box::new(AuctionScheduler::paper())).unwrap();
+    let mut sys = System::new(paper_cfg(42), Box::new(AuctionScheduler::paper())).unwrap();
     sys.add_static_peers(300).unwrap();
     sys.run_slots(6).unwrap();
     let slot_start = sys.now().as_secs_f64();
@@ -106,8 +104,7 @@ fn fig2_prices_reset_climb_and_converge_within_slot() {
 fn theorem1_holds_on_a_real_slot_problem() {
     // Build a genuine slot problem from the streaming system and verify the
     // full optimality certificate on it.
-    let mut sys =
-        System::new(paper_cfg(7), Box::new(AuctionScheduler::paper())).unwrap();
+    let mut sys = System::new(paper_cfg(7), Box::new(AuctionScheduler::paper())).unwrap();
     sys.add_static_peers(80).unwrap();
     sys.run_slots(3).unwrap();
     let problem = sys.prepare_slot().unwrap();
@@ -116,10 +113,7 @@ fn theorem1_holds_on_a_real_slot_problem() {
     let out = SyncAuction::new(AuctionConfig::paper()).run(&problem.instance).unwrap();
     let exact = problem.instance.optimal_welfare().get();
     let got = out.assignment.welfare(&problem.instance).get();
-    assert!(
-        (got - exact).abs() < 1e-5,
-        "slot problem: auction {got} vs exact {exact}"
-    );
+    assert!((got - exact).abs() < 1e-5, "slot problem: auction {got} vs exact {exact}");
     let report = verify_optimality(&problem.instance, &out.assignment, &out.duals, 1e-6);
     assert!(report.is_optimal(), "{:?}", report.violations.first());
 }
