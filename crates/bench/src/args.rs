@@ -67,6 +67,16 @@ impl Args {
         self.value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
 
+    /// A string flag with default.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.value(name).unwrap_or(default).to_string()
+    }
+
+    /// A string flag, if present with a value.
+    pub fn get_opt_str(&self, name: &str) -> Option<String> {
+        self.value(name).map(str::to_string)
+    }
+
     fn value(&self, name: &str) -> Option<&str> {
         self.flags.get(name).and_then(|v| v.as_deref())
     }
@@ -96,5 +106,14 @@ mod tests {
     fn trailing_bare_flag() {
         let a = Args::from_iter(["--quick"]);
         assert!(a.has("quick"));
+    }
+
+    #[test]
+    fn string_flags() {
+        let a = Args::from_iter(["--scenario", "flash_crowd", "--quick"]);
+        assert_eq!(a.get_str("scenario", "none"), "flash_crowd");
+        assert_eq!(a.get_str("missing", "none"), "none");
+        assert_eq!(a.get_opt_str("scenario").as_deref(), Some("flash_crowd"));
+        assert_eq!(a.get_opt_str("quick"), None, "bare flags carry no value");
     }
 }

@@ -1,0 +1,119 @@
+//! EXP-S — the scenario engine CLI: sweep schedulers over a declarative
+//! scenario with mid-run topology/workload events and print side-by-side
+//! metrics.
+//!
+//! Usage:
+//!   `scenarios --list`
+//!     enumerate the built-in scenarios;
+//!   `scenarios --scenario flash_crowd [--quick] [--seed S] [--schedulers auction,locality]`
+//!     run a built-in scenario;
+//!   `scenarios --file scenarios/flash_crowd.toml`
+//!     run an external spec file (see `p2p_scenario::spec` for the format);
+//!   `scenarios --scenario isp_outage --show`
+//!     print a built-in's spec text (a ready-made template for `--file`).
+//!
+//! Output is deterministic: the same seed and scenario produce
+//! byte-identical metric summaries across runs.
+
+use p2p_bench::{save_csv, Args};
+use p2p_metrics::ascii_plot;
+use p2p_scenario::{
+    builtin, builtin_spec, builtins, parse_scenario, run_scenario, scheduler_by_name, Scenario,
+};
+use p2p_sched::ChunkScheduler;
+use p2p_types::Result;
+use std::process::ExitCode;
+
+fn load_scenario(args: &Args) -> Result<Scenario> {
+    if let Some(path) = args.get_opt_str("file") {
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            p2p_types::P2pError::invalid_config("file", format!("cannot read `{path}`: {e}"))
+        })?;
+        return parse_scenario(&text);
+    }
+    builtin(&args.get_str("scenario", "flash_crowd"))
+}
+
+fn run(args: &Args) -> Result<()> {
+    if args.has("list") {
+        println!("built-in scenarios:");
+        for s in builtins() {
+            println!("  {:<16} {:>3} slots  {}", s.name, s.slots, s.description);
+        }
+        println!("\nrun one with `--scenario <name>`, dump its spec with `--show`,");
+        println!("or load your own file with `--file <path>`.");
+        return Ok(());
+    }
+    if args.has("show") {
+        let name = args.get_str("scenario", "flash_crowd");
+        match builtin_spec(&name) {
+            Some(spec) => print!("{spec}"),
+            None => println!("unknown scenario `{name}`; try --list"),
+        }
+        return Ok(());
+    }
+
+    let mut scenario = load_scenario(args)?;
+    if let Some(raw) = args.get_opt_str("seed") {
+        // The tool's contract is seed-reproducible output, so a bad seed
+        // must fail loudly rather than silently run the default.
+        let seed = raw.parse().map_err(|_| {
+            p2p_types::P2pError::invalid_config("seed", format!("`{raw}` is not a u64 seed"))
+        })?;
+        scenario = scenario.with_seed(seed);
+    }
+    if args.has("quick") {
+        scenario = scenario.quick(8);
+    }
+    scenario.validate()?;
+
+    let names = args.get_str("schedulers", "auction,locality");
+    let schedulers: Vec<Box<dyn ChunkScheduler>> = names
+        .split(',')
+        .map(|n| scheduler_by_name(n.trim(), scenario.seed))
+        .collect::<Result<_>>()?;
+    if schedulers.len() < 2 {
+        return Err(p2p_types::P2pError::invalid_config(
+            "schedulers",
+            "a comparison needs at least two (e.g. --schedulers auction,locality)",
+        ));
+    }
+
+    let report = run_scenario(&scenario, schedulers)?;
+    print!("{}", report.summary_table());
+
+    let welfare: Vec<_> = report
+        .runs
+        .iter()
+        .map(|r| r.recorder.welfare_series().renamed(&r.summary.scheduler))
+        .collect();
+    let refs: Vec<_> = welfare.iter().collect();
+    println!("\nsocial welfare vs time");
+    println!("{}", ascii_plot(&refs, 90, 14));
+
+    for run in &report.runs {
+        let stem = format!("scenario_{}_{}", scenario.name, run.summary.scheduler);
+        let series = [
+            run.recorder.welfare_series(),
+            run.recorder.inter_isp_series(),
+            run.recorder.miss_rate_series(),
+            run.recorder.population_series(),
+        ];
+        let refs: Vec<_> = series.iter().collect();
+        let path = save_csv(&stem, "time_s", &refs);
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run(&Args::from_env()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scenarios: {e}");
+            eprintln!("usage: scenarios [--list] [--show] [--scenario NAME | --file PATH]");
+            eprintln!("                 [--quick] [--seed S] [--schedulers a,b,...]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Typed mid-run events, applied to the streaming [`System`] at slot
+//! boundaries.
+
+use p2p_streaming::System;
+use p2p_types::{IspId, Result, VideoId};
+
+/// One scenario event. Events mutate the running system through its
+/// controlled hooks; every event is deterministic given the system seed, so
+/// the same timeline reproduces the identical workload under any scheduler.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioEvent {
+    /// A join surge: `peers` watchers arrive at once, optionally all
+    /// watching one `video` and/or landing in one `isp`.
+    FlashCrowd {
+        /// Crowd size.
+        peers: usize,
+        /// Pin the crowd to one title (`None` = Zipf-drawn videos).
+        video: Option<VideoId>,
+        /// Pin the crowd to one ISP (`None` = round-robin spread).
+        isp: Option<IspId>,
+    },
+    /// Global inter-ISP link repricing: every cross-ISP link cost is
+    /// multiplied by `factor` (1.0 restores the base model).
+    LinkReprice {
+        /// Multiplier on inter-ISP link costs.
+        factor: f64,
+    },
+    /// One ISP's transit degrades: inter-ISP links touching `isp` are
+    /// repriced by `factor` (intra-ISP links are unaffected).
+    IspOutage {
+        /// The affected ISP.
+        isp: IspId,
+        /// Multiplier on that ISP's inter-ISP link costs.
+        factor: f64,
+    },
+    /// The ISP's transit recovers: its link-cost multiplier returns to 1.
+    IspRecovery {
+        /// The recovering ISP.
+        isp: IspId,
+    },
+    /// Up to `count` seeds fail (lowest peer ids first), optionally only
+    /// seeds of one `video`.
+    SeedFailure {
+        /// Maximum number of seeds to remove.
+        count: usize,
+        /// Restrict failures to one video's seeds.
+        video: Option<VideoId>,
+    },
+    /// Late seeding: `count` fresh seeds for `video` come up in `isp`.
+    LateSeed {
+        /// The video to re-seed.
+        video: VideoId,
+        /// Where the new seeds live.
+        isp: IspId,
+        /// Number of seeds to add.
+        count: usize,
+    },
+    /// The Poisson churn rate jumps to `rate` peers/s (enabling churn if
+    /// it was off).
+    ChurnBurst {
+        /// New arrival rate, peers per second.
+        rate: f64,
+    },
+    /// Video popularity re-weights to a Zipf–Mandelbrot law with the given
+    /// parameters (a large `alpha` concentrates demand on the catalog
+    /// head).
+    PopularityShift {
+        /// Zipf exponent.
+        alpha: f64,
+        /// Mandelbrot flattening constant.
+        q: f64,
+    },
+    /// Every peer in `isp` uploads at `factor` × its capacity until the
+    /// throttle is lifted (factor 1.0).
+    IspThrottle {
+        /// The throttled ISP.
+        isp: IspId,
+        /// Upload-capacity multiplier.
+        factor: f64,
+    },
+}
+
+impl ScenarioEvent {
+    /// The spec-file `kind` string of this event.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScenarioEvent::FlashCrowd { .. } => "flash_crowd",
+            ScenarioEvent::LinkReprice { .. } => "link_reprice",
+            ScenarioEvent::IspOutage { .. } => "isp_outage",
+            ScenarioEvent::IspRecovery { .. } => "isp_recovery",
+            ScenarioEvent::SeedFailure { .. } => "seed_failure",
+            ScenarioEvent::LateSeed { .. } => "late_seed",
+            ScenarioEvent::ChurnBurst { .. } => "churn_burst",
+            ScenarioEvent::PopularityShift { .. } => "popularity_shift",
+            ScenarioEvent::IspThrottle { .. } => "isp_throttle",
+        }
+    }
+
+    /// Applies the event to a running system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`p2p_types::P2pError::InvalidConfig`] for parameters
+    /// that do not fit the system (unknown video/ISP, bad factors).
+    pub fn apply(&self, sys: &mut System) -> Result<()> {
+        match *self {
+            ScenarioEvent::FlashCrowd { peers, video, isp } => {
+                sys.inject_flash_crowd(peers, video, isp)
+            }
+            ScenarioEvent::LinkReprice { factor } => sys.set_inter_link_cost_scale(factor),
+            ScenarioEvent::IspOutage { isp, factor } => sys.set_isp_link_cost_scale(isp, factor),
+            ScenarioEvent::IspRecovery { isp } => sys.set_isp_link_cost_scale(isp, 1.0),
+            ScenarioEvent::SeedFailure { count, video } => {
+                sys.fail_seeds(count, video);
+                Ok(())
+            }
+            ScenarioEvent::LateSeed { video, isp, count } => {
+                for _ in 0..count {
+                    sys.add_seed(video, isp)?;
+                }
+                Ok(())
+            }
+            ScenarioEvent::ChurnBurst { rate } => sys.set_churn_rate(rate),
+            ScenarioEvent::PopularityShift { alpha, q } => sys.set_churn_popularity(alpha, q),
+            ScenarioEvent::IspThrottle { isp, factor } => sys.set_isp_throttle(isp, factor),
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ScenarioEvent::FlashCrowd { peers, video, isp } => {
+                write!(f, "flash_crowd: {peers} peers")?;
+                if let Some(v) = video {
+                    write!(f, ", video {}", v.index())?;
+                }
+                if let Some(i) = isp {
+                    write!(f, ", isp {}", i.index())?;
+                }
+                Ok(())
+            }
+            ScenarioEvent::LinkReprice { factor } => {
+                write!(f, "link_reprice: inter-ISP costs x{factor}")
+            }
+            ScenarioEvent::IspOutage { isp, factor } => {
+                write!(f, "isp_outage: isp {} links x{factor}", isp.index())
+            }
+            ScenarioEvent::IspRecovery { isp } => {
+                write!(f, "isp_recovery: isp {} links restored", isp.index())
+            }
+            ScenarioEvent::SeedFailure { count, video } => {
+                write!(f, "seed_failure: up to {count} seeds")?;
+                if let Some(v) = video {
+                    write!(f, " of video {}", v.index())?;
+                }
+                Ok(())
+            }
+            ScenarioEvent::LateSeed { video, isp, count } => {
+                write!(
+                    f,
+                    "late_seed: {count} seeds for video {} in isp {}",
+                    video.index(),
+                    isp.index()
+                )
+            }
+            ScenarioEvent::ChurnBurst { rate } => write!(f, "churn_burst: {rate} peers/s"),
+            ScenarioEvent::PopularityShift { alpha, q } => {
+                write!(f, "popularity_shift: zipf(alpha={alpha}, q={q})")
+            }
+            ScenarioEvent::IspThrottle { isp, factor } => {
+                write!(f, "isp_throttle: isp {} capacity x{factor}", isp.index())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_sched::AuctionScheduler;
+    use p2p_streaming::SystemConfig;
+
+    fn sys() -> System {
+        System::new(SystemConfig::small_test(), Box::new(AuctionScheduler::paper())).unwrap()
+    }
+
+    #[test]
+    fn every_event_applies_cleanly() {
+        let mut s = sys();
+        let events = [
+            ScenarioEvent::FlashCrowd { peers: 3, video: Some(VideoId::new(0)), isp: None },
+            ScenarioEvent::LinkReprice { factor: 2.0 },
+            ScenarioEvent::IspOutage { isp: IspId::new(0), factor: 30.0 },
+            ScenarioEvent::IspRecovery { isp: IspId::new(0) },
+            ScenarioEvent::SeedFailure { count: 1, video: None },
+            ScenarioEvent::LateSeed { video: VideoId::new(0), isp: IspId::new(1), count: 2 },
+            ScenarioEvent::ChurnBurst { rate: 4.0 },
+            ScenarioEvent::PopularityShift { alpha: 2.0, q: 1.0 },
+            ScenarioEvent::IspThrottle { isp: IspId::new(1), factor: 0.5 },
+        ];
+        for e in &events {
+            e.apply(&mut s).unwrap();
+            assert!(!e.kind().is_empty());
+            assert!(!e.to_string().is_empty());
+        }
+        s.run_slots(2).unwrap();
+    }
+
+    #[test]
+    fn invalid_parameters_surface_errors() {
+        let mut s = sys();
+        let bad = [
+            ScenarioEvent::FlashCrowd { peers: 1, video: Some(VideoId::new(99)), isp: None },
+            ScenarioEvent::LinkReprice { factor: 0.0 },
+            ScenarioEvent::IspOutage { isp: IspId::new(9), factor: 2.0 },
+            ScenarioEvent::LateSeed { video: VideoId::new(99), isp: IspId::new(0), count: 1 },
+            ScenarioEvent::ChurnBurst { rate: -1.0 },
+            ScenarioEvent::PopularityShift { alpha: f64::NAN, q: 0.0 },
+            ScenarioEvent::IspThrottle { isp: IspId::new(0), factor: -2.0 },
+        ];
+        for e in &bad {
+            assert!(e.apply(&mut s).is_err(), "{e} must be rejected");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Built-in named scenarios.
+//!
+//! Each scenario is stored as spec text and goes through the real parser,
+//! so the library doubles as living documentation of the file format: dump
+//! a spec with [`builtin_spec`], tweak it, and load it back with
+//! [`crate::parse_scenario`].
+
+use crate::spec::parse_scenario;
+use crate::timeline::Scenario;
+use p2p_types::{P2pError, Result};
+
+/// `flash_crowd`: a popular release triggers a join surge, then a second
+/// regional wave hits one ISP.
+const FLASH_CROWD: &str = r#"
+name = "flash_crowd"
+description = "a release surge on one title, then a regional second wave"
+profile = "small"
+seed = 42
+slots = 36
+peers = 12
+seeds_per_video = 1      # scarce seeds: the crowd must lean on the swarm
+
+[[event]]                # the release goes viral
+at_slot = 10
+kind = "flash_crowd"
+peers = 40
+video = 0                # everyone wants the same title
+
+[[event]]                # a second wave, concentrated in one region
+at_slot = 22
+kind = "flash_crowd"
+peers = 25
+isp = 1
+"#;
+
+/// `isp_outage`: one ISP's transit degrades mid-run and later recovers.
+const ISP_OUTAGE: &str = r#"
+name = "isp_outage"
+description = "ISP 0's transit degrades 40x mid-run, then recovers"
+profile = "small"
+seed = 42
+slots = 36
+peers = 10
+churn = true
+arrival_rate = 2.0
+seeds_per_video = 1      # one seed per video: half the demand is cross-ISP
+
+[[event]]                # congestion event: ISP 0's transit reprices 40x
+at_slot = 10
+kind = "isp_outage"
+isp = 0
+factor = 40.0
+
+[[event]]                # operators fix the link
+at_slot = 24
+kind = "isp_recovery"
+isp = 0
+"#;
+
+/// `prime_time`: an evening load spike with demand concentrating on the
+/// catalog head, then cooling off.
+const PRIME_TIME: &str = r#"
+name = "prime_time"
+description = "evening surge: churn x8 with head-heavy demand, then cool-off"
+profile = "small"
+seed = 42
+slots = 40
+churn = true
+arrival_rate = 1.0
+
+[[event]]                # prime time begins: joins jump to 8/s
+at_slot = 10
+kind = "churn_burst"
+rate = 8.0
+
+[[event]]                # everyone watches tonight's premieres
+at_slot = 12
+kind = "popularity_shift"
+alpha = 3.0
+q = 0.5
+
+[[event]]                # back to the overnight baseline
+at_slot = 28
+kind = "churn_burst"
+rate = 1.0
+"#;
+
+/// `seed_starvation`: a video loses every seed, limps along on peer-held
+/// chunks, and is eventually re-seeded.
+const SEED_STARVATION: &str = r#"
+name = "seed_starvation"
+description = "video 0 loses all seeds, survives on the swarm, is re-seeded late"
+profile = "small"
+seed = 42
+slots = 36
+peers = 10
+churn = true
+arrival_rate = 1.5
+
+[[event]]                # all of video 0's seeds fail at once
+at_slot = 8
+kind = "seed_failure"
+count = 99
+video = 0
+
+[[event]]                # late seeding restores the title
+at_slot = 22
+kind = "late_seed"
+video = 0
+isp = 0
+count = 2
+"#;
+
+/// Names of all built-in scenarios, in presentation order.
+pub const BUILTIN_NAMES: [&str; 4] = ["flash_crowd", "isp_outage", "prime_time", "seed_starvation"];
+
+/// The spec text of a built-in scenario, if the name is known.
+pub fn builtin_spec(name: &str) -> Option<&'static str> {
+    match name {
+        "flash_crowd" => Some(FLASH_CROWD),
+        "isp_outage" => Some(ISP_OUTAGE),
+        "prime_time" => Some(PRIME_TIME),
+        "seed_starvation" => Some(SEED_STARVATION),
+        _ => None,
+    }
+}
+
+/// Loads a built-in scenario by name.
+///
+/// # Errors
+///
+/// Returns [`P2pError::InvalidConfig`] for unknown names.
+///
+/// # Examples
+///
+/// ```
+/// let s = p2p_scenario::builtin("flash_crowd").unwrap();
+/// assert_eq!(s.events.len(), 2);
+/// assert!(p2p_scenario::builtin("nope").is_err());
+/// ```
+pub fn builtin(name: &str) -> Result<Scenario> {
+    let Some(spec) = builtin_spec(name) else {
+        return Err(P2pError::invalid_config(
+            "scenario",
+            format!("unknown scenario `{name}` (built-ins: {})", BUILTIN_NAMES.join(", ")),
+        ));
+    };
+    parse_scenario(spec)
+}
+
+/// All built-in scenarios, in presentation order.
+///
+/// # Panics
+///
+/// Never panics: every built-in spec is parsed in the test suite.
+pub fn builtins() -> Vec<Scenario> {
+    BUILTIN_NAMES.iter().map(|n| builtin(n).expect("built-in specs parse")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ScenarioEvent;
+
+    #[test]
+    fn every_builtin_parses_and_validates() {
+        let all = builtins();
+        assert_eq!(all.len(), BUILTIN_NAMES.len());
+        for (s, name) in all.iter().zip(BUILTIN_NAMES) {
+            assert_eq!(s.name, name, "spec name must match its registry key");
+            s.validate().unwrap();
+            assert!(!s.events.is_empty(), "{name} must have a timeline");
+        }
+    }
+
+    #[test]
+    fn builtins_cover_the_event_space() {
+        let kinds: std::collections::BTreeSet<&str> = builtins()
+            .iter()
+            .flat_map(|s| s.events.iter().map(|e| e.event.kind()).collect::<Vec<_>>())
+            .collect();
+        for required in [
+            "flash_crowd",
+            "isp_outage",
+            "churn_burst",
+            "popularity_shift",
+            "seed_failure",
+            "late_seed",
+        ] {
+            assert!(kinds.contains(required), "no built-in exercises {required}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_the_builtins() {
+        let e = builtin("warp").unwrap_err().to_string();
+        assert!(e.contains("flash_crowd") && e.contains("seed_starvation"), "{e}");
+    }
+
+    #[test]
+    fn flash_crowd_is_a_flash_crowd() {
+        let s = builtin("flash_crowd").unwrap();
+        assert!(matches!(s.events[0].event, ScenarioEvent::FlashCrowd { peers: 40, .. }));
+    }
+}

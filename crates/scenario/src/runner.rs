@@ -1,0 +1,284 @@
+//! Sweeps schedulers over a scenario and emits side-by-side metrics.
+
+use crate::timeline::{Scenario, TimedEvent};
+use p2p_metrics::SlotRecorder;
+use p2p_sched::{
+    AuctionScheduler, ChunkScheduler, ExactScheduler, GreedyScheduler, RandomScheduler,
+    SimpleLocalityScheduler,
+};
+use p2p_streaming::System;
+use p2p_types::{P2pError, Result};
+
+/// Scheduler names accepted by [`scheduler_by_name`].
+pub const SCHEDULER_NAMES: [&str; 5] = ["auction", "locality", "random", "greedy", "exact"];
+
+/// Builds a scheduler from its CLI name (`seed` parameterizes the
+/// stochastic ones).
+///
+/// # Errors
+///
+/// Returns [`P2pError::InvalidConfig`] for unknown names.
+pub fn scheduler_by_name(name: &str, seed: u64) -> Result<Box<dyn ChunkScheduler>> {
+    match name {
+        "auction" => Ok(Box::new(AuctionScheduler::paper())),
+        "locality" | "simple_locality" => Ok(Box::new(SimpleLocalityScheduler::new())),
+        "random" => Ok(Box::new(RandomScheduler::new(seed ^ 0x5EED))),
+        "greedy" => Ok(Box::new(GreedyScheduler::new())),
+        "exact" => Ok(Box::new(ExactScheduler::new())),
+        other => Err(P2pError::invalid_config(
+            "scheduler",
+            format!("unknown scheduler `{other}` (known: {})", SCHEDULER_NAMES.join(", ")),
+        )),
+    }
+}
+
+/// Whole-run aggregates of one scheduler's pass over a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Total social welfare over the run.
+    pub total_welfare: f64,
+    /// Mean welfare per slot.
+    pub mean_welfare: f64,
+    /// Total scheduled transfers.
+    pub transfers: u64,
+    /// Share of transfers crossing an ISP boundary.
+    pub inter_isp_fraction: f64,
+    /// Share of due chunks that missed their deadline.
+    pub miss_rate: f64,
+    /// Peak simultaneous (non-seed) population.
+    pub peak_population: u64,
+}
+
+impl RunSummary {
+    /// Aggregates a recorder into whole-run numbers.
+    pub fn from_recorder(scheduler: impl Into<String>, recorder: &SlotRecorder) -> Self {
+        let slots = recorder.slots();
+        let total_welfare: f64 = slots.iter().map(|(_, m)| m.welfare).sum();
+        let transfers: u64 = slots.iter().map(|(_, m)| m.transfers).sum();
+        let inter: u64 = slots.iter().map(|(_, m)| m.inter_isp_transfers).sum();
+        let due: u64 = slots.iter().map(|(_, m)| m.due_chunks).sum();
+        let missed: u64 = slots.iter().map(|(_, m)| m.missed_chunks).sum();
+        RunSummary {
+            scheduler: scheduler.into(),
+            total_welfare,
+            mean_welfare: if slots.is_empty() { 0.0 } else { total_welfare / slots.len() as f64 },
+            transfers,
+            inter_isp_fraction: if transfers == 0 { 0.0 } else { inter as f64 / transfers as f64 },
+            miss_rate: if due == 0 { 0.0 } else { missed as f64 / due as f64 },
+            peak_population: slots.iter().map(|(_, m)| m.online_peers).max().unwrap_or(0),
+        }
+    }
+
+    /// One fixed-width table row (deterministic formatting).
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<16} {:>12.2} {:>9.2} {:>10} {:>9.2}% {:>9.2}% {:>9}",
+            self.scheduler,
+            self.total_welfare,
+            self.mean_welfare,
+            self.transfers,
+            100.0 * self.inter_isp_fraction,
+            100.0 * self.miss_rate,
+            self.peak_population,
+        )
+    }
+}
+
+/// One scheduler's full pass over the scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// Whole-run aggregates.
+    pub summary: RunSummary,
+    /// Per-slot metrics (for CSV export and plots).
+    pub recorder: SlotRecorder,
+}
+
+/// The outcome of sweeping several schedulers over one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario that ran (post `--quick` compression, if any).
+    pub scenario: Scenario,
+    /// One run per scheduler, in sweep order.
+    pub runs: Vec<ScenarioRun>,
+}
+
+impl ScenarioReport {
+    /// A deterministic side-by-side comparison: header, timeline, one row
+    /// per scheduler. The same seed and scenario produce byte-identical
+    /// output across runs.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scenario `{}` — {} (profile {}, seed {}, {} slots, {} initial peers{})\n",
+            self.scenario.name,
+            self.scenario.description,
+            self.scenario.profile.name(),
+            self.scenario.seed,
+            self.scenario.slots,
+            self.scenario.initial_peers,
+            if self.scenario.churn { ", churn on" } else { "" },
+        ));
+        out.push_str(&self.scenario.timeline_description());
+        out.push_str(&format!(
+            "{:<16} {:>12} {:>9} {:>10} {:>10} {:>10} {:>9}\n",
+            "scheduler", "welfare", "w/slot", "transfers", "inter-ISP", "miss-rate", "peak-pop",
+        ));
+        for run in &self.runs {
+            out.push_str(&run.summary.table_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Fires every event due at `slot`, in timeline order.
+fn apply_due_events(events: &[&TimedEvent], slot: u64, sys: &mut System) -> Result<()> {
+    for e in events.iter().filter(|e| e.at_slot == slot) {
+        e.event.apply(sys)?;
+    }
+    Ok(())
+}
+
+/// Runs one scheduler over the scenario.
+///
+/// # Errors
+///
+/// Propagates system-construction, event-application and scheduling
+/// errors.
+pub fn run_one(scenario: &Scenario, scheduler: Box<dyn ChunkScheduler>) -> Result<ScenarioRun> {
+    scenario.validate()?;
+    let mut events: Vec<&TimedEvent> = scenario.events.iter().collect();
+    events.sort_by_key(|e| e.at_slot);
+    let mut sys = System::new(scenario.base_config(), scheduler)?;
+    let name = sys.scheduler_name();
+    if scenario.initial_peers > 0 {
+        sys.add_static_peers(scenario.initial_peers)?;
+    }
+    if scenario.churn {
+        sys.enable_poisson_churn()?;
+    }
+    for slot in 0..scenario.slots {
+        apply_due_events(&events, slot, &mut sys)?;
+        sys.step_slot()?;
+    }
+    let recorder = sys.recorder().clone();
+    Ok(ScenarioRun { summary: RunSummary::from_recorder(name, &recorder), recorder })
+}
+
+/// Sweeps every scheduler over the scenario. Each run re-builds the system
+/// from the scenario seed, so all schedulers face the identical workload
+/// and event timeline.
+///
+/// # Errors
+///
+/// Returns [`P2pError::InvalidConfig`] for an empty scheduler list and
+/// propagates per-run errors.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_scenario::{builtin, run_scenario, scheduler_by_name};
+///
+/// let scenario = builtin("flash_crowd").unwrap().quick(6);
+/// let schedulers = vec![
+///     scheduler_by_name("auction", scenario.seed).unwrap(),
+///     scheduler_by_name("locality", scenario.seed).unwrap(),
+/// ];
+/// let report = run_scenario(&scenario, schedulers).unwrap();
+/// assert_eq!(report.runs.len(), 2);
+/// println!("{}", report.summary_table());
+/// ```
+pub fn run_scenario(
+    scenario: &Scenario,
+    schedulers: Vec<Box<dyn ChunkScheduler>>,
+) -> Result<ScenarioReport> {
+    if schedulers.is_empty() {
+        return Err(P2pError::invalid_config("schedulers", "need at least one"));
+    }
+    let mut runs = Vec::with_capacity(schedulers.len());
+    for scheduler in schedulers {
+        runs.push(run_one(scenario, scheduler)?);
+    }
+    Ok(ScenarioReport { scenario: scenario.clone(), runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::builtin;
+
+    #[test]
+    fn scheduler_registry_resolves_all_names() {
+        for name in SCHEDULER_NAMES {
+            let s = scheduler_by_name(name, 1).unwrap();
+            assert!(!s.name().is_empty());
+        }
+        assert!(scheduler_by_name("warp", 1).is_err());
+    }
+
+    #[test]
+    fn sweep_produces_side_by_side_runs() {
+        let scenario = builtin("flash_crowd").unwrap().quick(8);
+        let report = run_scenario(
+            &scenario,
+            vec![
+                scheduler_by_name("auction", scenario.seed).unwrap(),
+                scheduler_by_name("locality", scenario.seed).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.runs[0].summary.scheduler, "auction");
+        assert_eq!(report.runs[1].summary.scheduler, "simple_locality");
+        for run in &report.runs {
+            assert_eq!(run.recorder.len() as u64, scenario.slots);
+            assert!(run.summary.transfers > 0, "the crowd must download");
+        }
+        let table = report.summary_table();
+        assert!(table.contains("flash_crowd") && table.contains("auction"));
+    }
+
+    #[test]
+    fn workload_is_identical_across_schedulers() {
+        let scenario = builtin("isp_outage").unwrap().quick(10);
+        let report = run_scenario(
+            &scenario,
+            vec![
+                scheduler_by_name("auction", scenario.seed).unwrap(),
+                scheduler_by_name("random", scenario.seed).unwrap(),
+            ],
+        )
+        .unwrap();
+        // Scheduling must not perturb the shared workload: both runs see
+        // the same population trajectory.
+        assert_eq!(
+            report.runs[0].recorder.population_series().points(),
+            report.runs[1].recorder.population_series().points(),
+        );
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_repeats() {
+        let table = || {
+            let scenario = builtin("prime_time").unwrap().quick(10);
+            let report = run_scenario(
+                &scenario,
+                vec![
+                    scheduler_by_name("auction", scenario.seed).unwrap(),
+                    scheduler_by_name("locality", scenario.seed).unwrap(),
+                ],
+            )
+            .unwrap();
+            report.summary_table()
+        };
+        assert_eq!(table(), table());
+    }
+
+    #[test]
+    fn empty_scheduler_list_is_rejected() {
+        let scenario = builtin("flash_crowd").unwrap();
+        assert!(run_scenario(&scenario, vec![]).is_err());
+    }
+}

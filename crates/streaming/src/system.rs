@@ -14,7 +14,7 @@ use p2p_workload::churn::{ChurnConfig, ChurnModel};
 use p2p_workload::{PeerArrival, UniformRange, VideoCatalog, ZipfMandelbrot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The assembled P2P VoD system: peers + tracker + topology + scheduler,
 /// advanced one time slot at a time.
@@ -35,11 +35,17 @@ pub struct System {
     churn: Option<ChurnState>,
     pending_static: Vec<PeerArrival>,
     next_isp: u16,
+    /// Per-ISP upload-capacity multipliers (scenario throttles); peers in
+    /// an absent ISP run at full capacity.
+    isp_throttles: HashMap<IspId, f64>,
 }
 
 struct ChurnState {
     model: ChurnModel,
-    pending: Option<PeerArrival>,
+    /// Generated-but-not-yet-due arrivals. A queue (not a single slot):
+    /// churn bursts can put many arrivals between two slot boundaries, and
+    /// none may be dropped.
+    pending: VecDeque<PeerArrival>,
 }
 
 impl System {
@@ -64,6 +70,7 @@ impl System {
             churn: None,
             pending_static: Vec::new(),
             next_isp: 0,
+            isp_throttles: HashMap::new(),
             config,
         };
         sys.spawn_seeds()?;
@@ -150,6 +157,11 @@ impl System {
         self.peers.iter().flatten().count()
     }
 
+    /// Number of online seeds.
+    pub fn seed_count(&self) -> usize {
+        self.peers.iter().flatten().filter(|p| p.is_seed()).count()
+    }
+
     /// Adds `n` watchers with join times staggered over
     /// `config.static_stagger`, Zipf-chosen videos, round-robin ISPs and
     /// uniform upload capacities — the paper's "static network".
@@ -159,26 +171,47 @@ impl System {
     /// Returns [`P2pError::InvalidConfig`] if distribution parameters are
     /// invalid.
     pub fn add_static_peers(&mut self, n: usize) -> Result<()> {
-        let zipf = ZipfMandelbrot::new(self.config.video_count, 0.78, 4.0)?;
+        let zipf = ZipfMandelbrot::paper_video_popularity(self.config.video_count);
         let caps = UniformRange::new(self.config.upload_multiple.0, self.config.upload_multiple.1)?;
         let stagger = self.config.static_stagger.as_secs_f64();
         let mut arrivals = Vec::with_capacity(n);
         for _ in 0..n {
             let at = SimTime::from_secs_f64(self.rng.gen::<f64>() * stagger);
-            let isp = IspId::new(self.next_isp);
-            self.next_isp = (self.next_isp + 1) % self.config.isp_count;
-            arrivals.push(PeerArrival {
-                at,
-                isp,
-                video: VideoId::new(zipf.sample_index(&mut self.rng) as u32),
-                upload_rate_multiple: caps.sample(&mut self.rng),
-                departs_at: None,
-            });
+            arrivals.push(self.draw_arrival(at, None, None, &zipf, &caps));
         }
+        self.enqueue_pending(arrivals);
+        Ok(())
+    }
+
+    /// Draws one synthetic arrival: round-robin ISP and paper-law video
+    /// unless pinned, uniform upload capacity, no early departure.
+    fn draw_arrival(
+        &mut self,
+        at: SimTime,
+        video: Option<VideoId>,
+        isp: Option<IspId>,
+        zipf: &ZipfMandelbrot,
+        caps: &UniformRange,
+    ) -> PeerArrival {
+        let isp = isp.unwrap_or_else(|| {
+            let i = IspId::new(self.next_isp);
+            self.next_isp = (self.next_isp + 1) % self.config.isp_count;
+            i
+        });
+        PeerArrival {
+            at,
+            isp,
+            video: video.unwrap_or_else(|| VideoId::new(zipf.sample_index(&mut self.rng) as u32)),
+            upload_rate_multiple: caps.sample(&mut self.rng),
+            departs_at: None,
+        }
+    }
+
+    /// Queues arrivals for slot-boundary admission.
+    fn enqueue_pending(&mut self, arrivals: Vec<PeerArrival>) {
         // Pop-from-end admission order ⇒ sort descending by time.
         self.pending_static.extend(arrivals);
         self.pending_static.sort_by_key(|a| std::cmp::Reverse(a.at));
-        Ok(())
     }
 
     /// Enables Poisson churn (dynamic experiments): joins at
@@ -195,9 +228,200 @@ impl System {
             upload_multiple: self.config.upload_multiple,
             isp_count: self.config.isp_count,
         };
-        self.churn = Some(ChurnState { model: ChurnModel::new(cc, &self.catalog)?, pending: None });
+        let mut model = ChurnModel::new(cc, &self.catalog)?;
+        // Enabling churn mid-run must not flood the system with back-dated
+        // arrivals: the process starts counting from the current instant.
+        model.advance_to(self.now());
+        self.churn = Some(ChurnState { model, pending: VecDeque::new() });
         Ok(())
     }
+
+    // ---- scenario event hooks -------------------------------------------
+    //
+    // Controlled mutation APIs applied at slot boundaries by the
+    // `p2p-scenario` engine. Each hook only uses the system RNG in ways
+    // that are independent of the installed scheduler, so the same seed
+    // and event sequence reproduce the identical workload under every
+    // scheduler.
+
+    /// Injects a flash crowd: `n` watchers joining at the upcoming slot
+    /// boundary. `video`/`isp` pin the crowd to one title or region;
+    /// `None` draws videos from the paper's Zipf–Mandelbrot law and
+    /// spreads ISPs round-robin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for an unknown video or ISP.
+    pub fn inject_flash_crowd(
+        &mut self,
+        n: usize,
+        video: Option<VideoId>,
+        isp: Option<IspId>,
+    ) -> Result<()> {
+        if let Some(v) = video {
+            self.catalog.video(v)?;
+        }
+        if let Some(i) = isp {
+            if i.index() >= usize::from(self.config.isp_count) {
+                return Err(P2pError::invalid_config("isp", "id out of range"));
+            }
+        }
+        let zipf = ZipfMandelbrot::paper_video_popularity(self.config.video_count);
+        let caps = UniformRange::new(self.config.upload_multiple.0, self.config.upload_multiple.1)?;
+        let at = self.now();
+        let mut arrivals = Vec::with_capacity(n);
+        for _ in 0..n {
+            arrivals.push(self.draw_arrival(at, video, isp, &zipf, &caps));
+        }
+        self.enqueue_pending(arrivals);
+        Ok(())
+    }
+
+    /// Fails up to `count` seed peers (lowest peer ids first, so the
+    /// victim set is deterministic), optionally only seeds of one video.
+    /// Returns how many were actually removed. Failed seeds vanish from
+    /// the tracker and topology; neighbor lists shed them at the next
+    /// slot boundary, exactly like a departed watcher.
+    pub fn fail_seeds(&mut self, count: usize, video: Option<VideoId>) -> usize {
+        let victims: Vec<PeerId> = self
+            .peers
+            .iter()
+            .flatten()
+            .filter(|p| p.is_seed() && video.is_none_or(|v| p.video() == v))
+            .map(PeerState::id)
+            .take(count)
+            .collect();
+        for id in &victims {
+            if let Some(p) = self.peers[id.index()].take() {
+                self.tracker.unregister(*id, p.video());
+                self.topology.unregister_peer(*id);
+            }
+        }
+        victims.len()
+    }
+
+    /// Brings up a fresh seed for `video` inside `isp` (late seeding /
+    /// seed recovery), with the configured seed capacity and a full buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for an unknown video or ISP.
+    pub fn add_seed(&mut self, video: VideoId, isp: IspId) -> Result<PeerId> {
+        let chunk_count = self.catalog.video(video)?.chunk_count();
+        if isp.index() >= usize::from(self.config.isp_count) {
+            return Err(P2pError::invalid_config("isp", "id out of range"));
+        }
+        let id = self.alloc_peer_id();
+        let capacity = Bandwidth::new(self.config.seed_capacity());
+        let seed = PeerState::seed(id, isp, video, chunk_count, capacity);
+        self.topology.register_peer(id, isp)?;
+        self.tracker.register(id, video, true);
+        self.peers[id.index()] = Some(seed);
+        Ok(id)
+    }
+
+    /// Changes the Poisson churn arrival rate mid-run, enabling churn
+    /// first (from the current instant) if it was off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for a non-positive rate.
+    pub fn set_churn_rate(&mut self, rate: f64) -> Result<()> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(P2pError::invalid_config("arrival_rate", "must be positive"));
+        }
+        if self.churn.is_none() {
+            self.enable_poisson_churn()?;
+        }
+        let now = self.now();
+        let churn = self.churn.as_mut().expect("just enabled");
+        churn.model.set_rate(rate)?;
+        // Drop the pre-sampled old-rate arrivals and resample from this
+        // instant: memorylessness makes the restart statistically exact,
+        // and the burst takes effect at its event slot instead of after
+        // one stale old-rate gap.
+        churn.pending.clear();
+        churn.model.restart_at(now);
+        self.config.arrival_rate = rate;
+        Ok(())
+    }
+
+    /// Re-weights churn video popularity to a Zipf–Mandelbrot law with the
+    /// given `alpha`/`q` (popularity shifts: large `alpha` concentrates
+    /// demand on the head of the catalog). Enables churn if it was off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for invalid law parameters.
+    pub fn set_churn_popularity(&mut self, alpha: f64, q: f64) -> Result<()> {
+        let law = ZipfMandelbrot::new(self.config.video_count, alpha, q)?;
+        if self.churn.is_none() {
+            self.enable_poisson_churn()?;
+        }
+        let now = self.now();
+        let churn = self.churn.as_mut().expect("just enabled");
+        churn.model.set_popularity(law)?;
+        // The queued arrival was drawn under the old law; resample it.
+        churn.pending.clear();
+        churn.model.restart_at(now);
+        Ok(())
+    }
+
+    /// Throttles (or boosts) the upload capacity of every peer in `isp` by
+    /// a multiplicative `factor`, applied when slot problems are built;
+    /// replaces any previous throttle for that ISP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for an out-of-range ISP or a
+    /// non-positive/non-finite factor.
+    pub fn set_isp_throttle(&mut self, isp: IspId, factor: f64) -> Result<()> {
+        if isp.index() >= usize::from(self.config.isp_count) {
+            return Err(P2pError::invalid_config("isp", "id out of range"));
+        }
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(P2pError::invalid_config("throttle", "must be positive and finite"));
+        }
+        self.isp_throttles.insert(isp, factor);
+        Ok(())
+    }
+
+    /// Removes every per-ISP throttle.
+    pub fn clear_isp_throttles(&mut self) {
+        self.isp_throttles.clear();
+    }
+
+    /// The active upload-capacity multiplier of an ISP (1.0 = unthrottled).
+    pub fn isp_throttle(&self, isp: IspId) -> f64 {
+        self.isp_throttles.get(&isp).copied().unwrap_or(1.0)
+    }
+
+    /// Reprices every inter-ISP link by `factor` (see
+    /// [`Topology::set_inter_cost_scale`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for invalid factors.
+    pub fn set_inter_link_cost_scale(&mut self, factor: f64) -> Result<()> {
+        self.topology.set_inter_cost_scale(factor)
+    }
+
+    /// Reprices the inter-ISP links touching `isp` by `factor` (see
+    /// [`Topology::set_isp_cost_scale`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for invalid factors or ISPs.
+    pub fn set_isp_link_cost_scale(&mut self, isp: IspId, factor: f64) -> Result<()> {
+        self.topology.set_isp_cost_scale(isp, factor)
+    }
+
+    /// Drops all link-cost repricing, restoring the base cost model.
+    pub fn reset_link_cost_scales(&mut self) {
+        self.topology.reset_cost_scales();
+    }
+
+    // ---- end scenario event hooks ---------------------------------------
 
     fn spawn_watcher(&mut self, arrival: PeerArrival) -> Result<PeerId> {
         let id = self.alloc_peer_id();
@@ -228,17 +452,24 @@ impl System {
             let a = self.pending_static.pop().expect("peeked");
             self.spawn_watcher(a)?;
         }
-        // Poisson arrivals.
-        while let Some(churn) = self.churn.as_mut() {
-            let arrival = match churn.pending.take() {
-                Some(a) => a,
-                None => churn.model.next_arrival(&self.catalog, &mut self.rng),
-            };
-            if arrival.at > now {
-                self.churn.as_mut().expect("churn exists").pending = Some(arrival);
-                break;
+        // Poisson arrivals: top the queue up until its tail is beyond `now`
+        // (so the generator is always exactly one arrival ahead), then admit
+        // every arrival that is due. The queue never drops arrivals, no
+        // matter how many a churn burst packs into one slot.
+        if let Some(churn) = self.churn.as_mut() {
+            while churn.pending.back().is_none_or(|a| a.at <= now) {
+                let a = churn.model.next_arrival(&self.catalog, &mut self.rng);
+                churn.pending.push_back(a);
             }
-            self.spawn_watcher(arrival)?;
+        }
+        while let Some(churn) = self.churn.as_mut() {
+            match churn.pending.front() {
+                Some(a) if a.at <= now => {
+                    let a = churn.pending.pop_front().expect("peeked");
+                    self.spawn_watcher(a)?;
+                }
+                _ => break,
+            }
         }
         Ok(())
     }
@@ -309,7 +540,13 @@ impl System {
         let mut b = WelfareInstance::builder();
         let mut provider_idx: HashMap<PeerId, usize> = HashMap::new();
         for p in self.peers.iter().flatten() {
-            let idx = b.add_provider(p.id(), p.upload_capacity().chunks_per_slot());
+            let cap = p.upload_capacity().chunks_per_slot();
+            let cap = match self.isp_throttles.get(&p.isp()) {
+                // Floor: a throttle is a hard cap on whole-chunk uploads.
+                Some(&f) => (f64::from(cap) * f).floor() as u32,
+                None => cap,
+            };
+            let idx = b.add_provider(p.id(), cap);
             provider_idx.insert(p.id(), idx);
         }
         let mut urgency = Vec::new();
@@ -583,6 +820,132 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn flash_crowd_joins_at_next_boundary() {
+        let mut sys = small_system(20);
+        sys.run_slots(2).unwrap();
+        sys.inject_flash_crowd(25, Some(p2p_types::VideoId::new(1)), None).unwrap();
+        assert_eq!(sys.watcher_count(), 0, "crowd waits for the slot boundary");
+        sys.step_slot().unwrap();
+        assert_eq!(sys.watcher_count(), 25);
+        assert!(sys.inject_flash_crowd(1, Some(p2p_types::VideoId::new(99)), None).is_err());
+        assert!(sys.inject_flash_crowd(1, None, Some(IspId::new(9))).is_err());
+    }
+
+    #[test]
+    fn seeds_fail_and_recover() {
+        let mut sys = small_system(21);
+        let before = sys.seed_count();
+        assert_eq!(sys.fail_seeds(3, None), 3);
+        assert_eq!(sys.seed_count(), before - 3);
+        // Per-video failure only touches that video's seeds.
+        let v0 = VideoId::new(0);
+        let removed = sys.fail_seeds(100, Some(v0));
+        assert!(sys.peers.iter().flatten().all(|p| !(p.is_seed() && p.video() == v0)));
+        let id = sys.add_seed(v0, IspId::new(1)).unwrap();
+        assert!(sys.peer(id).unwrap().is_seed());
+        assert_eq!(sys.seed_count(), before - 3 - removed + 1);
+        assert!(sys.add_seed(VideoId::new(99), IspId::new(0)).is_err());
+        // The system keeps running after the churn in the seed roster.
+        sys.add_static_peers(5).unwrap();
+        sys.run_slots(3).unwrap();
+    }
+
+    #[test]
+    fn churn_rate_burst_floods_joins() {
+        let count_with = |burst: Option<f64>| {
+            let config = SystemConfig::small_test().with_seed(22);
+            let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+            sys.enable_poisson_churn().unwrap();
+            sys.run_slots(2).unwrap();
+            if let Some(rate) = burst {
+                sys.set_churn_rate(rate).unwrap();
+            }
+            sys.run_slots(2).unwrap();
+            sys.recorder().population_series().y_max().unwrap()
+        };
+        assert!(count_with(Some(20.0)) > 2.0 * count_with(None));
+    }
+
+    #[test]
+    fn churn_burst_takes_effect_at_its_slot() {
+        // Baseline rate so low (mean gap 500 s) that the pre-sampled
+        // arrival sits far beyond the horizon; the burst must not wait for
+        // that stale old-rate gap.
+        let mut config = SystemConfig::small_test().with_seed(26);
+        config.arrival_rate = 0.002;
+        let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+        sys.enable_poisson_churn().unwrap();
+        sys.run_slots(3).unwrap();
+        assert_eq!(sys.watcher_count(), 0, "nobody arrives at 0.002/s");
+        sys.set_churn_rate(10.0).unwrap();
+        // New-rate arrivals begin at the event instant; they land during
+        // the event slot and are admitted at the next boundary.
+        sys.run_slots(2).unwrap();
+        assert!(sys.watcher_count() > 10, "the burst floods from its event slot");
+    }
+
+    #[test]
+    fn churn_rate_auto_enables_churn() {
+        let mut sys = small_system(23);
+        sys.set_churn_rate(5.0).unwrap();
+        sys.run_slots(3).unwrap();
+        assert!(sys.recorder().population_series().y_max().unwrap() > 0.0);
+        assert!(sys.set_churn_rate(0.0).is_err());
+        sys.set_churn_popularity(10.0, 0.0).unwrap();
+        assert!(sys.set_churn_popularity(f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn isp_throttle_caps_provider_capacity() {
+        let mut sys = small_system(24);
+        sys.add_static_peers(8).unwrap();
+        sys.set_isp_throttle(IspId::new(0), 0.25).unwrap();
+        assert_eq!(sys.isp_throttle(IspId::new(0)), 0.25);
+        assert_eq!(sys.isp_throttle(IspId::new(1)), 1.0);
+        let problem = sys.prepare_slot().unwrap();
+        for prov in problem.instance.providers() {
+            let peer = sys.peer(prov.peer).unwrap();
+            let full = peer.upload_capacity().chunks_per_slot();
+            if peer.isp() == IspId::new(0) {
+                assert_eq!(prov.capacity.chunks_per_slot(), (f64::from(full) * 0.25) as u32);
+            } else {
+                assert_eq!(prov.capacity.chunks_per_slot(), full);
+            }
+        }
+        sys.clear_isp_throttles();
+        assert_eq!(sys.isp_throttle(IspId::new(0)), 1.0);
+        assert!(sys.set_isp_throttle(IspId::new(9), 0.5).is_err());
+        assert!(sys.set_isp_throttle(IspId::new(0), 0.0).is_err());
+    }
+
+    #[test]
+    fn link_repricing_localizes_traffic() {
+        let run = |outage: bool| {
+            let mut config = SystemConfig::small_test().with_seed(25);
+            // One seed per video: roughly half the watchers sit across an
+            // ISP boundary from their only seed, so the unpriced baseline
+            // must ship chunks inter-ISP.
+            config.seeds = SeedPlacement::PerVideoTotal(1);
+            let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+            sys.add_static_peers(12).unwrap();
+            if outage {
+                sys.set_inter_link_cost_scale(50.0).unwrap();
+            }
+            sys.run_slots(6).unwrap();
+            let slots = sys.recorder().slots().to_vec();
+            let inter: u64 = slots.iter().map(|(_, m)| m.inter_isp_transfers).sum();
+            let total: u64 = slots.iter().map(|(_, m)| m.transfers).sum();
+            (inter, total)
+        };
+        let (inter_base, total_base) = run(false);
+        let (inter_priced, total_priced) = run(true);
+        assert!(total_base > 0 && total_priced > 0);
+        // A 50× repricing makes cross-ISP chunks unprofitable: the auction
+        // must cut inter-ISP traffic (to zero on this small instance).
+        assert!(inter_priced < inter_base, "{inter_priced} vs {inter_base}");
     }
 
     #[test]

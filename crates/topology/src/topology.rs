@@ -79,6 +79,12 @@ pub struct Topology {
     config: TopologyConfig,
     registry: IspRegistry,
     cost_model: Arc<dyn LinkCostModel>,
+    /// Multiplier applied to every inter-ISP link cost (mid-run repricing;
+    /// 1.0 = the base model unchanged).
+    inter_scale: f64,
+    /// Per-ISP multiplier applied to inter-ISP links with that ISP as an
+    /// endpoint (outages / transit repricing; intra-ISP links unaffected).
+    isp_scales: Vec<f64>,
 }
 
 impl Topology {
@@ -97,7 +103,8 @@ impl Topology {
                 Arc::new(IspPairCost::new(config.isp_count, config.distributions, config.seed)?)
             }
         };
-        Ok(Topology { config, registry, cost_model })
+        let isp_scales = vec![1.0; config.isp_count as usize];
+        Ok(Topology { config, registry, cost_model, inter_scale: 1.0, isp_scales })
     }
 
     /// The configuration this topology was built from.
@@ -138,7 +145,9 @@ impl Topology {
         self.registry.isp_of(peer)
     }
 
-    /// The network cost `w_{u→d}` from `from` to `to`.
+    /// The network cost `w_{u→d}` from `from` to `to`, including any
+    /// mid-run repricing applied via [`Topology::set_inter_cost_scale`] or
+    /// [`Topology::set_isp_cost_scale`].
     ///
     /// # Errors
     ///
@@ -146,7 +155,67 @@ impl Topology {
     pub fn cost(&self, from: PeerId, to: PeerId) -> Result<Cost, P2pError> {
         let from_isp = self.registry.isp_of(from)?;
         let to_isp = self.registry.isp_of(to)?;
-        Ok(self.cost_model.link_cost(from, from_isp, to, to_isp))
+        let base = self.cost_model.link_cost(from, from_isp, to, to_isp);
+        if from_isp == to_isp {
+            return Ok(base);
+        }
+        let scale =
+            self.inter_scale * self.isp_scales[from_isp.index()] * self.isp_scales[to_isp.index()];
+        Ok(Cost::new(base.get() * scale))
+    }
+
+    /// Reprices every inter-ISP link by a multiplicative `factor` (> 1
+    /// models transit becoming more expensive, < 1 cheaper peering).
+    /// Replaces any previous global scale; intra-ISP links are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for non-positive or non-finite
+    /// factors.
+    pub fn set_inter_cost_scale(&mut self, factor: f64) -> Result<(), P2pError> {
+        validate_scale(factor)?;
+        self.inter_scale = factor;
+        Ok(())
+    }
+
+    /// Reprices the inter-ISP links touching one ISP by `factor` (an outage
+    /// or congested transit link is a large factor; recovery resets to 1).
+    /// Replaces any previous scale for that ISP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for an out-of-range ISP or a
+    /// non-positive/non-finite factor.
+    pub fn set_isp_cost_scale(&mut self, isp: IspId, factor: f64) -> Result<(), P2pError> {
+        validate_scale(factor)?;
+        let Some(slot) = self.isp_scales.get_mut(isp.index()) else {
+            return Err(P2pError::invalid_config("isp", "id out of range"));
+        };
+        *slot = factor;
+        Ok(())
+    }
+
+    /// Drops all mid-run repricing, restoring the base cost model.
+    pub fn reset_cost_scales(&mut self) {
+        self.inter_scale = 1.0;
+        self.isp_scales.iter_mut().for_each(|s| *s = 1.0);
+    }
+
+    /// The current global inter-ISP cost multiplier.
+    pub fn inter_cost_scale(&self) -> f64 {
+        self.inter_scale
+    }
+
+    /// The current cost multiplier of one ISP's inter-ISP links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for an out-of-range ISP.
+    pub fn isp_cost_scale(&self, isp: IspId) -> Result<f64, P2pError> {
+        self.isp_scales
+            .get(isp.index())
+            .copied()
+            .ok_or_else(|| P2pError::invalid_config("isp", "id out of range"))
     }
 
     /// Whether a transfer between the two peers crosses an ISP boundary.
@@ -166,6 +235,13 @@ impl Topology {
     pub fn one_way_latency(&self, from: PeerId, to: PeerId) -> Result<SimDuration, P2pError> {
         Ok(self.config.latency.one_way(self.cost(from, to)?))
     }
+}
+
+fn validate_scale(factor: f64) -> Result<(), P2pError> {
+    if !factor.is_finite() || factor <= 0.0 {
+        return Err(P2pError::invalid_config("cost_scale", "must be positive and finite"));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -234,6 +310,48 @@ mod tests {
         let t = Topology::new(cfg).unwrap();
         assert_eq!(t.isp_count(), 2);
         assert_eq!(t.config().seed, 7);
+    }
+
+    #[test]
+    fn inter_cost_scaling_reprices_only_cross_isp_links() {
+        let mut t = topo();
+        let intra0 = t.cost(PeerId::new(0), PeerId::new(1)).unwrap();
+        let inter0 = t.cost(PeerId::new(0), PeerId::new(2)).unwrap();
+        t.set_inter_cost_scale(3.0).unwrap();
+        assert_eq!(t.inter_cost_scale(), 3.0);
+        assert_eq!(t.cost(PeerId::new(0), PeerId::new(1)).unwrap(), intra0);
+        let scaled = t.cost(PeerId::new(0), PeerId::new(2)).unwrap();
+        assert!((scaled.get() - 3.0 * inter0.get()).abs() < 1e-12);
+        // Latency follows the repriced cost.
+        let l = t.one_way_latency(PeerId::new(0), PeerId::new(2)).unwrap();
+        assert_eq!(l, LatencyModel::paper_defaults().one_way(scaled));
+        t.reset_cost_scales();
+        assert_eq!(t.cost(PeerId::new(0), PeerId::new(2)).unwrap(), inter0);
+    }
+
+    #[test]
+    fn per_isp_scaling_composes_with_global() {
+        let mut t = topo();
+        let inter0 = t.cost(PeerId::new(0), PeerId::new(2)).unwrap();
+        t.set_isp_cost_scale(IspId::new(1), 10.0).unwrap();
+        t.set_inter_cost_scale(2.0).unwrap();
+        let scaled = t.cost(PeerId::new(0), PeerId::new(2)).unwrap();
+        assert!((scaled.get() - 20.0 * inter0.get()).abs() < 1e-9);
+        // Intra-ISP link inside the "failed" ISP is untouched.
+        let intra = t.cost(PeerId::new(0), PeerId::new(1)).unwrap();
+        t.set_isp_cost_scale(IspId::new(0), 5.0).unwrap();
+        assert_eq!(t.cost(PeerId::new(0), PeerId::new(1)).unwrap(), intra);
+        assert_eq!(t.isp_cost_scale(IspId::new(0)).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn cost_scale_validation() {
+        let mut t = topo();
+        assert!(t.set_inter_cost_scale(0.0).is_err());
+        assert!(t.set_inter_cost_scale(f64::NAN).is_err());
+        assert!(t.set_isp_cost_scale(IspId::new(9), 2.0).is_err());
+        assert!(t.isp_cost_scale(IspId::new(9)).is_err());
+        assert!(t.set_isp_cost_scale(IspId::new(0), -1.0).is_err());
     }
 
     #[test]

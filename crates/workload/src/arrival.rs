@@ -49,6 +49,36 @@ impl PoissonProcess {
         self.now
     }
 
+    /// Changes the arrival rate for all *future* arrivals, keeping the
+    /// process clock where it is (mid-run workload events re-parameterize
+    /// churn without replaying history).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if the rate is not positive.
+    pub fn set_rate(&mut self, rate: f64) -> Result<(), P2pError> {
+        self.gap = Exponential::new(rate)?;
+        Ok(())
+    }
+
+    /// Fast-forwards the process clock to `t` if it lags behind (used when
+    /// churn is switched on mid-run, so the process does not flood the
+    /// system with back-dated arrivals). Never moves the clock backwards.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Restarts the process clock at `t`, forwards or backwards. Used on
+    /// rate changes: the exponential law is memoryless, so discarding an
+    /// already-sampled future arrival and resampling from the change
+    /// instant at the new rate is statistically exact — keeping it would
+    /// delay the new rate by one old-rate gap.
+    pub fn restart_at(&mut self, t: SimTime) {
+        self.now = t;
+    }
+
     /// Advances the process and returns the next arrival instant.
     pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SimTime {
         let gap = SimDuration::from_secs_f64(self.gap.sample(rng));
@@ -105,6 +135,31 @@ mod tests {
     fn rate_accessor_and_validation() {
         assert_eq!(PoissonProcess::new(2.0).unwrap().rate(), 2.0);
         assert!(PoissonProcess::new(0.0).is_err());
+    }
+
+    #[test]
+    fn set_rate_keeps_clock_and_changes_gaps() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = PoissonProcess::new(1.0).unwrap();
+        let _ = p.arrivals_until(SimTime::from_secs_f64(20.0), &mut rng);
+        let before = p.current_time();
+        p.set_rate(50.0).unwrap();
+        assert_eq!(p.current_time(), before, "rate change must not move the clock");
+        assert_eq!(p.rate(), 50.0);
+        // At 50/s the next 100 arrivals span ~2 s; they must all come after
+        // the pre-change clock.
+        let ts: Vec<_> = (0..100).map(|_| p.next_arrival(&mut rng)).collect();
+        assert!(ts.iter().all(|&t| t > before));
+        assert!(p.set_rate(0.0).is_err());
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let mut p = PoissonProcess::new(1.0).unwrap();
+        p.advance_to(SimTime::from_secs_f64(100.0));
+        assert_eq!(p.current_time(), SimTime::from_secs_f64(100.0));
+        p.advance_to(SimTime::from_secs_f64(50.0));
+        assert_eq!(p.current_time(), SimTime::from_secs_f64(100.0));
     }
 
     #[test]

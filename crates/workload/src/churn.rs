@@ -112,9 +112,56 @@ impl ChurnModel {
         })
     }
 
-    /// The configuration this model was built with.
+    /// The configuration this model was built with (the `arrival_rate`
+    /// field reflects later [`ChurnModel::set_rate`] calls).
     pub fn config(&self) -> &ChurnConfig {
         &self.config
+    }
+
+    /// Changes the Poisson arrival rate mid-run (scenario churn bursts).
+    /// The process clock is preserved, so already-elapsed history is not
+    /// replayed at the new rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if the rate is not positive.
+    pub fn set_rate(&mut self, rate: f64) -> Result<(), P2pError> {
+        self.process.set_rate(rate)?;
+        self.config.arrival_rate = rate;
+        Ok(())
+    }
+
+    /// Replaces the video-popularity law mid-run (scenario popularity
+    /// shifts, e.g. a new release concentrating demand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] if the new law does not cover
+    /// exactly the same number of videos as the current one.
+    pub fn set_popularity(&mut self, popularity: ZipfMandelbrot) -> Result<(), P2pError> {
+        if popularity.len() != self.popularity.len() {
+            return Err(P2pError::invalid_config(
+                "popularity",
+                "new law must cover the same catalog",
+            ));
+        }
+        self.popularity = popularity;
+        Ok(())
+    }
+
+    /// Fast-forwards the arrival clock to `t` if it lags behind (used when
+    /// churn is enabled mid-run so no back-dated arrival flood occurs).
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.process.advance_to(t);
+    }
+
+    /// Restarts the arrival clock at `t` (see
+    /// [`PoissonProcess::restart_at`]): callers changing the rate or the
+    /// popularity law mid-run restart from the change instant so the new
+    /// parameters take effect immediately instead of after one stale
+    /// old-parameter gap.
+    pub fn restart_at(&mut self, t: SimTime) {
+        self.process.restart_at(t);
     }
 
     /// Generates the next arrival.
@@ -238,6 +285,44 @@ mod tests {
         assert!(ChurnModel::new(bad, &cat).is_err());
         let bad = ChurnConfig { arrival_rate: 0.0, ..ChurnConfig::paper_joins_only(5) };
         assert!(ChurnModel::new(bad, &cat).is_err());
+    }
+
+    #[test]
+    fn rate_can_change_mid_run() {
+        let cat = catalog();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut churn = ChurnModel::new(ChurnConfig::paper_joins_only(5), &cat).unwrap();
+        let before = churn.arrivals_until(SimTime::from_secs_f64(100.0), &cat, &mut rng);
+        churn.set_rate(10.0).unwrap();
+        assert_eq!(churn.config().arrival_rate, 10.0);
+        let after = churn.arrivals_until(SimTime::from_secs_f64(200.0), &cat, &mut rng);
+        // 10× the rate over an equal window ⇒ far more arrivals.
+        assert!(after.len() > 3 * before.len(), "{} vs {}", after.len(), before.len());
+        assert!(churn.set_rate(-1.0).is_err());
+    }
+
+    #[test]
+    fn popularity_can_shift_mid_run() {
+        let cat = catalog();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut churn = ChurnModel::new(ChurnConfig::paper_joins_only(5), &cat).unwrap();
+        // A near-degenerate law: almost all mass on rank 1.
+        churn.set_popularity(ZipfMandelbrot::new(cat.len(), 12.0, 0.0).unwrap()).unwrap();
+        let arrivals = churn.arrivals_until(SimTime::from_secs_f64(2_000.0), &cat, &mut rng);
+        let top = arrivals.iter().filter(|a| a.video.index() == 0).count();
+        assert!(top as f64 > 0.95 * arrivals.len() as f64, "{top}/{}", arrivals.len());
+        // Mismatched catalog size is rejected.
+        assert!(churn.set_popularity(ZipfMandelbrot::new(3, 1.0, 0.0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn advance_skips_backlog() {
+        let cat = catalog();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut churn = ChurnModel::new(ChurnConfig::paper_joins_only(5), &cat).unwrap();
+        churn.advance_to(SimTime::from_secs_f64(500.0));
+        let a = churn.next_arrival(&cat, &mut rng);
+        assert!(a.at > SimTime::from_secs_f64(500.0));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`core`] | `p2p-core` | **the paper's auction**: bidder/auctioneer logic, sync + distributed engines, Bertsekas expansion, Theorem 1 verifier |
 //! | [`sched`] | `p2p-sched` | auction scheduler + locality/random/greedy/exact baselines |
 //! | [`streaming`] | `p2p-streaming` | the P2P VoD system emulator |
+//! | [`scenario`] | `p2p-scenario` | declarative scenarios: mid-run event timelines, spec parser, runner |
 //! | [`runtime`] | `p2p-runtime` | threaded process-per-peer execution |
 //! | [`metrics`] | `p2p-metrics` | series, stats, CSV, ASCII plots |
 //!
@@ -50,6 +51,7 @@ pub use p2p_core as core;
 pub use p2p_metrics as metrics;
 pub use p2p_netflow as netflow;
 pub use p2p_runtime as runtime;
+pub use p2p_scenario as scenario;
 pub use p2p_sched as sched;
 pub use p2p_sim as sim;
 pub use p2p_streaming as streaming;
@@ -65,6 +67,10 @@ pub mod prelude {
         WelfareInstance,
     };
     pub use p2p_metrics::{ascii_plot, SlotMetrics, SlotRecorder, Summary, TimeSeries};
+    pub use p2p_scenario::{
+        builtin, parse_scenario, run_scenario, scheduler_by_name, Scenario, ScenarioEvent,
+        ScenarioReport, TimedEvent,
+    };
     pub use p2p_sched::{
         AuctionScheduler, ChunkScheduler, ExactScheduler, GreedyScheduler, RandomScheduler,
         Schedule, SimpleLocalityScheduler, SlotProblem,
