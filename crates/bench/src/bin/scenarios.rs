@@ -5,7 +5,8 @@
 //! Usage:
 //!   `scenarios --list`
 //!     enumerate the built-in scenarios;
-//!   `scenarios --scenario flash_crowd [--quick] [--seed S] [--schedulers auction,locality]`
+//!   `scenarios --scenario flash_crowd [--quick] [--seed S] [--schedulers auction,locality]
+//!              [--slot-build cold|incremental]`
 //!     run a built-in scenario;
 //!   `scenarios --file scenarios/flash_crowd.toml`
 //!     run an external spec file (see `p2p_scenario::spec` for the format);
@@ -65,6 +66,9 @@ fn run(args: &Args) -> Result<()> {
     if args.has("quick") {
         scenario = scenario.quick(8);
     }
+    if let Some(mode) = args.get_opt_str("slot-build") {
+        scenario = scenario.with_slot_build(p2p_streaming::SlotBuild::from_name(&mode)?);
+    }
     scenario.validate()?;
 
     let names = args.get_str("schedulers", "auction,locality");
@@ -113,6 +117,7 @@ fn main() -> ExitCode {
             eprintln!("scenarios: {e}");
             eprintln!("usage: scenarios [--list] [--show] [--scenario NAME | --file PATH]");
             eprintln!("                 [--quick] [--seed S] [--schedulers a,b,...]");
+            eprintln!("                 [--slot-build cold|incremental]");
             ExitCode::FAILURE
         }
     }

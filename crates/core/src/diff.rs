@@ -1,0 +1,369 @@
+//! Instance diff/patch: the slot-to-slot change between welfare instances.
+//!
+//! The streaming emulator's consecutive slot problems overlap heavily —
+//! locality-aware swarms change little from slot to slot, so most providers
+//! and requests carry over with only their valuations refreshed (deadlines
+//! approach, so the deadline valuation is re-evaluated every slot).
+//! [`InstanceDiff`] measures that overlap on identity keys (providers by
+//! peer id, requests by request id), and [`InstancePatch`] captures a
+//! *successor* instance as a compact edit script against its predecessor:
+//! carried requests store only the refreshed valuation, fresh requests store
+//! their full edge lists. `patch.apply(prev)` reconstructs the successor
+//! exactly (including provider/request order, which the deterministic
+//! auction engines are sensitive to).
+
+use crate::instance::{EdgeSpec, RequestSpec, WelfareInstance};
+use p2p_types::{Bandwidth, P2pError, PeerId, RequestId, Valuation};
+use std::collections::HashMap;
+
+/// What changed between two instances, keyed on identity.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_core::{InstanceDiff, WelfareInstance};
+/// use p2p_types::{PeerId, RequestId, ChunkId, VideoId, Valuation, Cost};
+///
+/// let mut b = WelfareInstance::builder();
+/// let u = b.add_provider(PeerId::new(9), 2);
+/// let r = b.add_request(RequestId::new(PeerId::new(0), ChunkId::new(VideoId::new(0), 0)));
+/// b.add_edge(r, u, Valuation::new(3.0), Cost::new(1.0)).unwrap();
+/// let a = b.build().unwrap();
+/// let diff = InstanceDiff::between(&a, &a);
+/// assert!(diff.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstanceDiff {
+    /// Providers present only in the successor.
+    pub added_providers: Vec<PeerId>,
+    /// Providers present only in the predecessor.
+    pub removed_providers: Vec<PeerId>,
+    /// Providers present in both with different capacities.
+    pub changed_capacities: Vec<PeerId>,
+    /// Requests present only in the successor.
+    pub added_requests: Vec<RequestId>,
+    /// Requests present only in the predecessor.
+    pub removed_requests: Vec<RequestId>,
+    /// Requests present in both whose candidate edges differ (provider set,
+    /// order, costs or valuations).
+    pub changed_requests: Vec<RequestId>,
+}
+
+impl InstanceDiff {
+    /// Computes the identity-keyed diff from `prev` to `next`.
+    pub fn between(prev: &WelfareInstance, next: &WelfareInstance) -> Self {
+        let mut diff = InstanceDiff::default();
+
+        let prev_caps: HashMap<PeerId, Bandwidth> =
+            prev.providers().iter().map(|p| (p.peer, p.capacity)).collect();
+        let next_caps: HashMap<PeerId, Bandwidth> =
+            next.providers().iter().map(|p| (p.peer, p.capacity)).collect();
+        for p in next.providers() {
+            match prev_caps.get(&p.peer) {
+                None => diff.added_providers.push(p.peer),
+                Some(cap) if *cap != p.capacity => diff.changed_capacities.push(p.peer),
+                Some(_) => {}
+            }
+        }
+        for p in prev.providers() {
+            if !next_caps.contains_key(&p.peer) {
+                diff.removed_providers.push(p.peer);
+            }
+        }
+
+        let prev_by_id: HashMap<RequestId, usize> =
+            prev.requests().iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+        let mut kept = std::collections::HashSet::new();
+        for req in next.requests() {
+            match prev_by_id.get(&req.id) {
+                None => diff.added_requests.push(req.id),
+                Some(&i) => {
+                    kept.insert(req.id);
+                    if !same_edges(prev, prev.request(i), next, req) {
+                        diff.changed_requests.push(req.id);
+                    }
+                }
+            }
+        }
+        for req in prev.requests() {
+            if !kept.contains(&req.id) {
+                diff.removed_requests.push(req.id);
+            }
+        }
+        diff
+    }
+
+    /// Whether the two instances are identical up to provider/request order.
+    pub fn is_empty(&self) -> bool {
+        self.change_count() == 0
+    }
+
+    /// Total number of changed entities.
+    pub fn change_count(&self) -> usize {
+        self.added_providers.len()
+            + self.removed_providers.len()
+            + self.changed_capacities.len()
+            + self.added_requests.len()
+            + self.removed_requests.len()
+            + self.changed_requests.len()
+    }
+}
+
+/// Whether a request's edges are identical in both instances (providers
+/// compared by peer id, in order, with costs and valuations).
+fn same_edges(
+    prev: &WelfareInstance,
+    a: &RequestSpec,
+    next: &WelfareInstance,
+    b: &RequestSpec,
+) -> bool {
+    a.edges.len() == b.edges.len()
+        && a.edges.iter().zip(&b.edges).all(|(ea, eb)| {
+            prev.provider(ea.provider).peer == next.provider(eb.provider).peer
+                && ea.cost == eb.cost
+                && ea.valuation == eb.valuation
+        })
+}
+
+/// One request of a patched instance.
+#[derive(Debug, Clone, PartialEq)]
+enum RequestPatch {
+    /// Carried over from the predecessor's request at `prev`: identical
+    /// provider set, order and costs, with `valuation` applied to every
+    /// edge (the streaming emulator re-values each request every slot).
+    Carried { prev: usize, valuation: Valuation },
+    /// Built from scratch; edges reference *successor* provider indices.
+    Fresh(RequestSpec),
+}
+
+/// A successor instance expressed as an edit script against a predecessor.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_core::{InstancePatch, WelfareInstance};
+/// use p2p_types::{PeerId, RequestId, ChunkId, VideoId, Valuation, Cost};
+///
+/// let build = |v: f64| {
+///     let mut b = WelfareInstance::builder();
+///     let u = b.add_provider(PeerId::new(9), 2);
+///     let r = b.add_request(RequestId::new(PeerId::new(0), ChunkId::new(VideoId::new(0), 0)));
+///     b.add_edge(r, u, Valuation::new(v), Cost::new(1.0)).unwrap();
+///     b.build().unwrap()
+/// };
+/// let (prev, next) = (build(3.0), build(4.0)); // valuation refresh only
+/// let patch = InstancePatch::between(&prev, &next);
+/// assert_eq!(patch.carried_requests(), 1);
+/// assert_eq!(patch.apply(&prev).unwrap(), next);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstancePatch {
+    /// The successor's full provider list (cheap relative to edges).
+    providers: Vec<(PeerId, Bandwidth)>,
+    requests: Vec<RequestPatch>,
+}
+
+impl InstancePatch {
+    /// Expresses `next` as a patch against `prev`, carrying every request
+    /// whose edge structure (providers, order, costs) is unchanged and
+    /// whose refreshed valuation is uniform across its edges.
+    pub fn between(prev: &WelfareInstance, next: &WelfareInstance) -> Self {
+        let providers = next.providers().iter().map(|p| (p.peer, p.capacity)).collect();
+        let prev_by_id: HashMap<RequestId, usize> =
+            prev.requests().iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+        let requests = next
+            .requests()
+            .iter()
+            .map(|req| {
+                let carried = prev_by_id.get(&req.id).copied().filter(|&i| {
+                    let old = prev.request(i);
+                    uniform_valuation(req).is_some()
+                        && old.edges.len() == req.edges.len()
+                        && old.edges.iter().zip(&req.edges).all(|(ea, eb)| {
+                            prev.provider(ea.provider).peer == next.provider(eb.provider).peer
+                                && ea.cost == eb.cost
+                        })
+                });
+                match carried {
+                    Some(i) => RequestPatch::Carried {
+                        prev: i,
+                        valuation: uniform_valuation(req).expect("checked above"),
+                    },
+                    None => RequestPatch::Fresh(req.clone()),
+                }
+            })
+            .collect();
+        InstancePatch { providers, requests }
+    }
+
+    /// Number of requests carried structurally from the predecessor.
+    pub fn carried_requests(&self) -> usize {
+        self.requests.iter().filter(|r| matches!(r, RequestPatch::Carried { .. })).count()
+    }
+
+    /// Number of requests rebuilt from scratch.
+    pub fn fresh_requests(&self) -> usize {
+        self.requests.len() - self.carried_requests()
+    }
+
+    /// Fraction of requests carried over (1.0 for an unchanged slot; 0 when
+    /// the successor is empty).
+    pub fn carried_fraction(&self) -> f64 {
+        if self.requests.is_empty() {
+            0.0
+        } else {
+            self.carried_requests() as f64 / self.requests.len() as f64
+        }
+    }
+
+    /// Reconstructs the successor instance from the predecessor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::MalformedInstance`] if the patch references
+    /// requests or providers that do not exist in `prev` — a patch is only
+    /// valid against the instance it was diffed from.
+    pub fn apply(&self, prev: &WelfareInstance) -> Result<WelfareInstance, P2pError> {
+        let mut b = WelfareInstance::builder();
+        let mut idx_of: HashMap<PeerId, usize> = HashMap::with_capacity(self.providers.len());
+        for &(peer, capacity) in &self.providers {
+            idx_of.insert(peer, b.add_provider(peer, capacity.chunks_per_slot()));
+        }
+        for patch in &self.requests {
+            match patch {
+                RequestPatch::Carried { prev: i, valuation } => {
+                    if *i >= prev.request_count() {
+                        return Err(P2pError::MalformedInstance(format!(
+                            "patch carries request {i} but predecessor has {}",
+                            prev.request_count()
+                        )));
+                    }
+                    let old = prev.request(*i);
+                    let r = b.add_request(old.id);
+                    for e in &old.edges {
+                        let peer = prev.provider(e.provider).peer;
+                        let Some(&u) = idx_of.get(&peer) else {
+                            return Err(P2pError::MalformedInstance(format!(
+                                "carried request references departed provider {peer}"
+                            )));
+                        };
+                        b.add_edge(r, u, *valuation, e.cost)?;
+                    }
+                }
+                RequestPatch::Fresh(spec) => {
+                    let r = b.add_request(spec.id);
+                    for &EdgeSpec { provider, valuation, cost } in &spec.edges {
+                        b.add_edge(r, provider, valuation, cost)?;
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// The valuation shared by every edge of a request, if uniform.
+fn uniform_valuation(req: &RequestSpec) -> Option<Valuation> {
+    let first = req.edges.first()?.valuation;
+    req.edges.iter().all(|e| e.valuation == first).then_some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_types::{ChunkId, Cost, VideoId};
+
+    fn rid(d: u32, c: u32) -> RequestId {
+        RequestId::new(PeerId::new(d), ChunkId::new(VideoId::new(0), c))
+    }
+
+    /// Two providers, two requests; `v` sets the per-request valuations.
+    fn instance(v0: f64, v1: f64, cap0: u32) -> WelfareInstance {
+        let mut b = WelfareInstance::builder();
+        let u0 = b.add_provider(PeerId::new(100), cap0);
+        let u1 = b.add_provider(PeerId::new(101), 2);
+        let r0 = b.add_request(rid(0, 0));
+        let r1 = b.add_request(rid(1, 0));
+        b.add_edge(r0, u0, Valuation::new(v0), Cost::new(1.0)).unwrap();
+        b.add_edge(r0, u1, Valuation::new(v0), Cost::new(2.0)).unwrap();
+        b.add_edge(r1, u1, Valuation::new(v1), Cost::new(0.5)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_instances_diff_empty() {
+        let a = instance(4.0, 3.0, 1);
+        let diff = InstanceDiff::between(&a, &a);
+        assert!(diff.is_empty());
+        assert_eq!(diff.change_count(), 0);
+    }
+
+    #[test]
+    fn diff_spots_every_change_kind() {
+        let prev = instance(4.0, 3.0, 1);
+        let mut b = WelfareInstance::builder();
+        let u0 = b.add_provider(PeerId::new(100), 3); // capacity changed
+        let u2 = b.add_provider(PeerId::new(102), 1); // provider added, 101 removed
+        let r0 = b.add_request(rid(0, 0)); // edges changed (u1 edge gone)
+        let r2 = b.add_request(rid(2, 0)); // request added, r1 removed
+        b.add_edge(r0, u0, Valuation::new(4.0), Cost::new(1.0)).unwrap();
+        b.add_edge(r2, u2, Valuation::new(2.0), Cost::new(0.1)).unwrap();
+        let next = b.build().unwrap();
+        let diff = InstanceDiff::between(&prev, &next);
+        assert_eq!(diff.added_providers, vec![PeerId::new(102)]);
+        assert_eq!(diff.removed_providers, vec![PeerId::new(101)]);
+        assert_eq!(diff.changed_capacities, vec![PeerId::new(100)]);
+        assert_eq!(diff.added_requests, vec![rid(2, 0)]);
+        assert_eq!(diff.removed_requests, vec![rid(1, 0)]);
+        assert_eq!(diff.changed_requests, vec![rid(0, 0)]);
+        assert_eq!(diff.change_count(), 6);
+    }
+
+    #[test]
+    fn valuation_refresh_is_carried_and_applies_exactly() {
+        let prev = instance(4.0, 3.0, 1);
+        let next = instance(5.0, 3.5, 1);
+        let patch = InstancePatch::between(&prev, &next);
+        assert_eq!(patch.carried_requests(), 2);
+        assert_eq!(patch.fresh_requests(), 0);
+        assert!((patch.carried_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(patch.apply(&prev).unwrap(), next);
+    }
+
+    #[test]
+    fn structural_changes_fall_back_to_fresh_and_apply_exactly() {
+        let prev = instance(4.0, 3.0, 1);
+        // Capacity change + one request's edges reordered structurally.
+        let mut b = WelfareInstance::builder();
+        let u0 = b.add_provider(PeerId::new(100), 2);
+        let u1 = b.add_provider(PeerId::new(101), 2);
+        let r0 = b.add_request(rid(0, 0));
+        let r1 = b.add_request(rid(1, 0));
+        b.add_edge(r0, u1, Valuation::new(4.0), Cost::new(2.0)).unwrap();
+        b.add_edge(r0, u0, Valuation::new(4.0), Cost::new(1.0)).unwrap();
+        b.add_edge(r1, u1, Valuation::new(3.0), Cost::new(0.5)).unwrap();
+        let next = b.build().unwrap();
+        let patch = InstancePatch::between(&prev, &next);
+        assert_eq!(patch.fresh_requests(), 1);
+        assert_eq!(patch.carried_requests(), 1);
+        assert_eq!(patch.apply(&prev).unwrap(), next);
+    }
+
+    #[test]
+    fn patch_against_wrong_predecessor_errors() {
+        let prev = instance(4.0, 3.0, 1);
+        let next = instance(5.0, 3.5, 1);
+        let patch = InstancePatch::between(&prev, &next);
+        // An empty predecessor has no request to carry from.
+        let empty = WelfareInstance::builder().build().unwrap();
+        assert!(patch.apply(&empty).is_err());
+    }
+
+    #[test]
+    fn empty_instances_patch_cleanly() {
+        let empty = WelfareInstance::builder().build().unwrap();
+        let patch = InstancePatch::between(&empty, &empty);
+        assert_eq!(patch.carried_fraction(), 0.0);
+        assert_eq!(patch.apply(&empty).unwrap(), empty);
+    }
+}

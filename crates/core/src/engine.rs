@@ -160,6 +160,127 @@ impl SyncAuction {
         self.run_from(instance, None, self.config.epsilon)
     }
 
+    /// Runs the auction warm-started from `prior_prices` — typically the
+    /// previous slot's final `λ` vector, mapped by the caller onto this
+    /// instance's provider order (missing entries default to 0). On
+    /// slot-to-slot reoptimization most prices are already near their new
+    /// equilibrium, so the auction converges in a fraction of the bids a
+    /// cold start needs (Bertsekas-style auction reoptimization).
+    ///
+    /// # Price clamping
+    ///
+    /// Carried prices are clamped to stay ε-valid: non-finite or negative
+    /// entries become 0, and every price is relaxed by the engine's ε
+    /// (`max(p − ε, 0)`), mirroring the inter-phase relaxation of
+    /// [`SyncAuction::run_scaled`] — a winner may have overbid its value by
+    /// up to ε last slot, and carrying that price verbatim would price the
+    /// winner out of its own slot.
+    ///
+    /// # Certificate preservation
+    ///
+    /// A carried price can be *unsupported* by this slot's demand: the
+    /// provider ends with unsold capacity at `λ > 0`, violating CS 1 of
+    /// Theorem 1 (prices raised by actual bids never do — a price only
+    /// rises when the provider is full, and eviction keeps it full). After
+    /// each converged run the engine therefore zeroes every unsupported
+    /// warm price and reruns; each pass permanently clears at least one
+    /// provider, so at most `provider_count` extra runs occur (zero in the
+    /// common little-changed-slot case), and the final outcome satisfies
+    /// the same `n·ε` certificate as a cold run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::AuctionDiverged`] if any pass exceeds
+    /// `max_rounds`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use p2p_core::{WelfareInstance, SyncAuction, AuctionConfig, verify_optimality};
+    /// use p2p_types::{PeerId, RequestId, ChunkId, VideoId, Valuation, Cost};
+    ///
+    /// let mut b = WelfareInstance::builder();
+    /// let u = b.add_provider(PeerId::new(9), 1);
+    /// let r0 = b.add_request(RequestId::new(PeerId::new(0), ChunkId::new(VideoId::new(0), 0)));
+    /// let r1 = b.add_request(RequestId::new(PeerId::new(1), ChunkId::new(VideoId::new(0), 0)));
+    /// b.add_edge(r0, u, Valuation::new(5.0), Cost::new(1.0)).unwrap();
+    /// b.add_edge(r1, u, Valuation::new(4.0), Cost::new(1.0)).unwrap();
+    /// let inst = b.build().unwrap();
+    ///
+    /// let engine = SyncAuction::new(AuctionConfig::paper());
+    /// let cold = engine.run(&inst).unwrap();
+    /// // Re-run the same slot from the converged prices: quiescent at once.
+    /// let warm = engine.run_warm(&inst, &cold.duals.lambda).unwrap();
+    /// assert_eq!(warm.assignment.welfare(&inst), cold.assignment.welfare(&inst));
+    /// let report = verify_optimality(&inst, &warm.assignment, &warm.duals, 1e-9);
+    /// assert!(report.is_optimal());
+    /// ```
+    pub fn run_warm(
+        &self,
+        instance: &WelfareInstance,
+        prior_prices: &[f64],
+    ) -> Result<AuctionOutcome, P2pError> {
+        let eps = self.config.epsilon;
+        let mut prices: Vec<f64> = (0..instance.provider_count())
+            .map(|u| {
+                let p = prior_prices.get(u).copied().unwrap_or(0.0);
+                if p.is_finite() {
+                    (p - eps).max(0.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        // Cheap support pre-filter: a positive price survives only if the
+        // provider can sell out at it, and a request only bids where
+        // `v − w > λ` — so a carried price with fewer than `capacity`
+        // profitable incident edges is doomed. Zeroing those up front
+        // avoids a full repair rerun whenever last slot's demand moved
+        // away (delivered chunks leaving the instance is the common case).
+        let mut potential = vec![0u32; instance.provider_count()];
+        for r in instance.requests() {
+            for e in &r.edges {
+                if prices[e.provider] > 0.0 && e.utility().get() > prices[e.provider] {
+                    potential[e.provider] += 1;
+                }
+            }
+        }
+        for (u, spec) in instance.providers().iter().enumerate() {
+            if prices[u] > 0.0 && potential[u] < spec.capacity.chunks_per_slot() {
+                prices[u] = 0.0;
+            }
+        }
+        let mut rounds = 0;
+        let mut bids = 0;
+        let mut trace = Vec::new();
+        loop {
+            let outcome = self.run_from(instance, Some(&prices), eps)?;
+            rounds += outcome.rounds;
+            bids += outcome.bids_submitted;
+            trace.extend(outcome.price_trace.iter().copied());
+            // CS 1 support check: a provider with spare capacity and λ > 0
+            // kept an unsupported warm price (bid-raised prices imply a full
+            // provider). Zero those and rerun; never re-warm a repaired one.
+            let loads = outcome.assignment.provider_loads(instance);
+            let mut repaired = false;
+            for (u, spec) in instance.providers().iter().enumerate() {
+                let cap = spec.capacity.chunks_per_slot();
+                if cap > 0 && loads[u] < cap && prices[u] > 0.0 && outcome.duals.lambda[u] > 0.0 {
+                    prices[u] = 0.0;
+                    repaired = true;
+                }
+            }
+            if !repaired {
+                return Ok(AuctionOutcome {
+                    rounds,
+                    bids_submitted: bids,
+                    price_trace: trace,
+                    ..outcome
+                });
+            }
+        }
+    }
+
     /// Runs the auction with ε-scaling (Bertsekas 1988): phases with
     /// geometrically shrinking ε, each warm-starting from the previous
     /// phase's (ε-relaxed) prices. Large early ε moves prices in big steps,
@@ -551,6 +672,65 @@ mod tests {
         let out = SyncAuction::default().run_scaled(&inst, scaling).unwrap();
         assert_eq!(out.assignment.assigned_count(), 1);
         assert!((out.assignment.welfare(&inst).get() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_from_converged_prices_is_cheap_and_certified() {
+        let eps = 0.01;
+        let inst = competitive_instance();
+        let engine = SyncAuction::new(AuctionConfig::with_epsilon(eps));
+        let cold = engine.run(&inst).unwrap();
+        let warm = engine.run_warm(&inst, &cold.duals.lambda).unwrap();
+        // Same welfare, and the reoptimization needs no more bids.
+        assert_eq!(warm.assignment.welfare(&inst), cold.assignment.welfare(&inst));
+        assert!(warm.bids_submitted <= cold.bids_submitted);
+        let tol = eps * (inst.request_count() as f64 + 1.0);
+        let report = crate::verify_optimality(&inst, &warm.assignment, &warm.duals, tol);
+        assert!(report.is_optimal(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn warm_start_repairs_unsupported_prices() {
+        // Absurd carried prices would leave every provider unsold at λ > 0;
+        // the repair loop must recover the cold outcome and its certificate.
+        let inst = competitive_instance();
+        let engine = SyncAuction::new(AuctionConfig::paper());
+        let warm = engine.run_warm(&inst, &[1e6, 1e6]).unwrap();
+        let cold = engine.run(&inst).unwrap();
+        assert_eq!(warm.assignment.welfare(&inst), cold.assignment.welfare(&inst));
+        let report = crate::verify_optimality(&inst, &warm.assignment, &warm.duals, 1e-9);
+        assert!(report.is_optimal(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn warm_start_tolerates_garbage_and_short_price_vectors() {
+        let inst = competitive_instance();
+        let engine = SyncAuction::new(AuctionConfig::with_epsilon(0.01));
+        // NaN/negative entries clamp to 0; missing entries default to 0.
+        for prices in [vec![f64::NAN, -3.0], vec![0.5], vec![]] {
+            let warm = engine.run_warm(&inst, &prices).unwrap();
+            assert!(warm.converged);
+            let tol = 0.01 * (inst.request_count() as f64 + 1.0);
+            let report = crate::verify_optimality(&inst, &warm.assignment, &warm.duals, tol);
+            assert!(report.is_optimal(), "{:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn warm_start_keeps_certificate_when_demand_collapses() {
+        // Last slot: two rich requests saturated the provider at high λ.
+        // This slot: a single modest request. The carried price would leave
+        // capacity unsold at λ > 0 (CS 1 violation) without repair.
+        let mut b = WelfareInstance::builder();
+        let u = b.add_provider(PeerId::new(7), 2);
+        let r = b.add_request(rid(0, 0));
+        b.add_edge(r, u, Valuation::new(2.0), Cost::new(0.5)).unwrap();
+        let inst = b.build().unwrap();
+        let engine = SyncAuction::new(AuctionConfig::paper());
+        let warm = engine.run_warm(&inst, &[5.0]).unwrap();
+        assert_eq!(warm.assignment.assigned_count(), 1);
+        let report = crate::verify_optimality(&inst, &warm.assignment, &warm.duals, 1e-9);
+        assert!(report.is_optimal(), "{:?}", report.violations);
     }
 
     #[test]

@@ -61,6 +61,7 @@
 pub mod auctioneer;
 pub mod bertsekas;
 pub mod bidder;
+pub mod diff;
 pub mod dist;
 pub mod engine;
 pub mod instance;
@@ -72,6 +73,7 @@ pub mod verify;
 mod ordf64;
 
 pub use bidder::{BidDecision, EdgeView};
+pub use diff::{InstanceDiff, InstancePatch};
 pub use engine::{AuctionConfig, AuctionOutcome, EpsilonScaling, SyncAuction};
 pub use instance::{EdgeSpec, InstanceBuilder, ProviderSpec, RequestSpec, WelfareInstance};
 pub use solution::{Assignment, DualSolution};

@@ -6,11 +6,12 @@ use p2p_sched::{
     AuctionScheduler, ChunkScheduler, ExactScheduler, GreedyScheduler, RandomScheduler,
     SimpleLocalityScheduler,
 };
-use p2p_streaming::System;
+use p2p_streaming::{System, WorkloadTrace};
 use p2p_types::{P2pError, Result};
 
 /// Scheduler names accepted by [`scheduler_by_name`].
-pub const SCHEDULER_NAMES: [&str; 5] = ["auction", "locality", "random", "greedy", "exact"];
+pub const SCHEDULER_NAMES: [&str; 6] =
+    ["auction", "auction_warm", "locality", "random", "greedy", "exact"];
 
 /// Builds a scheduler from its CLI name (`seed` parameterizes the
 /// stochastic ones).
@@ -21,6 +22,7 @@ pub const SCHEDULER_NAMES: [&str; 5] = ["auction", "locality", "random", "greedy
 pub fn scheduler_by_name(name: &str, seed: u64) -> Result<Box<dyn ChunkScheduler>> {
     match name {
         "auction" => Ok(Box::new(AuctionScheduler::paper())),
+        "auction_warm" => Ok(Box::new(AuctionScheduler::paper().warm_start())),
         "locality" | "simple_locality" => Ok(Box::new(SimpleLocalityScheduler::new())),
         "random" => Ok(Box::new(RandomScheduler::new(seed ^ 0x5EED))),
         "greedy" => Ok(Box::new(GreedyScheduler::new())),
@@ -111,7 +113,7 @@ impl ScenarioReport {
     pub fn summary_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "scenario `{}` — {} (profile {}, seed {}, {} slots, {} initial peers{})\n",
+            "scenario `{}` — {} (profile {}, seed {}, {} slots, {} initial peers{}{})\n",
             self.scenario.name,
             self.scenario.description,
             self.scenario.profile.name(),
@@ -119,6 +121,10 @@ impl ScenarioReport {
             self.scenario.slots,
             self.scenario.initial_peers,
             if self.scenario.churn { ", churn on" } else { "" },
+            match self.scenario.slot_build {
+                p2p_streaming::SlotBuild::Cold => "",
+                p2p_streaming::SlotBuild::Incremental => ", incremental slot-build",
+            },
         ));
         out.push_str(&self.scenario.timeline_description());
         out.push_str(&format!(
@@ -141,17 +147,30 @@ fn apply_due_events(events: &[&TimedEvent], slot: u64, sys: &mut System) -> Resu
     Ok(())
 }
 
-/// Runs one scheduler over the scenario.
-///
-/// # Errors
-///
-/// Propagates system-construction, event-application and scheduling
-/// errors.
-pub fn run_one(scenario: &Scenario, scheduler: Box<dyn ChunkScheduler>) -> Result<ScenarioRun> {
+/// How one run obtains its workload (see [`run_scenario`]'s trace cache).
+enum WorkloadHandling<'a> {
+    /// Generate live from the scenario seed (the pre-cache behavior).
+    Generate,
+    /// Generate live and record the admissions into a trace.
+    Record,
+    /// Replay a previously recorded trace.
+    Replay(&'a WorkloadTrace),
+}
+
+fn run_one_with(
+    scenario: &Scenario,
+    scheduler: Box<dyn ChunkScheduler>,
+    workload: WorkloadHandling<'_>,
+) -> Result<(ScenarioRun, Option<WorkloadTrace>)> {
     scenario.validate()?;
     let mut events: Vec<&TimedEvent> = scenario.events.iter().collect();
     events.sort_by_key(|e| e.at_slot);
     let mut sys = System::new(scenario.base_config(), scheduler)?;
+    match workload {
+        WorkloadHandling::Generate => {}
+        WorkloadHandling::Record => sys.record_workload(),
+        WorkloadHandling::Replay(trace) => sys.replay_workload(trace.clone()),
+    }
     let name = sys.scheduler_name();
     if scenario.initial_peers > 0 {
         sys.add_static_peers(scenario.initial_peers)?;
@@ -163,13 +182,28 @@ pub fn run_one(scenario: &Scenario, scheduler: Box<dyn ChunkScheduler>) -> Resul
         apply_due_events(&events, slot, &mut sys)?;
         sys.step_slot()?;
     }
+    let trace = sys.take_workload_trace();
     let recorder = sys.recorder().clone();
-    Ok(ScenarioRun { summary: RunSummary::from_recorder(name, &recorder), recorder })
+    Ok((ScenarioRun { summary: RunSummary::from_recorder(name, &recorder), recorder }, trace))
 }
 
-/// Sweeps every scheduler over the scenario. Each run re-builds the system
-/// from the scenario seed, so all schedulers face the identical workload
-/// and event timeline.
+/// Runs one scheduler over the scenario, generating the workload live from
+/// the scenario seed.
+///
+/// # Errors
+///
+/// Propagates system-construction, event-application and scheduling
+/// errors.
+pub fn run_one(scenario: &Scenario, scheduler: Box<dyn ChunkScheduler>) -> Result<ScenarioRun> {
+    run_one_with(scenario, scheduler, WorkloadHandling::Generate).map(|(run, _)| run)
+}
+
+/// Sweeps every scheduler over the scenario, all facing the identical
+/// workload and event timeline. The first run records the generated
+/// arrival trace and every later run replays it, so the workload is
+/// derived once per (scenario, seed) instead of once per scheduler — the
+/// summaries are byte-identical to generating it each time (the system RNG
+/// only ever feeds workload generation).
 ///
 /// # Errors
 ///
@@ -198,8 +232,17 @@ pub fn run_scenario(
         return Err(P2pError::invalid_config("schedulers", "need at least one"));
     }
     let mut runs = Vec::with_capacity(schedulers.len());
+    let mut trace: Option<WorkloadTrace> = None;
     for scheduler in schedulers {
-        runs.push(run_one(scenario, scheduler)?);
+        let handling = match &trace {
+            None => WorkloadHandling::Record,
+            Some(t) => WorkloadHandling::Replay(t),
+        };
+        let (run, recorded) = run_one_with(scenario, scheduler, handling)?;
+        if trace.is_none() {
+            trace = recorded;
+        }
+        runs.push(run);
     }
     Ok(ScenarioReport { scenario: scenario.clone(), runs })
 }
@@ -257,6 +300,22 @@ mod tests {
             report.runs[0].recorder.population_series().points(),
             report.runs[1].recorder.population_series().points(),
         );
+    }
+
+    #[test]
+    fn cached_workload_sweep_matches_uncached_runs() {
+        // The sweep records the workload once and replays it; per-scheduler
+        // results must be byte-identical to deriving the workload live.
+        let scenario = builtin("prime_time").unwrap().quick(10);
+        let names = ["auction", "locality", "random"];
+        let schedulers =
+            names.iter().map(|n| scheduler_by_name(n, scenario.seed).unwrap()).collect();
+        let report = run_scenario(&scenario, schedulers).unwrap();
+        for (run, name) in report.runs.iter().zip(names) {
+            let solo = run_one(&scenario, scheduler_by_name(name, scenario.seed).unwrap()).unwrap();
+            assert_eq!(run.summary.table_row(), solo.summary.table_row(), "{name}");
+            assert_eq!(run.recorder.slots(), solo.recorder.slots(), "{name}");
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! * top-level `key = value` lines describe the base workload (`name`,
 //!   `description`, `profile`, `seed`, `slots`, `peers`, `churn`,
-//!   `arrival_rate`, `seeds_per_video`);
+//!   `arrival_rate`, `seeds_per_video`, `slot_build`);
 //! * each `[[event]]` table adds one timed event;
 //! * values are quoted strings, integers, floats or `true`/`false`;
 //! * `#` starts a comment (outside quotes); blank lines are ignored.
@@ -373,6 +373,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario> {
             "churn",
             "arrival_rate",
             "seeds_per_video",
+            "slot_build",
         ],
         "scenario",
     )?;
@@ -395,6 +396,9 @@ pub fn parse_scenario(text: &str) -> Result<Scenario> {
     }
     scenario.arrival_rate = top.f64("arrival_rate")?;
     scenario.seeds_per_video = top.u32("seeds_per_video")?;
+    if let Some(mode) = top.str("slot_build")? {
+        scenario.slot_build = p2p_streaming::SlotBuild::from_name(&mode)?;
+    }
     for table in &event_tables {
         scenario.events.push(parse_event(table)?);
     }
@@ -496,7 +500,17 @@ factor = 2.0
         assert_eq!(s.profile, Profile::Small);
         assert_eq!(s.seed, 42);
         assert!(!s.churn);
+        assert_eq!(s.slot_build, p2p_streaming::SlotBuild::Cold);
         assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn slot_build_key_parses_and_rejects_unknown_modes() {
+        let s = parse_scenario("name = \"x\"\nslot_build = \"incremental\"\n").unwrap();
+        assert_eq!(s.slot_build, p2p_streaming::SlotBuild::Incremental);
+        let s = parse_scenario("name = \"x\"\nslot_build = \"cold\"\n").unwrap();
+        assert_eq!(s.slot_build, p2p_streaming::SlotBuild::Cold);
+        expect_err("name = \"x\"\nslot_build = \"lukewarm\"\n", "unknown mode");
     }
 
     fn expect_err(spec: &str, needle: &str) {

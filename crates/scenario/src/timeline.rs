@@ -1,7 +1,7 @@
 //! The scenario timeline: a named workload plus events pinned to slots.
 
 use crate::event::ScenarioEvent;
-use p2p_streaming::SystemConfig;
+use p2p_streaming::{SlotBuild, SystemConfig};
 use p2p_types::{P2pError, Result};
 
 /// Which base system configuration a scenario runs on.
@@ -87,6 +87,9 @@ pub struct Scenario {
     /// per-ISP placement — scarce seeds force cross-ISP traffic, which is
     /// where repricing and outage events bite.
     pub seeds_per_video: Option<u32>,
+    /// How each slot's welfare instance is constructed (cold rebuild vs the
+    /// incremental slot-problem cache; both emit identical instances).
+    pub slot_build: SlotBuild,
     /// The event timeline (kept in spec order; the runner fires events
     /// stably sorted by slot).
     pub events: Vec<TimedEvent>,
@@ -106,6 +109,7 @@ impl Scenario {
             churn: false,
             arrival_rate: None,
             seeds_per_video: None,
+            slot_build: SlotBuild::Cold,
             events: Vec::new(),
         }
     }
@@ -114,6 +118,13 @@ impl Scenario {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the slot-problem construction mode (builder-style).
+    #[must_use]
+    pub fn with_slot_build(mut self, mode: SlotBuild) -> Self {
+        self.slot_build = mode;
         self
     }
 
@@ -146,6 +157,7 @@ impl Scenario {
         if let Some(k) = self.seeds_per_video {
             config.seeds = p2p_streaming::SeedPlacement::PerVideoTotal(k);
         }
+        config.slot_build = self.slot_build;
         config
     }
 
@@ -241,6 +253,14 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert_eq!(c.isp_count, 5);
         assert_eq!(c.arrival_rate, 3.0);
+        assert_eq!(c.slot_build, SlotBuild::Cold);
+    }
+
+    #[test]
+    fn slot_build_flows_into_the_base_config() {
+        let s = Scenario::new("x", "d").with_slot_build(SlotBuild::Incremental);
+        assert_eq!(s.base_config().slot_build, SlotBuild::Incremental);
+        s.validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Incremental slot-problem construction: the dirty-tracked request cache
+//! behind [`crate::SlotBuild::Incremental`].
+//!
+//! The cold path re-derives every provider, request and candidate edge each
+//! slot, even though locality-aware swarms change little between slots: a
+//! watcher's neighbor list is stable, pairwise link costs are stable, and
+//! only the sliding playback window and the slot's deliveries perturb the
+//! request set. This cache keeps one *block* per watcher — the window of
+//! chunk requests plus, per neighbor, the link cost — and re-derives a
+//! block only when something that can actually change it happened:
+//!
+//! * **deliveries** patch blocks in place (the receiver drops its request,
+//!   watchers neighboring the receiver gain a candidate edge);
+//! * **playback advance** slides the window: chunks falling out are popped,
+//!   chunks entering are scanned fresh, the overlap is reused verbatim;
+//! * **neighbor refresh / churn** dirties exactly the watchers whose
+//!   neighbor lists changed (departed peers also drop their blocks);
+//! * **link repricing** bumps a cost epoch; blocks lazily re-derive their
+//!   per-neighbor costs (structure untouched);
+//! * **per-ISP throttles** need no invalidation at all — capacities are
+//!   re-read every emit.
+//!
+//! Valuations change every slot by construction (deadlines approach), so
+//! they are recomputed at emit time from the cached chunk index — exactly
+//! the cold formula. The emitted [`SlotProblem`] is **bit-identical** to
+//! the cold rebuild: same provider/request/edge order, same floats. The
+//! cold path stays available as the oracle and the property suite asserts
+//! the equivalence after arbitrary scenario event sequences.
+
+use crate::config::SystemConfig;
+use crate::peer::PeerState;
+use p2p_core::WelfareInstance;
+use p2p_sched::SlotProblem;
+use p2p_topology::Topology;
+use p2p_types::{
+    ChunkId, Cost, IspId, P2pError, PeerId, RequestId, Result, SimDuration, SimTime, VideoId,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A provider's effective upload capacity under an ISP throttle factor.
+///
+/// A throttle is a hard cap on whole-chunk uploads, so fractional
+/// capacities floor — but flooring must not silently zero a capacity-1
+/// uploader under a mild throttle (factor 0.5 is "half speed", not an
+/// outage), so nonzero factors keep at least one chunk per slot. A factor
+/// of exactly 0 is the documented hard-outage semantics: the ISP's peers
+/// upload nothing.
+pub(crate) fn throttled_capacity(cap: u32, factor: f64) -> u32 {
+    if factor <= 0.0 || cap == 0 {
+        0
+    } else {
+        ((f64::from(cap) * factor).floor() as u32).clamp(1, cap)
+    }
+}
+
+/// One chunk request within a watcher's cached block.
+#[derive(Debug, Clone)]
+struct ChunkReq {
+    /// Chunk index within the video.
+    k: u32,
+    /// Ranks into the block's neighbor list of the candidates caching `k`,
+    /// ascending — the cold path's edge order is neighbor-list order.
+    edges: Vec<u32>,
+}
+
+/// A watcher's cached window of chunk requests.
+#[derive(Debug, Clone)]
+struct WatcherBlock {
+    video: VideoId,
+    /// Neighbor-list snapshot the block was built against (any change
+    /// dirties the whole block).
+    neighbors: Vec<PeerId>,
+    /// Per-neighbor link cost `w_{u→d}`, aligned with `neighbors`.
+    neighbor_costs: Vec<Cost>,
+    /// Cost epoch `neighbor_costs` was derived under.
+    cost_epoch: u64,
+    /// Window covered: chunks in `[first, last)`.
+    first: u32,
+    last: u32,
+    /// Requests for the window's missing chunks, ascending by chunk index.
+    /// Requests with no candidates yet are kept (deliveries may add edges);
+    /// they are skipped at emit, exactly like the cold path.
+    chunks: VecDeque<ChunkReq>,
+}
+
+/// Counters describing the last [`SlotProblemCache::build`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Watcher blocks rebuilt from scratch (dirty or new).
+    pub blocks_rebuilt: u64,
+    /// Watcher blocks reused (window slide + patches only).
+    pub blocks_reused: u64,
+    /// Chunk requests scanned fresh (rebuilds + window extensions).
+    pub chunks_fresh: u64,
+    /// Chunk requests reused from a prior slot.
+    pub chunks_reused: u64,
+}
+
+/// The incremental slot-problem builder (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct SlotProblemCache {
+    blocks: HashMap<PeerId, WatcherBlock>,
+    /// Reverse adjacency: provider → watchers whose neighbor snapshot
+    /// contains it (drives delivery edge-patching).
+    watchers_of: HashMap<PeerId, HashSet<PeerId>>,
+    /// Watchers whose blocks must be rebuilt at the next emit.
+    dirty: HashSet<PeerId>,
+    /// Bumped by link repricing; blocks refresh costs lazily on mismatch.
+    cost_epoch: u64,
+    stats: CacheStats,
+}
+
+impl SlotProblemCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters from the most recent build.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Marks one watcher's block for a full rebuild (neighbor list changed,
+    /// or any doubt about its validity).
+    pub(crate) fn mark_dirty(&mut self, peer: PeerId) {
+        self.dirty.insert(peer);
+    }
+
+    /// Invalidates every cached link cost (mid-run repricing). Block
+    /// structure is kept: costs are re-derived lazily at the next emit.
+    pub(crate) fn invalidate_costs(&mut self) {
+        self.cost_epoch += 1;
+    }
+
+    /// Drops all state for departed peers.
+    pub(crate) fn remove_peers(&mut self, gone: &[PeerId]) {
+        for &peer in gone {
+            self.drop_block(peer);
+            self.watchers_of.remove(&peer);
+            self.dirty.remove(&peer);
+        }
+    }
+
+    fn drop_block(&mut self, peer: PeerId) {
+        if let Some(block) = self.blocks.remove(&peer) {
+            for n in &block.neighbors {
+                if let Some(set) = self.watchers_of.get_mut(n) {
+                    set.remove(&peer);
+                }
+            }
+        }
+    }
+
+    /// Patches blocks for one applied delivery: `receiver` (watching
+    /// `video`) now holds chunk `k`, so its own request disappears and
+    /// every watcher neighboring it gains a candidate edge.
+    pub(crate) fn on_delivered(&mut self, receiver: PeerId, video: VideoId, k: u32) {
+        if let Some(block) = self.blocks.get_mut(&receiver) {
+            if let Ok(i) = block.chunks.binary_search_by(|c| c.k.cmp(&k)) {
+                block.chunks.remove(i);
+            }
+        }
+        let Some(watchers) = self.watchers_of.get(&receiver) else {
+            return;
+        };
+        for &w in watchers {
+            if self.dirty.contains(&w) {
+                continue; // rebuilt from scratch anyway
+            }
+            let Some(block) = self.blocks.get_mut(&w) else {
+                continue;
+            };
+            if block.video != video || k < block.first || k >= block.last {
+                continue;
+            }
+            let Ok(i) = block.chunks.binary_search_by(|c| c.k.cmp(&k)) else {
+                continue; // the watcher already holds k
+            };
+            let rank = block
+                .neighbors
+                .iter()
+                .position(|&n| n == receiver)
+                .expect("reverse index entries mirror neighbor snapshots")
+                as u32;
+            let edges = &mut block.chunks[i].edges;
+            if let Err(at) = edges.binary_search(&rank) {
+                edges.insert(at, rank);
+            }
+        }
+    }
+
+    /// Builds the slot's problem, reusing every block the slot's changes
+    /// did not invalidate. Mirrors the cold construction exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on internal inconsistency.
+    pub(crate) fn build(
+        &mut self,
+        peers: &[Option<PeerState>],
+        topology: &Topology,
+        config: &SystemConfig,
+        isp_throttles: &HashMap<IspId, f64>,
+        now: SimTime,
+    ) -> Result<SlotProblem> {
+        self.stats = CacheStats::default();
+        let cost_epoch = self.cost_epoch;
+        let delivery_time = now
+            + SimDuration::from_secs_f64(config.slot_len.as_secs_f64() * config.delivery_fraction);
+        let mut b = WelfareInstance::builder();
+        // Peer ids are dense indices into the peer table and never reused,
+        // so a flat vector replaces the cold path's per-edge hash lookups.
+        let mut provider_idx: Vec<usize> = vec![usize::MAX; peers.len()];
+        for p in peers.iter().flatten() {
+            let cap = p.upload_capacity().chunks_per_slot();
+            let cap = match isp_throttles.get(&p.isp()) {
+                Some(&f) => throttled_capacity(cap, f),
+                None => cap,
+            };
+            provider_idx[p.id().index()] = b.add_provider(p.id(), cap);
+        }
+        // Under the default `SchedulingSlack` time base a slot's valuation
+        // depends only on the (small, integer) slack, so one `ln` per
+        // distinct slack serves every request of the slot.
+        let mut slack_valuations: Vec<Option<p2p_types::Valuation>> = Vec::new();
+        let memoize_slack =
+            matches!(config.valuation_time_base, crate::config::ValuationTimeBase::SchedulingSlack);
+
+        let mut urgency = Vec::new();
+        let window = config.lookahead_chunks();
+        for p in peers.iter().flatten() {
+            if p.is_seed() {
+                continue;
+            }
+            let chunk_count = p.buffer.chunk_count();
+            let pos = p.position(now);
+            let first = if pos < 0.0 { 0 } else { (pos.floor() as i64 + 1).max(0) as u32 };
+            let last = first.saturating_add(window).min(chunk_count);
+            if first >= last {
+                // The cold path emits nothing for this watcher; drop any
+                // stale block so it cannot be reused after state drifts.
+                self.drop_block(p.id());
+                continue;
+            }
+            if self.dirty.contains(&p.id()) || !self.blocks.contains_key(&p.id()) {
+                self.rebuild_block(p, first, last, peers, topology)?;
+                self.stats.blocks_rebuilt += 1;
+            } else {
+                self.slide_block(p, first, last, peers);
+                self.stats.blocks_reused += 1;
+            }
+            let block = self.blocks.get_mut(&p.id()).expect("block exists after rebuild/slide");
+            if block.cost_epoch != cost_epoch {
+                for (rank, &n) in block.neighbors.iter().enumerate() {
+                    block.neighbor_costs[rank] = topology.cost(n, p.id())?;
+                }
+                block.cost_epoch = cost_epoch;
+            }
+
+            // Emit, mirroring the cold scan over `first..last`.
+            for cr in &block.chunks {
+                if p.buffer.has_index(cr.k) {
+                    continue;
+                }
+                let deadline = p.deadline_of(cr.k);
+                if deadline < delivery_time {
+                    continue;
+                }
+                if cr.edges.is_empty() {
+                    continue;
+                }
+                let d_time = deadline.since(now);
+                let slack_slots = (deadline.since(delivery_time).as_secs_f64()
+                    / config.slot_len.as_secs_f64())
+                .floor() as u32;
+                let valuation = if memoize_slack && (slack_slots as usize) < 4096 {
+                    let slot = slack_slots as usize;
+                    if slot >= slack_valuations.len() {
+                        slack_valuations.resize(slot + 1, None);
+                    }
+                    *slack_valuations[slot]
+                        .get_or_insert_with(|| config.chunk_valuation(d_time, slack_slots))
+                } else {
+                    config.chunk_valuation(d_time, slack_slots)
+                };
+                let chunk = ChunkId::new(p.video(), cr.k);
+                let r = b.add_request(RequestId::new(p.id(), chunk));
+                for &rank in &cr.edges {
+                    let u = block.neighbors[rank as usize];
+                    b.add_edge(
+                        r,
+                        provider_idx[u.index()],
+                        valuation,
+                        block.neighbor_costs[rank as usize],
+                    )
+                    .map_err(|e| P2pError::MalformedInstance(e.to_string()))?;
+                }
+                urgency.push(d_time);
+            }
+        }
+        self.dirty.clear();
+        SlotProblem::new(b.build()?, urgency)
+    }
+
+    /// Rebuilds one watcher's block from scratch.
+    fn rebuild_block(
+        &mut self,
+        p: &PeerState,
+        first: u32,
+        last: u32,
+        peers: &[Option<PeerState>],
+        topology: &Topology,
+    ) -> Result<()> {
+        self.drop_block(p.id());
+        let neighbors = p.neighbors.clone();
+        let mut neighbor_costs = Vec::with_capacity(neighbors.len());
+        for &n in &neighbors {
+            neighbor_costs.push(topology.cost(n, p.id())?);
+            self.watchers_of.entry(n).or_default().insert(p.id());
+        }
+        let mut block = WatcherBlock {
+            video: p.video(),
+            neighbors,
+            neighbor_costs,
+            cost_epoch: self.cost_epoch,
+            first,
+            last,
+            chunks: VecDeque::with_capacity((last - first) as usize),
+        };
+        self.stats.chunks_fresh += scan_chunks(&mut block, p, first, last, peers);
+        self.blocks.insert(p.id(), block);
+        Ok(())
+    }
+
+    /// Advances a clean block's window from its cached range to
+    /// `[first, last)`: drops chunks that fell out, scans entrants fresh,
+    /// reuses the overlap verbatim.
+    fn slide_block(&mut self, p: &PeerState, first: u32, last: u32, peers: &[Option<PeerState>]) {
+        let block = self.blocks.get_mut(&p.id()).expect("caller checked presence");
+        debug_assert!(first >= block.first, "playback position is monotone");
+        while block.chunks.front().is_some_and(|c| c.k < first) {
+            block.chunks.pop_front();
+        }
+        let reused = block.chunks.len() as u64;
+        let scan_from = block.last.max(first);
+        let fresh = scan_chunks(block, p, scan_from, last, peers);
+        block.first = first;
+        block.last = last;
+        self.stats.chunks_reused += reused;
+        self.stats.chunks_fresh += fresh;
+    }
+}
+
+/// Scans `[from, to)` against current buffers and appends the missing
+/// chunks' requests to the block — the cold path's candidate derivation.
+/// Returns the number of chunks scanned in.
+fn scan_chunks(
+    block: &mut WatcherBlock,
+    p: &PeerState,
+    from: u32,
+    to: u32,
+    peers: &[Option<PeerState>],
+) -> u64 {
+    let mut fresh = 0;
+    for k in from..to {
+        if p.buffer.has_index(k) {
+            continue;
+        }
+        let mut edges = Vec::new();
+        for (rank, &n) in block.neighbors.iter().enumerate() {
+            if let Some(np) = peers.get(n.index()).and_then(Option::as_ref) {
+                if np.video() == p.video() && np.buffer.has_index(k) {
+                    edges.push(rank as u32);
+                }
+            }
+        }
+        block.chunks.push_back(ChunkReq { k, edges });
+        fresh += 1;
+    }
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throttled_capacity_clamps_but_keeps_nonzero_uploaders_alive() {
+        // The regression: capacity-1 uploaders under a mild throttle must
+        // not be zeroed into fake outages.
+        assert_eq!(throttled_capacity(1, 0.5), 1);
+        assert_eq!(throttled_capacity(1, 0.01), 1);
+        assert_eq!(throttled_capacity(50, 0.01), 1);
+        // Ordinary flooring above the clamp.
+        assert_eq!(throttled_capacity(50, 0.25), 12);
+        assert_eq!(throttled_capacity(200, 0.5), 100);
+        assert_eq!(throttled_capacity(7, 1.0), 7);
+        // Hard-zero semantics: factor 0 is an outage; capacity 0 stays 0.
+        assert_eq!(throttled_capacity(1, 0.0), 0);
+        assert_eq!(throttled_capacity(100, 0.0), 0);
+        assert_eq!(throttled_capacity(0, 0.7), 0);
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod cache;
 pub mod config;
 pub mod fig2;
 pub mod peer;
@@ -38,7 +39,8 @@ pub mod system;
 pub mod tracker;
 
 pub use buffer::ChunkBuffer;
-pub use config::{SeedPlacement, SystemConfig};
+pub use cache::{CacheStats, SlotProblemCache};
+pub use config::{SeedPlacement, SlotBuild, SystemConfig};
 pub use peer::PeerState;
-pub use system::System;
+pub use system::{System, WorkloadTrace};
 pub use tracker::Tracker;

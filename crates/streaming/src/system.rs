@@ -1,6 +1,7 @@
 //! The slot-driven streaming system.
 
-use crate::config::{SeedPlacement, SystemConfig};
+use crate::cache::{throttled_capacity, CacheStats, SlotProblemCache};
+use crate::config::{SeedPlacement, SlotBuild, SystemConfig};
 use crate::peer::PeerState;
 use crate::tracker::Tracker;
 use p2p_core::WelfareInstance;
@@ -38,6 +39,12 @@ pub struct System {
     /// Per-ISP upload-capacity multipliers (scenario throttles); peers in
     /// an absent ISP run at full capacity.
     isp_throttles: HashMap<IspId, f64>,
+    /// Incremental slot-problem state (used when `config.slot_build` is
+    /// [`SlotBuild::Incremental`]; empty otherwise).
+    cache: SlotProblemCache,
+    /// Workload recording/replay state (scenario sweeps record the first
+    /// run's arrival trace and replay it for every other scheduler).
+    workload: WorkloadMode,
 }
 
 struct ChurnState {
@@ -46,6 +53,40 @@ struct ChurnState {
     /// churn bursts can put many arrivals between two slot boundaries, and
     /// none may be dropped.
     pending: VecDeque<PeerArrival>,
+}
+
+/// Workload generation mode (see [`System::record_workload`]).
+enum WorkloadMode {
+    /// Arrivals are drawn live from the system RNG and churn model.
+    Live,
+    /// Live, plus every admitted watcher is appended to the trace.
+    Record(Vec<(u64, PeerArrival)>),
+    /// Arrivals come verbatim from a recorded trace; every
+    /// workload-generating hook is a no-op.
+    Replay(VecDeque<(u64, PeerArrival)>),
+}
+
+/// A watcher-arrival trace recorded by [`System::record_workload`]: each
+/// admitted watcher with the slot that admitted it, in admission order.
+/// Replaying the trace on a fresh same-seed system reproduces the identical
+/// peer population (ids, ISPs, videos, capacities, departures) without
+/// re-deriving it from the RNG — scenario sweeps run the generation once
+/// per (scenario, seed) instead of once per scheduler.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkloadTrace {
+    arrivals: Vec<(u64, PeerArrival)>,
+}
+
+impl WorkloadTrace {
+    /// Number of recorded arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
 }
 
 impl System {
@@ -71,6 +112,8 @@ impl System {
             pending_static: Vec::new(),
             next_isp: 0,
             isp_throttles: HashMap::new(),
+            cache: SlotProblemCache::new(),
+            workload: WorkloadMode::Live,
             config,
         };
         sys.spawn_seeds()?;
@@ -162,15 +205,61 @@ impl System {
         self.peers.iter().flatten().filter(|p| p.is_seed()).count()
     }
 
+    // ---- workload recording / replay ------------------------------------
+
+    /// Starts recording every watcher admission (call before the first
+    /// slot). The finished trace, obtained via
+    /// [`System::take_workload_trace`], can be replayed on a fresh
+    /// same-seed system with [`System::replay_workload`] to reproduce the
+    /// identical workload without re-deriving it — how scenario sweeps
+    /// share one generated workload across schedulers.
+    pub fn record_workload(&mut self) {
+        self.workload = WorkloadMode::Record(Vec::new());
+    }
+
+    /// Finishes recording and returns the trace (`None` unless
+    /// [`System::record_workload`] was active).
+    pub fn take_workload_trace(&mut self) -> Option<WorkloadTrace> {
+        match std::mem::replace(&mut self.workload, WorkloadMode::Live) {
+            WorkloadMode::Record(arrivals) => Some(WorkloadTrace { arrivals }),
+            other => {
+                self.workload = other;
+                None
+            }
+        }
+    }
+
+    /// Switches the system to trace replay: watcher arrivals come verbatim
+    /// from `trace` at their recorded slots, and every workload-*generating*
+    /// entry point ([`System::add_static_peers`],
+    /// [`System::enable_poisson_churn`], [`System::inject_flash_crowd`],
+    /// [`System::set_churn_rate`], [`System::set_churn_popularity`])
+    /// becomes a no-op — the trace already contains their effects. Events
+    /// that mutate topology, seeds or throttles still apply normally.
+    pub fn replay_workload(&mut self, trace: WorkloadTrace) {
+        self.workload = WorkloadMode::Replay(trace.arrivals.into());
+    }
+
+    /// Whether the system is replaying a recorded workload trace.
+    pub fn is_replaying_workload(&self) -> bool {
+        matches!(self.workload, WorkloadMode::Replay(_))
+    }
+
+    // ---- end workload recording / replay --------------------------------
+
     /// Adds `n` watchers with join times staggered over
     /// `config.static_stagger`, Zipf-chosen videos, round-robin ISPs and
-    /// uniform upload capacities — the paper's "static network".
+    /// uniform upload capacities — the paper's "static network". A no-op
+    /// during workload replay (the trace already contains the arrivals).
     ///
     /// # Errors
     ///
     /// Returns [`P2pError::InvalidConfig`] if distribution parameters are
     /// invalid.
     pub fn add_static_peers(&mut self, n: usize) -> Result<()> {
+        if self.is_replaying_workload() {
+            return Ok(());
+        }
         let zipf = ZipfMandelbrot::paper_video_popularity(self.config.video_count);
         let caps = UniformRange::new(self.config.upload_multiple.0, self.config.upload_multiple.1)?;
         let stagger = self.config.static_stagger.as_secs_f64();
@@ -216,12 +305,15 @@ impl System {
 
     /// Enables Poisson churn (dynamic experiments): joins at
     /// `config.arrival_rate`, early departures with
-    /// `config.early_departure_prob`.
+    /// `config.early_departure_prob`. A no-op during workload replay.
     ///
     /// # Errors
     ///
     /// Returns [`P2pError::InvalidConfig`] if churn parameters are invalid.
     pub fn enable_poisson_churn(&mut self) -> Result<()> {
+        if self.is_replaying_workload() {
+            return Ok(());
+        }
         let cc = ChurnConfig {
             arrival_rate: self.config.arrival_rate,
             early_departure_prob: self.config.early_departure_prob,
@@ -266,6 +358,11 @@ impl System {
                 return Err(P2pError::invalid_config("isp", "id out of range"));
             }
         }
+        // Validate before the replay short-circuit so replayed runs reject
+        // exactly what recorded runs would have rejected.
+        if self.is_replaying_workload() {
+            return Ok(());
+        }
         let zipf = ZipfMandelbrot::paper_video_popularity(self.config.video_count);
         let caps = UniformRange::new(self.config.upload_multiple.0, self.config.upload_multiple.1)?;
         let at = self.now();
@@ -296,6 +393,9 @@ impl System {
                 self.tracker.unregister(*id, p.video());
                 self.topology.unregister_peer(*id);
             }
+        }
+        if self.incremental() {
+            self.cache.remove_peers(&victims);
         }
         victims.len()
     }
@@ -330,6 +430,9 @@ impl System {
         if !rate.is_finite() || rate <= 0.0 {
             return Err(P2pError::invalid_config("arrival_rate", "must be positive"));
         }
+        if self.is_replaying_workload() {
+            return Ok(());
+        }
         if self.churn.is_none() {
             self.enable_poisson_churn()?;
         }
@@ -355,6 +458,9 @@ impl System {
     /// Returns [`P2pError::InvalidConfig`] for invalid law parameters.
     pub fn set_churn_popularity(&mut self, alpha: f64, q: f64) -> Result<()> {
         let law = ZipfMandelbrot::new(self.config.video_count, alpha, q)?;
+        if self.is_replaying_workload() {
+            return Ok(());
+        }
         if self.churn.is_none() {
             self.enable_poisson_churn()?;
         }
@@ -367,20 +473,26 @@ impl System {
         Ok(())
     }
 
-    /// Throttles (or boosts) the upload capacity of every peer in `isp` by
-    /// a multiplicative `factor`, applied when slot problems are built;
-    /// replaces any previous throttle for that ISP.
+    /// Throttles the upload capacity of every peer in `isp` by a
+    /// multiplicative `factor` in `[0, 1]`, applied when slot problems are
+    /// built; replaces any previous throttle for that ISP (1.0 lifts it).
+    ///
+    /// Capacities floor to whole chunks per slot, but a nonzero factor
+    /// never floors a nonzero uploader to 0 — a mild throttle is "slower",
+    /// not an outage, so at least one chunk per slot survives. A factor of
+    /// exactly 0 is the explicit hard-outage semantics: the ISP's peers
+    /// upload nothing until the throttle is lifted.
     ///
     /// # Errors
     ///
     /// Returns [`P2pError::InvalidConfig`] for an out-of-range ISP or a
-    /// non-positive/non-finite factor.
+    /// factor outside `[0, 1]`.
     pub fn set_isp_throttle(&mut self, isp: IspId, factor: f64) -> Result<()> {
         if isp.index() >= usize::from(self.config.isp_count) {
             return Err(P2pError::invalid_config("isp", "id out of range"));
         }
-        if !factor.is_finite() || factor <= 0.0 {
-            return Err(P2pError::invalid_config("throttle", "must be positive and finite"));
+        if !factor.is_finite() || !(0.0..=1.0).contains(&factor) {
+            return Err(P2pError::invalid_config("throttle", "must be a finite factor in [0, 1]"));
         }
         self.isp_throttles.insert(isp, factor);
         Ok(())
@@ -397,33 +509,47 @@ impl System {
     }
 
     /// Reprices every inter-ISP link by `factor` (see
-    /// [`Topology::set_inter_cost_scale`]).
+    /// [`Topology::set_inter_cost_scale`]); invalidates cached link costs.
     ///
     /// # Errors
     ///
     /// Returns [`P2pError::InvalidConfig`] for invalid factors.
     pub fn set_inter_link_cost_scale(&mut self, factor: f64) -> Result<()> {
-        self.topology.set_inter_cost_scale(factor)
+        self.topology.set_inter_cost_scale(factor)?;
+        self.cache.invalidate_costs();
+        Ok(())
     }
 
     /// Reprices the inter-ISP links touching `isp` by `factor` (see
-    /// [`Topology::set_isp_cost_scale`]).
+    /// [`Topology::set_isp_cost_scale`]); invalidates cached link costs.
     ///
     /// # Errors
     ///
     /// Returns [`P2pError::InvalidConfig`] for invalid factors or ISPs.
     pub fn set_isp_link_cost_scale(&mut self, isp: IspId, factor: f64) -> Result<()> {
-        self.topology.set_isp_cost_scale(isp, factor)
+        self.topology.set_isp_cost_scale(isp, factor)?;
+        self.cache.invalidate_costs();
+        Ok(())
     }
 
-    /// Drops all link-cost repricing, restoring the base cost model.
+    /// Drops all link-cost repricing, restoring the base cost model;
+    /// invalidates cached link costs.
     pub fn reset_link_cost_scales(&mut self) {
         self.topology.reset_cost_scales();
+        self.cache.invalidate_costs();
     }
 
     // ---- end scenario event hooks ---------------------------------------
 
+    /// Whether the incremental slot-problem cache is active.
+    fn incremental(&self) -> bool {
+        self.config.slot_build == SlotBuild::Incremental
+    }
+
     fn spawn_watcher(&mut self, arrival: PeerArrival) -> Result<PeerId> {
+        if let WorkloadMode::Record(trace) = &mut self.workload {
+            trace.push((self.slot.get(), arrival));
+        }
         let id = self.alloc_peer_id();
         let chunk_count = self.catalog.video(arrival.video)?.chunk_count();
         let watcher = PeerState::watcher(
@@ -445,6 +571,23 @@ impl System {
     /// Admits all pending joins with `at <= now` (the paper admits newly
     /// joined peers at slot boundaries so running auctions are undisturbed).
     fn admit_pending(&mut self, now: SimTime) -> Result<()> {
+        if matches!(self.workload, WorkloadMode::Replay(_)) {
+            // Scripted admission: spawn the trace's arrivals for this slot
+            // in recorded order — identical ids, ISPs and capacities as the
+            // recorded run, with zero RNG/churn-model work.
+            let slot = self.slot.get();
+            loop {
+                let WorkloadMode::Replay(trace) = &mut self.workload else { unreachable!() };
+                match trace.front() {
+                    Some(&(s, a)) if s <= slot => {
+                        trace.pop_front();
+                        self.spawn_watcher(a)?;
+                    }
+                    _ => break,
+                }
+            }
+            return Ok(());
+        }
         while let Some(a) = self.pending_static.last() {
             if a.at > now {
                 break;
@@ -476,18 +619,27 @@ impl System {
 
     /// Removes watchers that finished or departed by `now`.
     fn remove_gone(&mut self, now: SimTime) {
+        let incremental = self.incremental();
         let gone: Vec<PeerId> =
             self.peers.iter().flatten().filter(|p| p.gone(now)).map(PeerState::id).collect();
-        for id in gone {
+        for id in &gone {
             if let Some(p) = self.peers[id.index()].take() {
-                self.tracker.unregister(id, p.video());
-                self.topology.unregister_peer(id);
+                self.tracker.unregister(*id, p.video());
+                self.topology.unregister_peer(*id);
             }
         }
-        // Drop departed peers from neighbor lists.
+        if incremental {
+            self.cache.remove_peers(&gone);
+        }
+        // Drop departed peers from neighbor lists; shedding a neighbor
+        // invalidates the peer's cached request block.
         let online: HashSet<PeerId> = self.peers.iter().flatten().map(PeerState::id).collect();
         for p in self.peers.iter_mut().flatten() {
+            let before = p.neighbors.len();
             p.neighbors.retain(|n| online.contains(n));
+            if incremental && p.neighbors.len() != before {
+                self.cache.mark_dirty(p.id());
+            }
         }
     }
 
@@ -502,6 +654,7 @@ impl System {
             .filter(|p| !p.is_seed() && p.neighbors.len() < self.config.neighbor_count)
             .map(|p| (p.id(), p.video(), p.position(now)))
             .collect();
+        let incremental = self.incremental();
         for (id, video, pos) in needy {
             let neighbors = self.tracker.neighbors_for(
                 id,
@@ -512,7 +665,15 @@ impl System {
                 |p| positions.get(&p).copied().unwrap_or(0.0),
             );
             if let Some(p) = self.peers[id.index()].as_mut() {
-                p.neighbors = neighbors;
+                // Only an actual change invalidates the cached block —
+                // permanently under-filled peers re-query every slot but
+                // usually get the same list back.
+                if p.neighbors != neighbors {
+                    if incremental {
+                        self.cache.mark_dirty(id);
+                    }
+                    p.neighbors = neighbors;
+                }
             }
         }
     }
@@ -520,6 +681,11 @@ impl System {
     /// Builds the slot's welfare-maximization problem from current buffers,
     /// windows and prices (Sec. III-B). Public so harnesses (e.g. the
     /// Fig. 2 message-level auction) can drive slots manually.
+    ///
+    /// With [`SlotBuild::Incremental`] the instance comes from the
+    /// [`SlotProblemCache`] — bit-identical to the cold rebuild (which
+    /// [`System::cold_slot_problem`] exposes as the oracle), but derived
+    /// only from what changed since the previous slot.
     ///
     /// # Errors
     ///
@@ -529,7 +695,34 @@ impl System {
         self.admit_pending(now)?;
         self.remove_gone(now);
         self.refresh_neighbors(now);
-        self.build_slot_problem(now)
+        match self.config.slot_build {
+            SlotBuild::Cold => self.build_slot_problem(now),
+            SlotBuild::Incremental => self.cache.build(
+                &self.peers,
+                &self.topology,
+                &self.config,
+                &self.isp_throttles,
+                now,
+            ),
+        }
+    }
+
+    /// The cold-rebuilt problem for the current, already-admitted slot
+    /// state — the oracle the incremental path must match. Call right after
+    /// [`System::prepare_slot`] (before [`System::complete_slot`] advances
+    /// the slot) to compare the two construction paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on internal inconsistency.
+    pub fn cold_slot_problem(&self) -> Result<SlotProblem> {
+        self.build_slot_problem(self.now())
+    }
+
+    /// Counters from the incremental builder's most recent slot (all zero
+    /// under [`SlotBuild::Cold`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     fn build_slot_problem(&self, now: SimTime) -> Result<SlotProblem> {
@@ -542,8 +735,7 @@ impl System {
         for p in self.peers.iter().flatten() {
             let cap = p.upload_capacity().chunks_per_slot();
             let cap = match self.isp_throttles.get(&p.isp()) {
-                // Floor: a throttle is a hard cap on whole-chunk uploads.
-                Some(&f) => (f64::from(cap) * f).floor() as u32,
+                Some(&f) => throttled_capacity(cap, f),
                 None => cap,
             };
             let idx = b.add_provider(p.id(), cap);
@@ -663,10 +855,17 @@ impl System {
             }
         }
 
-        // Apply deliveries.
+        // Apply deliveries; each one invalidates exactly two things in the
+        // incremental cache — the receiver's own request and the candidate
+        // lists of watchers neighboring the receiver.
+        let incremental = self.incremental();
         for ((peer, k), _) in delivered {
             if let Some(p) = self.peers[peer.index()].as_mut() {
                 p.buffer.insert_index(k);
+                if incremental {
+                    let video = p.video();
+                    self.cache.on_delivered(peer, video, k);
+                }
             }
         }
 
@@ -918,7 +1117,124 @@ mod tests {
         sys.clear_isp_throttles();
         assert_eq!(sys.isp_throttle(IspId::new(0)), 1.0);
         assert!(sys.set_isp_throttle(IspId::new(9), 0.5).is_err());
-        assert!(sys.set_isp_throttle(IspId::new(0), 0.0).is_err());
+    }
+
+    #[test]
+    fn throttle_factors_validated_into_unit_interval() {
+        let mut sys = small_system(27);
+        sys.add_static_peers(4).unwrap();
+        assert!(sys.set_isp_throttle(IspId::new(0), 1.5).is_err(), "boosts are not throttles");
+        assert!(sys.set_isp_throttle(IspId::new(0), -0.1).is_err());
+        assert!(sys.set_isp_throttle(IspId::new(0), f64::NAN).is_err());
+        // Factor 0 is the documented hard-outage semantics.
+        sys.set_isp_throttle(IspId::new(0), 0.0).unwrap();
+        let problem = sys.prepare_slot().unwrap();
+        for prov in problem.instance.providers() {
+            let peer = sys.peer(prov.peer).unwrap();
+            if peer.isp() == IspId::new(0) {
+                assert_eq!(prov.capacity.chunks_per_slot(), 0, "hard outage uploads nothing");
+            } else {
+                assert!(prov.capacity.chunks_per_slot() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mild_throttle_never_zeroes_a_nonzero_uploader() {
+        // The regression: `(cap * f).floor()` used to zero small uploaders
+        // under any factor < 1, turning mild throttles into fake outages.
+        let mut sys = small_system(28);
+        sys.add_static_peers(6).unwrap();
+        sys.set_isp_throttle(IspId::new(0), 1e-6).unwrap();
+        let problem = sys.prepare_slot().unwrap();
+        assert!(problem.instance.provider_count() > 0);
+        for prov in problem.instance.providers() {
+            let peer = sys.peer(prov.peer).unwrap();
+            if peer.isp() == IspId::new(0) {
+                assert_eq!(
+                    prov.capacity.chunks_per_slot(),
+                    1,
+                    "a nonzero throttle must keep nonzero uploaders alive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_build_matches_cold_oracle_slot_by_slot() {
+        let config =
+            SystemConfig::small_test().with_seed(30).with_slot_build(crate::SlotBuild::Incremental);
+        let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+        sys.add_static_peers(10).unwrap();
+        let mut scheduler = AuctionScheduler::paper();
+        let mut reused_any = false;
+        for _ in 0..8 {
+            let incremental = sys.prepare_slot().unwrap();
+            let cold = sys.cold_slot_problem().unwrap();
+            assert_eq!(incremental, cold, "incremental emit must match the cold oracle");
+            reused_any |= sys.cache_stats().blocks_reused > 0;
+            let schedule = scheduler.schedule(&incremental).unwrap();
+            sys.complete_slot(&incremental, &schedule).unwrap();
+        }
+        assert!(reused_any, "a static swarm must reuse blocks across slots");
+    }
+
+    #[test]
+    fn incremental_build_tracks_throttles_and_repricing() {
+        let config =
+            SystemConfig::small_test().with_seed(31).with_slot_build(crate::SlotBuild::Incremental);
+        let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+        sys.add_static_peers(8).unwrap();
+        sys.run_slots(2).unwrap();
+        sys.set_isp_throttle(IspId::new(0), 0.5).unwrap();
+        sys.set_inter_link_cost_scale(7.0).unwrap();
+        let incremental = sys.prepare_slot().unwrap();
+        let cold = sys.cold_slot_problem().unwrap();
+        assert_eq!(incremental, cold, "mutation hooks must invalidate the cache");
+    }
+
+    #[test]
+    fn workload_replay_reproduces_the_recorded_run() {
+        let fingerprint = |sys: &System| {
+            sys.recorder()
+                .slots()
+                .iter()
+                .map(|(_, m)| (m.welfare.to_bits(), m.transfers, m.missed_chunks, m.online_peers))
+                .collect::<Vec<_>>()
+        };
+        let run = |replay: Option<WorkloadTrace>| {
+            let config = SystemConfig::small_test().with_seed(32).with_departures(0.4);
+            let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+            match replay {
+                Some(trace) => sys.replay_workload(trace),
+                None => sys.record_workload(),
+            }
+            sys.add_static_peers(6).unwrap();
+            sys.enable_poisson_churn().unwrap();
+            sys.inject_flash_crowd(5, None, None).unwrap();
+            sys.run_slots(6).unwrap();
+            let trace = sys.take_workload_trace();
+            (fingerprint(&sys), trace)
+        };
+        let (live, trace) = run(None);
+        let trace = trace.expect("recording was on");
+        assert!(!trace.is_empty(), "the run admits watchers");
+        let (replayed, no_trace) = run(Some(trace));
+        assert_eq!(live, replayed, "replay must reproduce the recorded run bit-for-bit");
+        assert!(no_trace.is_none(), "replay mode does not record");
+    }
+
+    #[test]
+    fn replay_mode_still_validates_event_arguments() {
+        let mut sys = small_system(33);
+        sys.replay_workload(WorkloadTrace::default());
+        // Invalid events fail exactly as they would on the recorded run...
+        assert!(sys.inject_flash_crowd(1, Some(VideoId::new(99)), None).is_err());
+        assert!(sys.inject_flash_crowd(1, None, Some(IspId::new(9))).is_err());
+        // ...while valid ones are no-ops (the trace already has the crowd).
+        sys.inject_flash_crowd(1, None, None).unwrap();
+        sys.step_slot().unwrap();
+        assert_eq!(sys.watcher_count(), 0, "an empty trace admits nobody");
     }
 
     #[test]

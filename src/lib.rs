@@ -63,8 +63,8 @@ pub use p2p_workload as workload;
 pub mod prelude {
     pub use p2p_core::dist::{DistConfig, DistributedAuction};
     pub use p2p_core::{
-        verify_optimality, Assignment, AuctionConfig, AuctionOutcome, DualSolution, SyncAuction,
-        WelfareInstance,
+        verify_optimality, Assignment, AuctionConfig, AuctionOutcome, DualSolution, InstanceDiff,
+        InstancePatch, SyncAuction, WelfareInstance,
     };
     pub use p2p_metrics::{ascii_plot, SlotMetrics, SlotRecorder, Summary, TimeSeries};
     pub use p2p_scenario::{
@@ -75,7 +75,7 @@ pub mod prelude {
         AuctionScheduler, ChunkScheduler, ExactScheduler, GreedyScheduler, RandomScheduler,
         Schedule, SimpleLocalityScheduler, SlotProblem,
     };
-    pub use p2p_streaming::{System, SystemConfig};
+    pub use p2p_streaming::{SlotBuild, SlotProblemCache, System, SystemConfig, WorkloadTrace};
     pub use p2p_topology::{Topology, TopologyConfig};
     pub use p2p_types::{
         Bandwidth, ChunkId, ChunkRequest, Cost, IspId, P2pError, PeerId, RequestId, Result,

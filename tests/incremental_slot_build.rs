@@ -1,0 +1,132 @@
+//! Integration test: the incremental slot-build path and price
+//! warm-starting end to end through the facade — every built-in scenario
+//! must produce identical results under `SlotBuild::{Cold, Incremental}`,
+//! warm-started sweeps must stay ε-close to cold ones, and the scenario
+//! runner's workload-trace cache must be invisible in the output.
+
+use isp_p2p::prelude::*;
+use isp_p2p::scenario::{run_one, BUILTIN_NAMES};
+use isp_p2p::sched::ChunkScheduler;
+
+fn series(report: &ScenarioReport, run: usize) -> Vec<u64> {
+    report.runs[run].recorder.slots().iter().map(|(_, m)| m.welfare.to_bits()).collect()
+}
+
+#[test]
+fn every_builtin_is_identical_under_both_slot_build_modes() {
+    for name in BUILTIN_NAMES {
+        let base = builtin(name).unwrap().quick(10);
+        let mut tables = Vec::new();
+        let mut welfare = Vec::new();
+        for mode in [SlotBuild::Cold, SlotBuild::Incremental] {
+            let scenario = base.clone().with_slot_build(mode);
+            let report = run_scenario(
+                &scenario,
+                vec![
+                    scheduler_by_name("auction", scenario.seed).unwrap(),
+                    scheduler_by_name("locality", scenario.seed).unwrap(),
+                ],
+            )
+            .unwrap();
+            // The header names the mode; everything below it must match.
+            let table = report.summary_table();
+            tables.push(table.lines().skip(1).collect::<Vec<_>>().join("\n"));
+            welfare.push(series(&report, 0));
+        }
+        assert_eq!(welfare[0], welfare[1], "{name}: per-slot welfare must be bit-identical");
+        assert_eq!(tables[0], tables[1], "{name}: summary rows must be byte-identical");
+    }
+}
+
+#[test]
+fn incremental_instances_match_the_cold_oracle_mid_scenario() {
+    // Drive one scenario manually and diff each slot's instance against
+    // the cold oracle — the instance-level counterpart of the welfare
+    // equality above, with `InstanceDiff` pinpointing any divergence.
+    let scenario =
+        builtin("flash_crowd").unwrap().quick(10).with_slot_build(SlotBuild::Incremental);
+    let mut sys =
+        System::new(scenario.base_config(), scheduler_by_name("auction", scenario.seed).unwrap())
+            .unwrap();
+    sys.add_static_peers(scenario.initial_peers).unwrap();
+    let mut scheduler = AuctionScheduler::paper();
+    let mut events: Vec<_> = scenario.events.iter().collect();
+    events.sort_by_key(|e| e.at_slot);
+    for slot in 0..scenario.slots {
+        for e in events.iter().filter(|e| e.at_slot == slot) {
+            e.event.apply(&mut sys).unwrap();
+        }
+        let incremental = sys.prepare_slot().unwrap();
+        let cold = sys.cold_slot_problem().unwrap();
+        let diff = InstanceDiff::between(&cold.instance, &incremental.instance);
+        assert!(diff.is_empty(), "slot {slot}: {diff:?}");
+        assert_eq!(incremental, cold, "slot {slot}: urgency or ordering diverged");
+        let schedule = scheduler.schedule(&incremental).unwrap();
+        sys.complete_slot(&incremental, &schedule).unwrap();
+    }
+    let stats = sys.cache_stats();
+    assert!(stats.blocks_reused > 0, "the cache must actually reuse blocks: {stats:?}");
+}
+
+#[test]
+fn warm_started_sweep_stays_close_to_cold_welfare() {
+    // Warm outcomes are ε-equivalent, not bit-identical: tie-breaks can
+    // differ, but total welfare must stay within the certificate's slack.
+    let scenario = builtin("flash_crowd").unwrap().quick(10);
+    let report = run_scenario(
+        &scenario,
+        vec![
+            scheduler_by_name("auction", scenario.seed).unwrap(),
+            scheduler_by_name("auction_warm", scenario.seed).unwrap(),
+        ],
+    )
+    .unwrap();
+    assert_eq!(report.runs[0].summary.scheduler, "auction");
+    assert_eq!(report.runs[1].summary.scheduler, "auction_warm");
+    let cold = report.runs[0].summary.total_welfare;
+    let warm = report.runs[1].summary.total_welfare;
+    assert!(warm > 0.0, "warm-started runs must schedule transfers");
+    // ε = 0 auctions abstain on ties within the 1e-9 floor; across a quick
+    // sweep the totals agree to well under one valuation unit.
+    assert!((cold - warm).abs() <= 1.0 + 1e-6, "cold {cold} vs warm {warm}");
+}
+
+#[test]
+fn workload_trace_survives_scenario_and_system_round_trips() {
+    // The runner's cached sweep equals per-scheduler live generation.
+    let scenario = builtin("isp_outage").unwrap().quick(10);
+    let report = run_scenario(
+        &scenario,
+        vec![
+            scheduler_by_name("auction", scenario.seed).unwrap(),
+            scheduler_by_name("greedy", scenario.seed).unwrap(),
+        ],
+    )
+    .unwrap();
+    for (i, name) in ["auction", "greedy"].iter().enumerate() {
+        let solo = run_one(&scenario, scheduler_by_name(name, scenario.seed).unwrap()).unwrap();
+        assert_eq!(
+            report.runs[i].summary.table_row(),
+            solo.summary.table_row(),
+            "{name}: cached sweep must be byte-identical to live generation"
+        );
+    }
+    // Direct System-level record/replay through the facade.
+    let config = SystemConfig::small_test().with_seed(9).with_slot_build(SlotBuild::Incremental);
+    let mut recorder = System::new(config.clone(), Box::new(AuctionScheduler::paper())).unwrap();
+    recorder.record_workload();
+    recorder.add_static_peers(8).unwrap();
+    recorder.run_slots(5).unwrap();
+    let trace = recorder.take_workload_trace().unwrap();
+    assert!(!trace.is_empty());
+    let mut replayer = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+    replayer.replay_workload(trace);
+    assert!(replayer.is_replaying_workload());
+    replayer.add_static_peers(8).unwrap(); // no-op under replay
+    replayer.run_slots(5).unwrap();
+    assert_eq!(
+        recorder.recorder().slots(),
+        replayer.recorder().slots(),
+        "replayed metrics must equal the recorded run"
+    );
+}
