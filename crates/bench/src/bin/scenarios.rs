@@ -6,7 +6,7 @@
 //!   `scenarios --list`
 //!     enumerate the built-in scenarios;
 //!   `scenarios --scenario flash_crowd [--quick] [--seed S] [--schedulers auction,locality]
-//!              [--slot-build cold|incremental]`
+//!              [--slot-build cold|incremental] [--shards auto|N]`
 //!     run a built-in scenario;
 //!   `scenarios --file scenarios/flash_crowd.toml`
 //!     run an external spec file (see `p2p_scenario::spec` for the format);
@@ -19,7 +19,7 @@
 use p2p_bench::{save_csv, Args};
 use p2p_metrics::ascii_plot;
 use p2p_scenario::{
-    builtin, builtin_spec, builtins, parse_scenario, run_scenario, scheduler_by_name, Scenario,
+    builtin, builtin_spec, builtins, parse_scenario, run_scenario, scheduler_for, Scenario,
 };
 use p2p_sched::ChunkScheduler;
 use p2p_types::Result;
@@ -69,13 +69,14 @@ fn run(args: &Args) -> Result<()> {
     if let Some(mode) = args.get_opt_str("slot-build") {
         scenario = scenario.with_slot_build(p2p_streaming::SlotBuild::from_name(&mode)?);
     }
+    if let Some(shards) = args.get_opt_str("shards") {
+        scenario = scenario.with_shards(p2p_streaming::ShardCount::from_name(&shards)?);
+    }
     scenario.validate()?;
 
     let names = args.get_str("schedulers", "auction,locality");
-    let schedulers: Vec<Box<dyn ChunkScheduler>> = names
-        .split(',')
-        .map(|n| scheduler_by_name(n.trim(), scenario.seed))
-        .collect::<Result<_>>()?;
+    let schedulers: Vec<Box<dyn ChunkScheduler>> =
+        names.split(',').map(|n| scheduler_for(&scenario, n.trim())).collect::<Result<_>>()?;
     if schedulers.len() < 2 {
         return Err(p2p_types::P2pError::invalid_config(
             "schedulers",
@@ -117,7 +118,7 @@ fn main() -> ExitCode {
             eprintln!("scenarios: {e}");
             eprintln!("usage: scenarios [--list] [--show] [--scenario NAME | --file PATH]");
             eprintln!("                 [--quick] [--seed S] [--schedulers a,b,...]");
-            eprintln!("                 [--slot-build cold|incremental]");
+            eprintln!("                 [--slot-build cold|incremental] [--shards auto|N]");
             ExitCode::FAILURE
         }
     }

@@ -221,64 +221,7 @@ impl SyncAuction {
         prior_prices: &[f64],
     ) -> Result<AuctionOutcome, P2pError> {
         let eps = self.config.epsilon;
-        let mut prices: Vec<f64> = (0..instance.provider_count())
-            .map(|u| {
-                let p = prior_prices.get(u).copied().unwrap_or(0.0);
-                if p.is_finite() {
-                    (p - eps).max(0.0)
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        // Cheap support pre-filter: a positive price survives only if the
-        // provider can sell out at it, and a request only bids where
-        // `v − w > λ` — so a carried price with fewer than `capacity`
-        // profitable incident edges is doomed. Zeroing those up front
-        // avoids a full repair rerun whenever last slot's demand moved
-        // away (delivered chunks leaving the instance is the common case).
-        let mut potential = vec![0u32; instance.provider_count()];
-        for r in instance.requests() {
-            for e in &r.edges {
-                if prices[e.provider] > 0.0 && e.utility().get() > prices[e.provider] {
-                    potential[e.provider] += 1;
-                }
-            }
-        }
-        for (u, spec) in instance.providers().iter().enumerate() {
-            if prices[u] > 0.0 && potential[u] < spec.capacity.chunks_per_slot() {
-                prices[u] = 0.0;
-            }
-        }
-        let mut rounds = 0;
-        let mut bids = 0;
-        let mut trace = Vec::new();
-        loop {
-            let outcome = self.run_from(instance, Some(&prices), eps)?;
-            rounds += outcome.rounds;
-            bids += outcome.bids_submitted;
-            trace.extend(outcome.price_trace.iter().copied());
-            // CS 1 support check: a provider with spare capacity and λ > 0
-            // kept an unsupported warm price (bid-raised prices imply a full
-            // provider). Zero those and rerun; never re-warm a repaired one.
-            let loads = outcome.assignment.provider_loads(instance);
-            let mut repaired = false;
-            for (u, spec) in instance.providers().iter().enumerate() {
-                let cap = spec.capacity.chunks_per_slot();
-                if cap > 0 && loads[u] < cap && prices[u] > 0.0 && outcome.duals.lambda[u] > 0.0 {
-                    prices[u] = 0.0;
-                    repaired = true;
-                }
-            }
-            if !repaired {
-                return Ok(AuctionOutcome {
-                    rounds,
-                    bids_submitted: bids,
-                    price_trace: trace,
-                    ..outcome
-                });
-            }
-        }
+        run_warm_with(instance, prior_prices, eps, |prices| self.run_from(instance, prices, eps))
     }
 
     /// Runs the auction with ε-scaling (Bertsekas 1988): phases with
@@ -343,7 +286,7 @@ impl SyncAuction {
     }
 
     /// Core engine: optional warm-start prices, explicit ε.
-    fn run_from(
+    pub(crate) fn run_from(
         &self,
         instance: &WelfareInstance,
         initial_prices: Option<&[f64]>,
@@ -436,6 +379,95 @@ impl SyncAuction {
             price_trace: trace,
         })
     }
+}
+
+/// Shared warm-start driver: clamps and pre-filters the carried prices,
+/// then repeatedly runs `run_from` until no unsupported warm price is left
+/// (the CS 1 repair loop documented on [`SyncAuction::run_warm`]). Each
+/// pass permanently clears at least one provider, so at most
+/// `provider_count` extra runs occur. Used by both the synchronous and the
+/// sharded engine so their warm-start semantics cannot drift apart.
+pub(crate) fn run_warm_with(
+    instance: &WelfareInstance,
+    prior_prices: &[f64],
+    epsilon: f64,
+    mut run_from: impl FnMut(Option<&[f64]>) -> Result<AuctionOutcome, P2pError>,
+) -> Result<AuctionOutcome, P2pError> {
+    let mut prices = clamped_warm_prices(instance, prior_prices, epsilon);
+    let mut rounds = 0;
+    let mut bids = 0;
+    let mut trace = Vec::new();
+    loop {
+        let outcome = run_from(Some(&prices))?;
+        rounds += outcome.rounds;
+        bids += outcome.bids_submitted;
+        trace.extend(outcome.price_trace.iter().copied());
+        if !zero_unsupported_prices(instance, &outcome, &mut prices) {
+            return Ok(AuctionOutcome {
+                rounds,
+                bids_submitted: bids,
+                price_trace: trace,
+                ..outcome
+            });
+        }
+    }
+}
+
+/// Carried prices made ε-valid for a warm start: non-finite or negative
+/// entries become 0, every price is relaxed by ε, and the support
+/// pre-filter zeroes prices the slot's demand cannot sustain.
+fn clamped_warm_prices(instance: &WelfareInstance, prior_prices: &[f64], eps: f64) -> Vec<f64> {
+    let mut prices: Vec<f64> = (0..instance.provider_count())
+        .map(|u| {
+            let p = prior_prices.get(u).copied().unwrap_or(0.0);
+            if p.is_finite() {
+                (p - eps).max(0.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    // Cheap support pre-filter: a positive price survives only if the
+    // provider can sell out at it, and a request only bids where
+    // `v − w > λ` — so a carried price with fewer than `capacity`
+    // profitable incident edges is doomed. Zeroing those up front
+    // avoids a full repair rerun whenever last slot's demand moved
+    // away (delivered chunks leaving the instance is the common case).
+    let mut potential = vec![0u32; instance.provider_count()];
+    for r in instance.requests() {
+        for e in &r.edges {
+            if prices[e.provider] > 0.0 && e.utility().get() > prices[e.provider] {
+                potential[e.provider] += 1;
+            }
+        }
+    }
+    for (u, spec) in instance.providers().iter().enumerate() {
+        if prices[u] > 0.0 && potential[u] < spec.capacity.chunks_per_slot() {
+            prices[u] = 0.0;
+        }
+    }
+    prices
+}
+
+/// CS 1 support check: a provider with spare capacity and λ > 0 kept an
+/// unsupported warm price (bid-raised prices imply a full provider). Zeroes
+/// those — never re-warming a repaired one — and reports whether a rerun is
+/// needed.
+fn zero_unsupported_prices(
+    instance: &WelfareInstance,
+    outcome: &AuctionOutcome,
+    prices: &mut [f64],
+) -> bool {
+    let loads = outcome.assignment.provider_loads(instance);
+    let mut repaired = false;
+    for (u, spec) in instance.providers().iter().enumerate() {
+        let cap = spec.capacity.chunks_per_slot();
+        if cap > 0 && loads[u] < cap && prices[u] > 0.0 && outcome.duals.lambda[u] > 0.0 {
+            prices[u] = 0.0;
+            repaired = true;
+        }
+    }
+    repaired
 }
 
 /// Precomputes the bidder-visible edge views of every request.

@@ -21,6 +21,9 @@
 //!
 //! * [`engine::SyncAuction`] — deterministic synchronous rounds (fast path
 //!   used by schedulers, tests and benchmarks);
+//! * [`shard::ShardedAuction`] — sharded Jacobi rounds with batched price
+//!   updates and price-delta worklists, for 10³–10⁴-request slots (parallel
+//!   across cores when the machine has them);
 //! * [`dist::DistributedAuction`] — message-level asynchronous execution on
 //!   the discrete-event simulator with per-link latencies (used to
 //!   reproduce Fig. 2's within-slot price convergence);
@@ -66,6 +69,7 @@ pub mod dist;
 pub mod engine;
 pub mod instance;
 pub mod messages;
+pub mod shard;
 pub mod solution;
 pub mod strategic;
 pub mod verify;
@@ -76,6 +80,7 @@ pub use bidder::{BidDecision, EdgeView};
 pub use diff::{InstanceDiff, InstancePatch};
 pub use engine::{AuctionConfig, AuctionOutcome, EpsilonScaling, SyncAuction};
 pub use instance::{EdgeSpec, InstanceBuilder, ProviderSpec, RequestSpec, WelfareInstance};
+pub use shard::{ShardCount, ShardedAuction};
 pub use solution::{Assignment, DualSolution};
 pub use verify::{verify_optimality, OptimalityReport};
 

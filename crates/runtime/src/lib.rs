@@ -5,10 +5,18 @@
 //! each peer in the system is emulated by one process; real network traffic
 //! is sent between peers". This crate reproduces that execution style on
 //! one machine: every auctioneer (provider) and every bidder (downstream
-//! peer) runs on its own OS thread with a crossbeam mailbox, and a central
-//! [`router`] thread delivers messages after a wall-clock latency derived
+//! peer) runs as an actor with a crossbeam mailbox, and a central
+//! [`router`] task delivers messages after a wall-clock latency derived
 //! from the link cost — so bids, rejections, evictions and price updates
 //! genuinely race, exactly as in a deployment.
+//!
+//! Actors execute on a persistent [`WorkerPool`]: threads are spawned the
+//! first time a swarm of a given size runs and are *parked and reused* by
+//! every later run (per-run spawn/join of the whole swarm is gone), and
+//! quiescence is detected by condvar signaling ([`pool::Quiescence`])
+//! instead of a sleep-polling loop. A panicking peer no longer hangs the
+//! run until the wall timeout: the panic is caught, poisons the run, and is
+//! propagated as [`P2pError::WorkerPanicked`] with the panic message.
 //!
 //! The bidder and auctioneer logic is byte-for-byte the same as in the
 //! synchronous and discrete-event engines (`p2p_core::bidder`,
@@ -48,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
 pub mod router;
 
 use bytes::Bytes;
@@ -58,8 +67,10 @@ use p2p_core::messages::AuctionMsg;
 use p2p_core::solution::{Assignment, DualSolution};
 use p2p_core::WelfareInstance;
 use p2p_types::{P2pError, PeerId, Result};
+pub use pool::WorkerPool;
+use pool::{panic_message, JobHandle, Quiescence, Quiet};
 use router::{NodeId, Router};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -72,17 +83,32 @@ pub struct ThreadedConfig {
     pub chunk_bytes: usize,
     /// Abort if quiescence is not reached within this wall-clock budget.
     pub wall_timeout: Duration,
+    /// Fault injection for chaos/regression tests: the given provider's
+    /// actor panics on the first bid it receives. The run must then fail
+    /// fast with [`P2pError::WorkerPanicked`] rather than hang until
+    /// `wall_timeout`.
+    pub inject_bid_panic: Option<usize>,
 }
 
 impl ThreadedConfig {
     /// Settings for unit tests: tiny payloads, 30 s timeout.
     pub fn fast_test() -> Self {
-        ThreadedConfig { epsilon: 0.0, chunk_bytes: 64, wall_timeout: Duration::from_secs(30) }
+        ThreadedConfig {
+            epsilon: 0.0,
+            chunk_bytes: 64,
+            wall_timeout: Duration::from_secs(30),
+            inject_bid_panic: None,
+        }
     }
 
     /// Paper-like settings: 8 KB chunks.
     pub fn paper() -> Self {
-        ThreadedConfig { epsilon: 0.0, chunk_bytes: 8_000, wall_timeout: Duration::from_secs(120) }
+        ThreadedConfig {
+            epsilon: 0.0,
+            chunk_bytes: 8_000,
+            wall_timeout: Duration::from_secs(120),
+            inject_bid_panic: None,
+        }
     }
 }
 
@@ -116,28 +142,46 @@ enum RtMsg {
         request: usize,
         body: Bytes,
     },
-    /// Terminate the thread and report state.
+    /// Terminate the actor and report state.
     Stop,
 }
 
-/// The threaded auction engine.
+/// The threaded auction engine. Owns a persistent [`WorkerPool`], so
+/// repeated [`run`](ThreadedAuction::run)s of similar swarms reuse the
+/// same OS threads.
 pub struct ThreadedAuction {
     config: ThreadedConfig,
+    pool: WorkerPool,
 }
 
 impl ThreadedAuction {
-    /// Creates the engine.
+    /// Creates the engine with a fresh worker pool.
     pub fn new(config: ThreadedConfig) -> Self {
-        ThreadedAuction { config }
+        ThreadedAuction { config, pool: WorkerPool::new() }
     }
 
-    /// Runs the auction with one thread per provider and per downstream
-    /// peer, delivering messages with `latency(from, to)` wall-clock delay.
+    /// Creates the engine sharing an existing pool (e.g. one pool across
+    /// every per-slot auction of a long simulation).
+    pub fn with_pool(config: ThreadedConfig, pool: WorkerPool) -> Self {
+        ThreadedAuction { config, pool }
+    }
+
+    /// The engine's worker pool (its `spawned()` count stays flat across
+    /// repeated runs — the reuse guarantee the tests assert).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Runs the auction with one pooled actor per provider and per
+    /// downstream peer, delivering messages with `latency(from, to)`
+    /// wall-clock delay.
     ///
     /// # Errors
     ///
-    /// Returns [`P2pError::AuctionDiverged`] if the wall-clock timeout is
-    /// reached before quiescence.
+    /// * [`P2pError::Timeout`] — the wall-clock budget expired before
+    ///   quiescence (reports elapsed time and messages delivered);
+    /// * [`P2pError::WorkerPanicked`] — a peer actor panicked; the panic
+    ///   message is propagated instead of hanging the run.
     pub fn run(
         &self,
         instance: &WelfareInstance,
@@ -176,8 +220,9 @@ impl ThreadedAuction {
 
         // Pending-work counter for quiescence detection: incremented per
         // enqueued message, decremented after a message is fully handled
-        // (any sends it triggered have already been counted).
-        let pending = Arc::new(AtomicI64::new(0));
+        // (any sends it triggered have already been counted). Condvar-backed,
+        // so the coordinator below sleeps instead of polling.
+        let pending = Arc::new(Quiescence::new());
         let peer_of_node = {
             let provider_peers = provider_peers.clone();
             let bidder_peers = bidder_peers.clone();
@@ -189,9 +234,23 @@ impl ThreadedAuction {
                 }
             }
         };
-        let router = Router::start(senders.clone(), pending.clone(), move |from, to| {
-            latency(peer_of_node(from), peer_of_node(to))
-        });
+        let mut handles: Vec<JobHandle> = Vec::new();
+        let router = Router::start(
+            senders.clone(),
+            pending.clone(),
+            move |from, to| latency(peer_of_node(from), peer_of_node(to)),
+            |job| {
+                // The router gets the same poison-on-panic treatment as the
+                // actors: a dead router would otherwise strand every
+                // in-flight message and hang the run until the wall timeout.
+                let pending = pending.clone();
+                handles.push(self.pool.execute(move || {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                        pending.poison(panic_message(payload));
+                    }
+                }));
+            },
+        );
 
         // Per-provider listener lists (bidder requests with an edge to it).
         let mut listeners: Vec<Vec<usize>> = vec![Vec::new(); provider_count];
@@ -201,8 +260,21 @@ impl ThreadedAuction {
             }
         }
 
-        // --- Auctioneer threads ---
-        let mut handles = Vec::new();
+        // Spawns an actor body on the pool, poisoning the run if it panics
+        // so the coordinator wakes immediately instead of timing out.
+        let spawn_actor = {
+            let pending = pending.clone();
+            move |handles: &mut Vec<JobHandle>, body: Box<dyn FnOnce() + Send + 'static>| {
+                let pending = pending.clone();
+                handles.push(self.pool.execute(move || {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                        pending.poison(panic_message(payload));
+                    }
+                }));
+            }
+        };
+
+        // --- Auctioneer actors ---
         let (prov_result_tx, prov_result_rx) = unbounded();
         for u in 0..provider_count {
             let rx = receivers[u].clone();
@@ -213,76 +285,86 @@ impl ThreadedAuction {
             let capacity = instance.provider(u).capacity.chunks_per_slot();
             let pending = pending.clone();
             let chunk_bytes = self.config.chunk_bytes;
-            handles.push(std::thread::spawn(move || {
-                let mut state = Auctioneer::new(capacity);
-                let payload = Bytes::from(vec![0u8; chunk_bytes]);
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        RtMsg::Proto(AuctionMsg::Bid { request, amount, .. }) => {
-                            match state.handle_bid(request, amount) {
-                                BidOutcome::Rejected { price } => {
-                                    out.send(
-                                        bidder_node(owner[request]),
-                                        RtMsg::Proto(AuctionMsg::Rejected {
-                                            request,
-                                            provider: u,
-                                            price,
-                                        }),
-                                    );
+            let inject_panic = self.config.inject_bid_panic == Some(u);
+            spawn_actor(
+                &mut handles,
+                Box::new(move || {
+                    let mut state = Auctioneer::new(capacity);
+                    let payload = Bytes::from(vec![0u8; chunk_bytes]);
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            RtMsg::Proto(AuctionMsg::Bid { request, amount, .. }) => {
+                                if inject_panic {
+                                    panic!("injected fault: provider {u} died handling a bid");
                                 }
-                                BidOutcome::Accepted { evicted, new_price } => {
-                                    out.send(
-                                        bidder_node(owner[request]),
-                                        RtMsg::Proto(AuctionMsg::Accepted { request, provider: u }),
-                                    );
-                                    if let Some(loser) = evicted {
+                                match state.handle_bid(request, amount) {
+                                    BidOutcome::Rejected { price } => {
                                         out.send(
-                                            bidder_node(owner[loser]),
-                                            RtMsg::Proto(AuctionMsg::Evicted {
-                                                request: loser,
+                                            bidder_node(owner[request]),
+                                            RtMsg::Proto(AuctionMsg::Rejected {
+                                                request,
                                                 provider: u,
-                                                price: state.price(),
+                                                price,
                                             }),
                                         );
                                     }
-                                    if let Some(price) = new_price {
-                                        for &listener in &my_listeners {
+                                    BidOutcome::Accepted { evicted, new_price } => {
+                                        out.send(
+                                            bidder_node(owner[request]),
+                                            RtMsg::Proto(AuctionMsg::Accepted {
+                                                request,
+                                                provider: u,
+                                            }),
+                                        );
+                                        if let Some(loser) = evicted {
                                             out.send(
-                                                bidder_node(owner[listener]),
-                                                RtMsg::Proto(AuctionMsg::PriceUpdate {
-                                                    listener,
+                                                bidder_node(owner[loser]),
+                                                RtMsg::Proto(AuctionMsg::Evicted {
+                                                    request: loser,
                                                     provider: u,
-                                                    price,
+                                                    price: state.price(),
                                                 }),
                                             );
                                         }
+                                        if let Some(price) = new_price {
+                                            for &listener in &my_listeners {
+                                                out.send(
+                                                    bidder_node(owner[listener]),
+                                                    RtMsg::Proto(AuctionMsg::PriceUpdate {
+                                                        listener,
+                                                        provider: u,
+                                                        price,
+                                                    }),
+                                                );
+                                            }
+                                        }
                                     }
                                 }
+                                pending.done();
                             }
-                            pending.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        RtMsg::TransmitAll => {
-                            let winners: Vec<(usize, f64)> = state.assigned().collect();
-                            for (request, _) in winners {
-                                out.send(
-                                    bidder_node(owner[request]),
-                                    RtMsg::Payload { request, body: payload.clone() },
-                                );
+                            RtMsg::TransmitAll => {
+                                let winners: Vec<(usize, f64)> = state.assigned().collect();
+                                for (request, _) in winners {
+                                    out.send(
+                                        bidder_node(owner[request]),
+                                        RtMsg::Payload { request, body: payload.clone() },
+                                    );
+                                }
+                                pending.done();
                             }
-                            pending.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        RtMsg::Stop => break,
-                        _ => {
-                            pending.fetch_sub(1, Ordering::SeqCst);
+                            RtMsg::Stop => break,
+                            _ => {
+                                pending.done();
+                            }
                         }
                     }
-                }
-                let winners: Vec<usize> = state.assigned().map(|(r, _)| r).collect();
-                let _ = result_tx.send((u, state.price(), winners));
-            }));
+                    let winners: Vec<usize> = state.assigned().map(|(r, _)| r).collect();
+                    let _ = result_tx.send((u, state.price(), winners));
+                }),
+            );
         }
 
-        // --- Bidder threads ---
+        // --- Bidder actors ---
         #[derive(Clone, Copy, PartialEq)]
         enum BState {
             Idle,
@@ -322,97 +404,100 @@ impl ThreadedAuction {
                     mine.push((r, views, known));
                 }
             }
-            handles.push(std::thread::spawn(move || {
-                let mut states = vec![BState::Idle; mine.len()];
-                let mut bytes_received = 0u64;
+            spawn_actor(
+                &mut handles,
+                Box::new(move || {
+                    let mut states = vec![BState::Idle; mine.len()];
+                    let mut bytes_received = 0u64;
 
-                let try_bid = |local: usize,
-                               states: &mut Vec<BState>,
-                               mine: &Vec<(usize, Vec<EdgeView>, Vec<f64>)>,
-                               out: &router::Handle<RtMsg>| {
-                    if states[local] != BState::Idle {
-                        return;
-                    }
-                    let (request, views, known) = &mine[local];
-                    let decision = decide_bid(
-                        views,
-                        |p| {
-                            views
-                                .iter()
-                                .position(|v| v.provider == p)
-                                .map(|k| known[k])
-                                .unwrap_or(f64::INFINITY)
-                        },
-                        epsilon,
-                    );
-                    if let BidDecision::Bid { edge, provider, amount } = decision {
-                        states[local] = BState::Pending;
-                        out.send(
-                            NodeId(provider),
-                            RtMsg::Proto(AuctionMsg::Bid {
-                                request: *request,
-                                edge,
-                                provider,
-                                amount,
-                            }),
+                    let try_bid = |local: usize,
+                                   states: &mut Vec<BState>,
+                                   mine: &Vec<(usize, Vec<EdgeView>, Vec<f64>)>,
+                                   out: &router::Handle<RtMsg>| {
+                        if states[local] != BState::Idle {
+                            return;
+                        }
+                        let (request, views, known) = &mine[local];
+                        let decision = decide_bid(
+                            views,
+                            |p| {
+                                views
+                                    .iter()
+                                    .position(|v| v.provider == p)
+                                    .map(|k| known[k])
+                                    .unwrap_or(f64::INFINITY)
+                            },
+                            epsilon,
                         );
-                    }
-                };
-
-                let learn = |mine: &mut Vec<(usize, Vec<EdgeView>, Vec<f64>)>,
-                             local: usize,
-                             provider: usize,
-                             price: f64| {
-                    let (_, views, known) = &mut mine[local];
-                    if let Some(k) = views.iter().position(|v| v.provider == provider) {
-                        if price > known[k] {
-                            known[k] = price;
+                        if let BidDecision::Bid { edge, provider, amount } = decision {
+                            states[local] = BState::Pending;
+                            out.send(
+                                NodeId(provider),
+                                RtMsg::Proto(AuctionMsg::Bid {
+                                    request: *request,
+                                    edge,
+                                    provider,
+                                    amount,
+                                }),
+                            );
                         }
-                    }
-                };
+                    };
 
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        RtMsg::Start(local) => {
-                            try_bid(local, &mut states, &mine, &out);
-                            pending.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        RtMsg::Proto(proto) => {
-                            match proto {
-                                AuctionMsg::Accepted { request, .. } => {
-                                    let local = local_of_request[&request];
-                                    states[local] = BState::Assigned;
-                                }
-                                AuctionMsg::Rejected { request, provider, price }
-                                | AuctionMsg::Evicted { request, provider, price } => {
-                                    let local = local_of_request[&request];
-                                    learn(&mut mine, local, provider, price);
-                                    states[local] = BState::Idle;
-                                    try_bid(local, &mut states, &mine, &out);
-                                }
-                                AuctionMsg::PriceUpdate { listener, provider, price } => {
-                                    let local = local_of_request[&listener];
-                                    learn(&mut mine, local, provider, price);
-                                    try_bid(local, &mut states, &mine, &out);
-                                }
-                                AuctionMsg::Bid { .. } => {
-                                    debug_assert!(false, "bidders never receive bids");
-                                }
+                    let learn = |mine: &mut Vec<(usize, Vec<EdgeView>, Vec<f64>)>,
+                                 local: usize,
+                                 provider: usize,
+                                 price: f64| {
+                        let (_, views, known) = &mut mine[local];
+                        if let Some(k) = views.iter().position(|v| v.provider == provider) {
+                            if price > known[k] {
+                                known[k] = price;
                             }
-                            pending.fetch_sub(1, Ordering::SeqCst);
                         }
-                        RtMsg::Payload { body, .. } => {
-                            bytes_received += body.len() as u64;
-                            pending.fetch_sub(1, Ordering::SeqCst);
+                    };
+
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            RtMsg::Start(local) => {
+                                try_bid(local, &mut states, &mine, &out);
+                                pending.done();
+                            }
+                            RtMsg::Proto(proto) => {
+                                match proto {
+                                    AuctionMsg::Accepted { request, .. } => {
+                                        let local = local_of_request[&request];
+                                        states[local] = BState::Assigned;
+                                    }
+                                    AuctionMsg::Rejected { request, provider, price }
+                                    | AuctionMsg::Evicted { request, provider, price } => {
+                                        let local = local_of_request[&request];
+                                        learn(&mut mine, local, provider, price);
+                                        states[local] = BState::Idle;
+                                        try_bid(local, &mut states, &mine, &out);
+                                    }
+                                    AuctionMsg::PriceUpdate { listener, provider, price } => {
+                                        let local = local_of_request[&listener];
+                                        learn(&mut mine, local, provider, price);
+                                        try_bid(local, &mut states, &mine, &out);
+                                    }
+                                    AuctionMsg::Bid { .. } => {
+                                        debug_assert!(false, "bidders never receive bids");
+                                    }
+                                }
+                                pending.done();
+                            }
+                            RtMsg::Payload { body, .. } => {
+                                bytes_received += body.len() as u64;
+                                pending.done();
+                            }
+                            RtMsg::TransmitAll => {
+                                pending.done();
+                            }
+                            RtMsg::Stop => break,
                         }
-                        RtMsg::TransmitAll => {
-                            pending.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        RtMsg::Stop => break,
                     }
-                }
-                let _ = result_tx.send(bytes_received);
-            }));
+                    let _ = result_tx.send(bytes_received);
+                }),
+            );
         }
         drop(prov_result_tx);
         drop(bid_result_tx);
@@ -436,17 +521,31 @@ impl ThreadedAuction {
             router.inject(bidder_node(bn), RtMsg::Start(local));
         }
 
-        // --- Wait for auction quiescence ---
-        let deadline = start + self.config.wall_timeout;
-        while pending.load(Ordering::SeqCst) != 0 {
-            if Instant::now() > deadline {
-                router.shutdown(&senders);
-                for h in handles {
-                    let _ = h.join();
-                }
-                return Err(P2pError::AuctionDiverged { iterations: 0 });
+        // Tears a failed run down and surfaces `err`.
+        let abort = |err: P2pError,
+                     router: Router<RtMsg>,
+                     handles: Vec<JobHandle>|
+         -> Result<ThreadedOutcome> {
+            router.shutdown(&senders);
+            drop(router);
+            for h in handles {
+                let _ = h.join();
             }
-            std::thread::sleep(Duration::from_micros(200));
+            Err(err)
+        };
+
+        // --- Wait for auction quiescence (condvar, not sleep-polling) ---
+        let deadline = start + self.config.wall_timeout;
+        match pending.wait_idle(deadline) {
+            Quiet::Idle => {}
+            Quiet::Failed(message) => {
+                return abort(P2pError::WorkerPanicked { message }, router, handles);
+            }
+            Quiet::DeadlineExpired => {
+                let err =
+                    P2pError::Timeout { elapsed: start.elapsed(), messages: router.delivered() };
+                return abort(err, router, handles);
+            }
         }
         let convergence = start.elapsed();
 
@@ -454,18 +553,30 @@ impl ThreadedAuction {
         for u in 0..provider_count {
             router.inject(provider_node(u), RtMsg::TransmitAll);
         }
-        while pending.load(Ordering::SeqCst) != 0 {
-            if Instant::now() > deadline {
-                break;
+        match pending.wait_idle(deadline) {
+            // Best-effort payload delivery: a deadline here reports the
+            // traffic shipped so far rather than failing the whole run.
+            Quiet::Idle | Quiet::DeadlineExpired => {}
+            Quiet::Failed(message) => {
+                return abort(P2pError::WorkerPanicked { message }, router, handles);
             }
-            std::thread::sleep(Duration::from_micros(200));
         }
 
         // --- Collect results ---
         let messages = router.delivered();
         router.shutdown(&senders);
+        // Dropping the router releases its channel; the delivery task ends
+        // once the last actor handle is gone, and every pooled job reports
+        // completion below (propagating any late panic).
+        drop(router);
+        let mut first_panic: Option<P2pError> = None;
         for h in handles {
-            let _ = h.join();
+            if let Err(e) = h.join() {
+                first_panic.get_or_insert(e);
+            }
+        }
+        if let Some(e) = first_panic {
+            return Err(e);
         }
 
         let mut assigned: Vec<Option<usize>> = vec![None; request_count];
@@ -626,5 +737,76 @@ mod tests {
             .unwrap();
         assert_eq!(out.assignment.assigned_count(), 0);
         assert_eq!(out.bytes_delivered, 0);
+    }
+
+    /// The worker-pool guarantee of this PR: the second run of the same
+    /// swarm spawns zero new threads — every actor thread of the first run
+    /// parked and was reused.
+    #[test]
+    fn pool_is_reused_across_runs_without_respawning() {
+        let inst = instance();
+        let auction = ThreadedAuction::new(ThreadedConfig::fast_test());
+        let first = auction.run(&inst, |_, _| Duration::from_micros(100)).unwrap();
+        let spawned_after_first = auction.pool().spawned();
+        assert!(spawned_after_first > 0);
+        let second = auction.run(&inst, |_, _| Duration::from_micros(100)).unwrap();
+        assert_eq!(
+            auction.pool().spawned(),
+            spawned_after_first,
+            "the second run must reuse every parked worker"
+        );
+        assert!(first.assignment.validate(&inst).is_ok());
+        assert!(second.assignment.validate(&inst).is_ok());
+    }
+
+    /// Regression: a panicking peer used to be silently discarded
+    /// (`let _ = h.join()`), turning the run into a hang until
+    /// `wall_timeout`. It must now fail fast with the panic message.
+    #[test]
+    fn actor_panic_propagates_fast_instead_of_hanging() {
+        let inst = instance();
+        let cfg = ThreadedConfig {
+            inject_bid_panic: Some(0),
+            wall_timeout: Duration::from_secs(60),
+            ..ThreadedConfig::fast_test()
+        };
+        let started = Instant::now();
+        let err =
+            ThreadedAuction::new(cfg).run(&inst, |_, _| Duration::from_micros(100)).unwrap_err();
+        assert!(
+            matches!(&err, P2pError::WorkerPanicked { message } if message.contains("injected fault")),
+            "got {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "panic must not degrade into a wall-timeout hang"
+        );
+        // The engine (and its pool) stays usable after a poisoned run.
+        let ok = ThreadedAuction::new(ThreadedConfig::fast_test())
+            .run(&inst, |_, _| Duration::from_micros(100))
+            .unwrap();
+        assert!(ok.assignment.validate(&inst).is_ok());
+    }
+
+    /// Regression: the wall-timeout path used to masquerade as
+    /// `AuctionDiverged { iterations: 0 }`; it now reports the actual
+    /// elapsed time and message progress.
+    #[test]
+    fn wall_timeout_reports_elapsed_and_progress() {
+        let inst = instance();
+        let cfg = ThreadedConfig { wall_timeout: Duration::ZERO, ..ThreadedConfig::fast_test() };
+        let err =
+            ThreadedAuction::new(cfg).run(&inst, |_, _| Duration::from_millis(50)).unwrap_err();
+        match err {
+            P2pError::Timeout { elapsed, messages } => {
+                assert!(elapsed > Duration::ZERO, "elapsed must report the actual wall time");
+                // With a zero budget and 50 ms link latencies nothing can
+                // have been delivered yet; the field must report that truth.
+                assert_eq!(messages, 0);
+                let rendered = P2pError::Timeout { elapsed, messages }.to_string();
+                assert!(rendered.contains("messages delivered"), "{rendered}");
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
     }
 }

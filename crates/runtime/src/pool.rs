@@ -1,0 +1,397 @@
+//! The persistent worker pool and the quiescence signal.
+//!
+//! The first version of [`crate::ThreadedAuction`] spawned one OS thread per
+//! peer and joined them all at the end of every run, then busy-waited on an
+//! atomic counter in 200 µs sleep slices to detect quiescence. Both patterns
+//! are replaced here:
+//!
+//! * [`WorkerPool`] keeps finished workers parked on their job channel
+//!   instead of exiting, so a second run of the same swarm reuses every
+//!   thread of the first (`spawned()` exposes the lifetime spawn count, and
+//!   the integration tests assert it stays flat across runs). Panics inside
+//!   a job are caught and reported through the [`JobHandle`] instead of
+//!   being discarded at join time.
+//! * [`Quiescence`] is a condvar-backed pending-work counter: the runtime
+//!   sleeps on it and is woken exactly when the count strikes zero, a worker
+//!   [`poison`](Quiescence::poison)s the run, or the deadline passes — no
+//!   polling loop, no latency/CPU trade-off.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+use std::time::Instant;
+
+/// Renders a panic payload to text (the common `&str`/`String` payloads
+/// verbatim, anything else generically).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "worker panicked with a non-string payload".to_string())
+}
+
+/// What a worker sends when a job finishes: `None` on success, the panic
+/// message otherwise.
+type JobReport = Option<String>;
+
+enum Job {
+    Run(Box<dyn FnOnce() + Send + 'static>, Sender<JobReport>),
+    Shutdown,
+}
+
+struct PoolInner {
+    /// Parked workers, each represented by the sender of its job channel.
+    idle: Mutex<Vec<Sender<Job>>>,
+    /// Threads ever spawned (monotone; flat across runs once warm).
+    spawned: AtomicU64,
+    /// Live [`WorkerPool`] handles. Tracked explicitly (not via
+    /// `Arc::strong_count`, which is racy when two clones drop
+    /// concurrently): the drop that brings this to zero is uniquely
+    /// responsible for shutting the parked workers down.
+    handles: AtomicU64,
+    /// Set (under the `idle` lock) when the last pool handle drops, so a
+    /// worker finishing a job right then exits instead of parking forever.
+    closing: AtomicBool,
+}
+
+/// A persistent, on-demand worker pool.
+///
+/// Threads are spawned lazily when a job arrives and no worker is parked,
+/// and they never exit between jobs — they park on their channel and are
+/// reused by later [`execute`](WorkerPool::execute) calls (from any clone of
+/// the pool). Dropping the last clone shuts the parked workers down.
+///
+/// # Examples
+///
+/// ```
+/// use p2p_runtime::WorkerPool;
+///
+/// let pool = WorkerPool::new();
+/// let h1 = pool.execute(|| { /* work */ });
+/// h1.join().unwrap();
+/// // The worker parked instead of exiting: the next job reuses it.
+/// let h2 = pool.execute(|| {});
+/// h2.join().unwrap();
+/// assert_eq!(pool.spawned(), 1);
+/// ```
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+}
+
+impl Clone for WorkerPool {
+    fn clone(&self) -> Self {
+        self.inner.handles.fetch_add(1, Ordering::SeqCst);
+        WorkerPool { inner: self.inner.clone() }
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerPool {
+    /// Creates an empty pool (no threads until the first job).
+    pub fn new() -> Self {
+        WorkerPool {
+            inner: Arc::new(PoolInner {
+                idle: Mutex::new(Vec::new()),
+                spawned: AtomicU64::new(0),
+                handles: AtomicU64::new(1),
+                closing: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Runs `job` on a parked worker, spawning a new thread only when none
+    /// is idle. The returned handle reports completion and propagates a
+    /// panic message if the job panicked.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> JobHandle {
+        let (done_tx, done_rx) = unbounded();
+        let mut packed = Job::Run(Box::new(job), done_tx);
+        loop {
+            let slot = self.inner.idle.lock().pop();
+            match slot {
+                Some(tx) => match tx.send(packed) {
+                    Ok(()) => break,
+                    // The worker exited (pool raced with shutdown); try the
+                    // next idle worker or spawn.
+                    Err(e) => packed = e.0,
+                },
+                None => {
+                    self.spawn_worker(packed);
+                    break;
+                }
+            }
+        }
+        JobHandle { rx: done_rx }
+    }
+
+    /// Total worker threads ever spawned by this pool.
+    pub fn spawned(&self) -> u64 {
+        self.inner.spawned.load(Ordering::SeqCst)
+    }
+
+    /// Workers currently parked and ready for reuse.
+    pub fn idle(&self) -> usize {
+        self.inner.idle.lock().len()
+    }
+
+    fn spawn_worker(&self, first: Job) {
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        tx.send(first).expect("fresh channel accepts its first job");
+        let weak = Arc::downgrade(&self.inner);
+        self.inner.spawned.fetch_add(1, Ordering::SeqCst);
+        std::thread::spawn(move || {
+            while let Ok(job) = rx.recv() {
+                let Job::Run(work, done) = job else { break };
+                let report = catch_unwind(AssertUnwindSafe(work)).err().map(panic_message);
+                // Park (re-register) BEFORE reporting completion, so a
+                // caller that joined every handle of a run observes every
+                // worker reusable — the reuse guarantee the tests assert.
+                let parked = match weak.upgrade() {
+                    None => false,
+                    Some(inner) => {
+                        let mut idle = inner.idle.lock();
+                        if inner.closing.load(Ordering::SeqCst) {
+                            false
+                        } else {
+                            idle.push(tx.clone());
+                            true
+                        }
+                    }
+                };
+                let _ = done.send(report);
+                if !parked {
+                    break;
+                }
+            }
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Exactly one drop observes the count strike zero, even when the
+        // last two clones drop concurrently.
+        if self.inner.handles.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last handle: wake every parked worker with a shutdown order.
+            // `closing` is set under the same lock workers park under, so no
+            // worker can slip into the idle list afterwards.
+            let mut idle = self.inner.idle.lock();
+            self.inner.closing.store(true, Ordering::SeqCst);
+            for tx in idle.drain(..) {
+                let _ = tx.send(Job::Shutdown);
+            }
+        }
+    }
+}
+
+/// Completion handle for one [`WorkerPool::execute`] job.
+pub struct JobHandle {
+    rx: Receiver<JobReport>,
+}
+
+impl JobHandle {
+    /// Waits for the job to finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`p2p_types::P2pError::WorkerPanicked`] if the job panicked.
+    pub fn join(self) -> Result<(), p2p_types::P2pError> {
+        match self.rx.recv() {
+            Ok(None) => Ok(()),
+            Ok(Some(message)) => Err(p2p_types::P2pError::WorkerPanicked { message }),
+            Err(_) => Err(p2p_types::P2pError::WorkerPanicked {
+                message: "worker disappeared without reporting".to_string(),
+            }),
+        }
+    }
+}
+
+/// Outcome of [`Quiescence::wait_idle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Quiet {
+    /// The pending count struck zero.
+    Idle,
+    /// A worker poisoned the run (e.g. a caught panic); the message is the
+    /// poison reason.
+    Failed(String),
+    /// The deadline passed first.
+    DeadlineExpired,
+}
+
+#[derive(Debug, Default)]
+struct QuiesceState {
+    pending: i64,
+    failure: Option<String>,
+}
+
+/// A condvar-backed pending-work counter: producers
+/// [`add`](Quiescence::add), consumers [`done`](Quiescence::done), and the
+/// coordinator sleeps in [`wait_idle`](Quiescence::wait_idle) until the
+/// count strikes zero, the run is poisoned, or the deadline passes —
+/// replacing the former 200 µs sleep busy-wait.
+#[derive(Debug, Default)]
+pub struct Quiescence {
+    state: StdMutex<QuiesceState>,
+    cv: Condvar,
+}
+
+impl Quiescence {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QuiesceState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers `n` pending units of work.
+    pub fn add(&self, n: i64) {
+        self.lock().pending += n;
+    }
+
+    /// Retires one unit of work, waking waiters when the count strikes
+    /// zero.
+    pub fn done(&self) {
+        let mut st = self.lock();
+        st.pending -= 1;
+        if st.pending <= 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Marks the run as failed (first failure wins) and wakes waiters.
+    pub fn poison(&self, message: impl Into<String>) {
+        let mut st = self.lock();
+        st.failure.get_or_insert_with(|| message.into());
+        self.cv.notify_all();
+    }
+
+    /// The current pending count.
+    pub fn pending(&self) -> i64 {
+        self.lock().pending
+    }
+
+    /// Sleeps until the counter is idle, the run is poisoned, or `deadline`
+    /// passes — whichever comes first.
+    pub fn wait_idle(&self, deadline: Instant) -> Quiet {
+        let mut st = self.lock();
+        loop {
+            if let Some(msg) = st.failure.clone() {
+                return Quiet::Failed(msg);
+            }
+            if st.pending == 0 {
+                return Quiet::Idle;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Quiet::DeadlineExpired;
+            }
+            let (guard, _) =
+                self.cv.wait_timeout(st, deadline - now).unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn workers_are_reused_not_respawned() {
+        let pool = WorkerPool::new();
+        for _ in 0..5 {
+            pool.execute(|| {}).join().unwrap();
+        }
+        assert_eq!(pool.spawned(), 1, "sequential jobs share one parked worker");
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn concurrent_jobs_spawn_to_demand_then_plateau() {
+        let pool = WorkerPool::new();
+        let run_batch = || {
+            let (release_tx, release_rx) = unbounded::<()>();
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = release_rx.clone();
+                    pool.execute(move || {
+                        let _ = rx.recv();
+                    })
+                })
+                .collect();
+            for _ in 0..3 {
+                release_tx.send(()).unwrap();
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        };
+        run_batch();
+        assert_eq!(pool.spawned(), 3, "three concurrent jobs need three workers");
+        run_batch();
+        assert_eq!(pool.spawned(), 3, "the second batch reuses every parked worker");
+        assert_eq!(pool.idle(), 3);
+    }
+
+    #[test]
+    fn panics_are_caught_and_reported() {
+        let pool = WorkerPool::new();
+        let err = pool.execute(|| panic!("boom {}", 7)).join().unwrap_err();
+        assert!(matches!(
+            &err,
+            p2p_types::P2pError::WorkerPanicked { message } if message.contains("boom 7")
+        ));
+        // The worker survives its job's panic and is reused.
+        pool.execute(|| {}).join().unwrap();
+        assert_eq!(pool.spawned(), 1);
+    }
+
+    #[test]
+    fn quiescence_signals_zero_without_busy_waiting() {
+        let q = Arc::new(Quiescence::new());
+        q.add(3);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || {
+            for _ in 0..3 {
+                std::thread::sleep(Duration::from_millis(5));
+                q2.done();
+            }
+        });
+        let outcome = q.wait_idle(Instant::now() + Duration::from_secs(5));
+        assert_eq!(outcome, Quiet::Idle);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn quiescence_deadline_expires() {
+        let q = Quiescence::new();
+        q.add(1);
+        let outcome = q.wait_idle(Instant::now() + Duration::from_millis(20));
+        assert_eq!(outcome, Quiet::DeadlineExpired);
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn quiescence_poison_wakes_waiters() {
+        let q = Arc::new(Quiescence::new());
+        q.add(1);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            q2.poison("injected failure");
+        });
+        let outcome = q.wait_idle(Instant::now() + Duration::from_secs(5));
+        assert_eq!(outcome, Quiet::Failed("injected failure".to_string()));
+        t.join().unwrap();
+    }
+}

@@ -1,20 +1,22 @@
 //! The latency-enforcing message router.
 //!
-//! A single router thread receives outgoing messages from all peer threads,
+//! A single router task receives outgoing messages from all peer tasks,
 //! holds each one for its link latency, and then delivers it to the
 //! destination mailbox — the wall-clock analogue of the discrete-event
 //! engine's delayed delivery, and the stand-in for the paper's real
-//! network between blade servers.
+//! network between blade servers. The router runs as a job on the caller's
+//! [`crate::WorkerPool`], so repeated runs reuse its thread like any other
+//! worker.
 
+use crate::pool::Quiescence;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Identifies a mailbox (provider or bidder thread).
+/// Identifies a mailbox (provider or bidder task).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
 
@@ -49,42 +51,43 @@ type Envelope<M> = (NodeId, NodeId, M);
 pub struct Handle<M> {
     from: NodeId,
     tx: Sender<Envelope<M>>,
-    pending: Arc<AtomicI64>,
+    pending: Arc<Quiescence>,
 }
 
 impl<M> Handle<M> {
     /// Sends `msg` to `to`; it will arrive after the link latency.
     pub fn send(&self, to: NodeId, msg: M) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.pending.add(1);
         // A send can only fail after shutdown, when the count no longer
         // matters.
         if self.tx.send((self.from, to, msg)).is_err() {
-            self.pending.fetch_sub(1, Ordering::SeqCst);
+            self.pending.done();
         }
     }
 }
 
-/// The router: owns the in-flight heap and the delivery thread.
+/// The router: owns the in-flight heap and the delivery task.
 pub struct Router<M: Send + 'static> {
     tx: Sender<Envelope<M>>,
-    pending: Arc<AtomicI64>,
+    pending: Arc<Quiescence>,
     delivered: Arc<AtomicU64>,
-    join: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl<M: Send + 'static> Router<M> {
-    /// Starts the router thread delivering into `mailboxes` with per-pair
-    /// `latency`.
+    /// Starts the router delivering into `mailboxes` with per-pair
+    /// `latency`, running its loop via `spawn` (typically
+    /// [`crate::WorkerPool::execute`]; tests may use a plain thread).
     pub fn start(
         mailboxes: Vec<Sender<M>>,
-        pending: Arc<AtomicI64>,
+        pending: Arc<Quiescence>,
         latency: impl Fn(NodeId, NodeId) -> Duration + Send + 'static,
+        spawn: impl FnOnce(Box<dyn FnOnce() + Send + 'static>),
     ) -> Self {
         let (tx, rx): (Sender<Envelope<M>>, Receiver<Envelope<M>>) = unbounded();
         let delivered = Arc::new(AtomicU64::new(0));
         let delivered2 = delivered.clone();
         let pending2 = pending.clone();
-        let join = std::thread::spawn(move || {
+        spawn(Box::new(move || {
             let mut heap: BinaryHeap<Reverse<InFlight<M>>> = BinaryHeap::new();
             let mut seq = 0u64;
             loop {
@@ -109,12 +112,12 @@ impl<M: Send + 'static> Router<M> {
                     if mailboxes[f.to.0].send(f.msg).is_err() {
                         // Destination already stopped: drop and release the
                         // pending count so quiescence can still be reached.
-                        pending2.fetch_sub(1, Ordering::SeqCst);
+                        pending2.done();
                     }
                 }
             }
-        });
-        Router { tx, pending, delivered, join: Mutex::new(Some(join)) }
+        }));
+        Router { tx, pending, delivered }
     }
 
     /// A sending handle for messages originating at `from`.
@@ -125,9 +128,9 @@ impl<M: Send + 'static> Router<M> {
     /// Injects a message from "outside the network" (zero source latency —
     /// the latency function still applies with `from == to`'s semantics).
     pub fn inject(&self, to: NodeId, msg: M) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.pending.add(1);
         if self.tx.send((to, to, msg)).is_err() {
-            self.pending.fetch_sub(1, Ordering::SeqCst);
+            self.pending.done();
         }
     }
 
@@ -136,28 +139,15 @@ impl<M: Send + 'static> Router<M> {
         self.delivered.load(Ordering::SeqCst)
     }
 
-    /// Stops the router and sends `Stop`-like values through the given
-    /// mailbox senders is the caller's job; this only tears down the
-    /// delivery thread.
+    /// Broadcasts the stop value to every mailbox. The delivery loop itself
+    /// ends when the last sending handle (including this router) is
+    /// dropped and its channel disconnects.
     pub fn shutdown<S>(&self, mailboxes: &[Sender<S>])
     where
         S: StopMessage,
     {
         for m in mailboxes {
             let _ = m.send(S::stop());
-        }
-        // Dropping our sender side ends the router loop once the channel
-        // disconnects; join the thread.
-        // (tx is cloned into handles owned by peer threads, which have been
-        // told to stop; the loop also exits on disconnect.)
-        if let Some(j) = self.join.lock().take() {
-            // Closing the channel requires all senders dropped; peers hold
-            // clones until they exit. Give them a moment, then detach if
-            // needed.
-            let _ = j.thread();
-            // We cannot force-join without dropping tx clones; detach by
-            // not joining if still running after the stop broadcast.
-            drop(j);
         }
     }
 }
@@ -184,19 +174,28 @@ mod tests {
         }
     }
 
+    fn thread_spawn(job: Box<dyn FnOnce() + Send + 'static>) {
+        std::thread::spawn(job);
+    }
+
     #[test]
     fn delivers_in_latency_order() {
         let (tx_a, rx_a) = unbounded();
-        let pending = Arc::new(AtomicI64::new(0));
+        let pending = Arc::new(Quiescence::new());
         // One mailbox; two messages with different latencies: the slower
         // one sent first must arrive second.
-        let router = Router::start(vec![tx_a], pending.clone(), |from, _| {
-            if from == NodeId(7) {
-                Duration::from_millis(60)
-            } else {
-                Duration::from_millis(5)
-            }
-        });
+        let router = Router::start(
+            vec![tx_a],
+            pending.clone(),
+            |from, _| {
+                if from == NodeId(7) {
+                    Duration::from_millis(60)
+                } else {
+                    Duration::from_millis(5)
+                }
+            },
+            thread_spawn,
+        );
         router.handle(NodeId(7)).send(NodeId(0), "slow");
         std::thread::sleep(Duration::from_millis(1));
         router.handle(NodeId(1)).send(NodeId(0), "fast");
@@ -210,21 +209,23 @@ mod tests {
     #[test]
     fn inject_reaches_destination() {
         let (tx, rx) = unbounded();
-        let pending = Arc::new(AtomicI64::new(0));
-        let router = Router::start(vec![tx], pending.clone(), |_, _| Duration::from_millis(1));
+        let pending = Arc::new(Quiescence::new());
+        let router =
+            Router::start(vec![tx], pending.clone(), |_, _| Duration::from_millis(1), thread_spawn);
         router.inject(NodeId(0), "hello");
         assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), "hello");
-        assert_eq!(pending.load(Ordering::SeqCst), 1, "handler has not acked yet");
+        assert_eq!(pending.pending(), 1, "handler has not acked yet");
     }
 
     #[test]
     fn dropped_mailbox_releases_pending() {
         let (tx, rx) = unbounded::<&'static str>();
         drop(rx);
-        let pending = Arc::new(AtomicI64::new(0));
-        let router = Router::start(vec![tx], pending.clone(), |_, _| Duration::from_millis(1));
+        let pending = Arc::new(Quiescence::new());
+        let router =
+            Router::start(vec![tx], pending.clone(), |_, _| Duration::from_millis(1), thread_spawn);
         router.inject(NodeId(0), "lost");
         std::thread::sleep(Duration::from_millis(50));
-        assert_eq!(pending.load(Ordering::SeqCst), 0, "undeliverable message acked by router");
+        assert_eq!(pending.pending(), 0, "undeliverable message acked by router");
     }
 }

@@ -50,8 +50,8 @@ pub mod timeline;
 pub use event::ScenarioEvent;
 pub use library::{builtin, builtin_spec, builtins, BUILTIN_NAMES};
 pub use runner::{
-    run_one, run_scenario, scheduler_by_name, RunSummary, ScenarioReport, ScenarioRun,
-    SCHEDULER_NAMES,
+    run_one, run_scenario, scheduler_by_name, scheduler_for, scheduler_with_shards, RunSummary,
+    ScenarioReport, ScenarioRun, SCHEDULER_NAMES,
 };
 pub use spec::parse_scenario;
 pub use timeline::{Profile, Scenario, TimedEvent};

@@ -4,25 +4,52 @@ use crate::timeline::{Scenario, TimedEvent};
 use p2p_metrics::SlotRecorder;
 use p2p_sched::{
     AuctionScheduler, ChunkScheduler, ExactScheduler, GreedyScheduler, RandomScheduler,
-    SimpleLocalityScheduler,
+    ShardedAuctionScheduler, SimpleLocalityScheduler,
 };
-use p2p_streaming::{System, WorkloadTrace};
+use p2p_streaming::{ShardCount, System, WorkloadTrace};
 use p2p_types::{P2pError, Result};
 
 /// Scheduler names accepted by [`scheduler_by_name`].
-pub const SCHEDULER_NAMES: [&str; 6] =
-    ["auction", "auction_warm", "locality", "random", "greedy", "exact"];
+pub const SCHEDULER_NAMES: [&str; 8] = [
+    "auction",
+    "auction_warm",
+    "auction_sharded",
+    "auction_sharded_warm",
+    "locality",
+    "random",
+    "greedy",
+    "exact",
+];
 
 /// Builds a scheduler from its CLI name (`seed` parameterizes the
-/// stochastic ones).
+/// stochastic ones; the sharded auctions follow the machine's cores —
+/// use [`scheduler_with_shards`] or [`scheduler_for`] to pin the count).
 ///
 /// # Errors
 ///
 /// Returns [`P2pError::InvalidConfig`] for unknown names.
 pub fn scheduler_by_name(name: &str, seed: u64) -> Result<Box<dyn ChunkScheduler>> {
+    scheduler_with_shards(name, seed, ShardCount::Auto)
+}
+
+/// [`scheduler_by_name`] with an explicit shard count for the sharded
+/// auction schedulers (the sequential schedulers ignore it).
+///
+/// # Errors
+///
+/// Returns [`P2pError::InvalidConfig`] for unknown names or an invalid
+/// shard count.
+pub fn scheduler_with_shards(
+    name: &str,
+    seed: u64,
+    shards: ShardCount,
+) -> Result<Box<dyn ChunkScheduler>> {
+    shards.validate()?;
     match name {
         "auction" => Ok(Box::new(AuctionScheduler::paper())),
         "auction_warm" => Ok(Box::new(AuctionScheduler::paper().warm_start())),
+        "auction_sharded" => Ok(Box::new(ShardedAuctionScheduler::paper(shards))),
+        "auction_sharded_warm" => Ok(Box::new(ShardedAuctionScheduler::paper(shards).warm_start())),
         "locality" | "simple_locality" => Ok(Box::new(SimpleLocalityScheduler::new())),
         "random" => Ok(Box::new(RandomScheduler::new(seed ^ 0x5EED))),
         "greedy" => Ok(Box::new(GreedyScheduler::new())),
@@ -32,6 +59,16 @@ pub fn scheduler_by_name(name: &str, seed: u64) -> Result<Box<dyn ChunkScheduler
             format!("unknown scheduler `{other}` (known: {})", SCHEDULER_NAMES.join(", ")),
         )),
     }
+}
+
+/// Builds a scheduler configured by a scenario: its seed and its `shards`
+/// knob (spec key `shards`, CLI `--shards`).
+///
+/// # Errors
+///
+/// Returns [`P2pError::InvalidConfig`] for unknown names.
+pub fn scheduler_for(scenario: &Scenario, name: &str) -> Result<Box<dyn ChunkScheduler>> {
+    scheduler_with_shards(name, scenario.seed, scenario.shards)
 }
 
 /// Whole-run aggregates of one scheduler's pass over a scenario.
@@ -259,6 +296,40 @@ mod tests {
             assert!(!s.name().is_empty());
         }
         assert!(scheduler_by_name("warp", 1).is_err());
+    }
+
+    #[test]
+    fn scenario_shards_knob_configures_sharded_schedulers() {
+        let scenario = Scenario::new("x", "d").with_shards(p2p_streaming::ShardCount::Fixed(2));
+        let s = scheduler_for(&scenario, "auction_sharded").unwrap();
+        assert_eq!(s.name(), "auction_sharded");
+        let s = scheduler_for(&scenario, "auction_sharded_warm").unwrap();
+        assert_eq!(s.name(), "auction_sharded_warm");
+        // The sequential schedulers accept (and ignore) the knob.
+        assert_eq!(scheduler_for(&scenario, "auction").unwrap().name(), "auction");
+        assert!(scheduler_with_shards("auction_sharded", 1, p2p_streaming::ShardCount::Fixed(0))
+            .is_err());
+    }
+
+    #[test]
+    fn sharded_auction_sweeps_builtins_alongside_the_sequential_auction() {
+        let scenario = builtin("flash_crowd")
+            .unwrap()
+            .with_shards(p2p_streaming::ShardCount::Fixed(4))
+            .quick(6);
+        let report = run_scenario(
+            &scenario,
+            vec![
+                scheduler_for(&scenario, "auction").unwrap(),
+                scheduler_for(&scenario, "auction_sharded").unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(report.runs[1].summary.scheduler, "auction_sharded");
+        for run in &report.runs {
+            assert_eq!(run.recorder.len() as u64, scenario.slots);
+            assert!(run.summary.transfers > 0);
+        }
     }
 
     #[test]

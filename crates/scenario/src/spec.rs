@@ -6,7 +6,8 @@
 //!
 //! * top-level `key = value` lines describe the base workload (`name`,
 //!   `description`, `profile`, `seed`, `slots`, `peers`, `churn`,
-//!   `arrival_rate`, `seeds_per_video`, `slot_build`);
+//!   `arrival_rate`, `seeds_per_video`, `slot_build`, `shards` —
+//!   `"auto"` or a positive shard count for `auction_sharded`);
 //! * each `[[event]]` table adds one timed event;
 //! * values are quoted strings, integers, floats or `true`/`false`;
 //! * `#` starts a comment (outside quotes); blank lines are ignored.
@@ -374,6 +375,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario> {
             "arrival_rate",
             "seeds_per_video",
             "slot_build",
+            "shards",
         ],
         "scenario",
     )?;
@@ -398,6 +400,18 @@ pub fn parse_scenario(text: &str) -> Result<Scenario> {
     scenario.seeds_per_video = top.u32("seeds_per_video")?;
     if let Some(mode) = top.str("slot_build")? {
         scenario.slot_build = p2p_streaming::SlotBuild::from_name(&mode)?;
+    }
+    // `shards` accepts both spellings: `shards = "auto"` and `shards = 8`.
+    match top.get("shards") {
+        None => {}
+        Some(Binding { value: Value::Int(_), .. }) => {
+            let n = top.u64("shards")?.expect("binding exists");
+            scenario.shards = p2p_streaming::ShardCount::from_name(&n.to_string())?;
+        }
+        Some(_) => {
+            let s = top.str("shards")?.expect("binding exists");
+            scenario.shards = p2p_streaming::ShardCount::from_name(&s)?;
+        }
     }
     for table in &event_tables {
         scenario.events.push(parse_event(table)?);
@@ -502,6 +516,20 @@ factor = 2.0
         assert!(!s.churn);
         assert_eq!(s.slot_build, p2p_streaming::SlotBuild::Cold);
         assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn shards_key_parses_both_spellings_and_rejects_zero() {
+        let s = parse_scenario("name = \"x\"\nshards = \"auto\"\n").unwrap();
+        assert_eq!(s.shards, p2p_streaming::ShardCount::Auto);
+        let s = parse_scenario("name = \"x\"\nshards = 8\n").unwrap();
+        assert_eq!(s.shards, p2p_streaming::ShardCount::Fixed(8));
+        let s = parse_scenario("name = \"x\"\nshards = \"4\"\n").unwrap();
+        assert_eq!(s.shards, p2p_streaming::ShardCount::Fixed(4));
+        let s = parse_scenario("name = \"x\"\n").unwrap();
+        assert_eq!(s.shards, p2p_streaming::ShardCount::Auto);
+        expect_err("name = \"x\"\nshards = 0\n", "positive");
+        expect_err("name = \"x\"\nshards = \"lots\"\n", "positive");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The scenario timeline: a named workload plus events pinned to slots.
 
 use crate::event::ScenarioEvent;
-use p2p_streaming::{SlotBuild, SystemConfig};
+use p2p_streaming::{ShardCount, SlotBuild, SystemConfig};
 use p2p_types::{P2pError, Result};
 
 /// Which base system configuration a scenario runs on.
@@ -90,6 +90,9 @@ pub struct Scenario {
     /// How each slot's welfare instance is constructed (cold rebuild vs the
     /// incremental slot-problem cache; both emit identical instances).
     pub slot_build: SlotBuild,
+    /// Shard count for sharded auction schedulers (`auction_sharded`):
+    /// `auto` follows the machine's cores, a fixed `N` pins the partition.
+    pub shards: ShardCount,
     /// The event timeline (kept in spec order; the runner fires events
     /// stably sorted by slot).
     pub events: Vec<TimedEvent>,
@@ -110,6 +113,7 @@ impl Scenario {
             arrival_rate: None,
             seeds_per_video: None,
             slot_build: SlotBuild::Cold,
+            shards: ShardCount::Auto,
             events: Vec::new(),
         }
     }
@@ -125,6 +129,13 @@ impl Scenario {
     #[must_use]
     pub fn with_slot_build(mut self, mode: SlotBuild) -> Self {
         self.slot_build = mode;
+        self
+    }
+
+    /// Replaces the sharded-scheduler shard count (builder-style).
+    #[must_use]
+    pub fn with_shards(mut self, shards: ShardCount) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -158,6 +169,7 @@ impl Scenario {
             config.seeds = p2p_streaming::SeedPlacement::PerVideoTotal(k);
         }
         config.slot_build = self.slot_build;
+        config.shards = self.shards;
         config
     }
 
@@ -261,6 +273,14 @@ mod tests {
         let s = Scenario::new("x", "d").with_slot_build(SlotBuild::Incremental);
         assert_eq!(s.base_config().slot_build, SlotBuild::Incremental);
         s.validate().unwrap();
+    }
+
+    #[test]
+    fn shards_flow_into_the_base_config() {
+        let s = Scenario::new("x", "d").with_shards(ShardCount::Fixed(4));
+        assert_eq!(s.base_config().shards, ShardCount::Fixed(4));
+        s.validate().unwrap();
+        assert_eq!(Scenario::new("x", "d").shards, ShardCount::Auto);
     }
 
     #[test]

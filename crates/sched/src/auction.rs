@@ -1,23 +1,114 @@
-//! The paper's scheduler: the primal-dual auction.
+//! The paper's scheduler: the primal-dual auction (sequential and sharded).
 
 use crate::problem::{Schedule, ScheduleStats, SlotProblem};
 use crate::ChunkScheduler;
-use p2p_core::{AuctionConfig, SyncAuction};
+use p2p_core::{AuctionConfig, AuctionOutcome, ShardCount, ShardedAuction, SyncAuction};
 use p2p_types::{PeerId, Result};
 use std::collections::HashMap;
+
+/// Slot-to-slot price carry-over for warm-started auction schedulers.
+///
+/// # Churn audit
+///
+/// Prices are keyed by **provider peer id**, never by slot index: between
+/// slots the provider list can reorder arbitrarily, a provider can leave,
+/// and a brand-new peer can take over the departed provider's position in
+/// the next slot's provider order. Because seeding looks prices up by
+/// `PeerId` (and the map is rebuilt from scratch after every slot, so
+/// departed providers' entries do not linger), a new provider always starts
+/// at price 0 and can never inherit a stale λ from whoever previously held
+/// its slot order — the regression tests below pin this. `p2p-streaming`
+/// allocates peer ids monotonically and never recycles one, so id reuse
+/// cannot alias either. Should a caller hand-build instances that *do*
+/// recycle peer ids, a mis-seeded price is still only a warm hint: the
+/// engines' CS 1 repair loop (`run_warm`) zeroes unsupported prices, so the
+/// Theorem 1 `n·ε` certificate survives even that abuse.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PriceCarry {
+    by_peer: HashMap<PeerId, f64>,
+}
+
+impl PriceCarry {
+    /// Whether any prices were carried from a previous slot.
+    fn is_empty(&self) -> bool {
+        self.by_peer.is_empty()
+    }
+
+    /// The carried price vector for this slot's provider order (unknown
+    /// peers start at 0).
+    fn seed(&self, problem: &SlotProblem) -> Vec<f64> {
+        problem
+            .instance
+            .providers()
+            .iter()
+            .map(|p| self.by_peer.get(&p.peer).copied().unwrap_or(0.0))
+            .collect()
+    }
+
+    /// Replaces the carry with this slot's final prices (full rebuild, so
+    /// departed providers are forgotten immediately).
+    fn absorb(&mut self, problem: &SlotProblem, outcome: &AuctionOutcome) {
+        self.by_peer = problem
+            .instance
+            .providers()
+            .iter()
+            .zip(&outcome.duals.lambda)
+            .map(|(p, &l)| (p.peer, l))
+            .collect();
+    }
+
+    /// Number of peers with a carried price (test observability).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.by_peer.len()
+    }
+
+    /// The carried price for one peer (test observability).
+    #[cfg(test)]
+    fn price_of(&self, peer: PeerId) -> Option<f64> {
+        self.by_peer.get(&peer).copied()
+    }
+}
+
+/// The carry protocol shared by both auction schedulers: run cold on the
+/// first slot (or with warm-starting off), run warm from the carried
+/// prices otherwise, and absorb the slot's final prices back into the
+/// carry — keeping the two schedulers' slot-to-slot semantics identical by
+/// construction.
+fn schedule_with_carry(
+    problem: &SlotProblem,
+    warm_start: bool,
+    prior: &mut PriceCarry,
+    run_cold: impl FnOnce(&p2p_core::WelfareInstance) -> Result<AuctionOutcome>,
+    run_warm: impl FnOnce(&p2p_core::WelfareInstance, &[f64]) -> Result<AuctionOutcome>,
+) -> Result<Schedule> {
+    let instance = &problem.instance;
+    let outcome = if warm_start && !prior.is_empty() {
+        run_warm(instance, &prior.seed(problem))?
+    } else {
+        run_cold(instance)?
+    };
+    if warm_start {
+        prior.absorb(problem, &outcome);
+    }
+    Ok(Schedule {
+        assignment: outcome.assignment,
+        stats: ScheduleStats { rounds: outcome.rounds, bids: outcome.bids_submitted },
+    })
+}
 
 /// Schedules each slot by running the distributed auction to convergence
 /// (synchronous execution; the message-level execution with latencies is
 /// exercised separately by the Fig. 2 harness).
 ///
 /// With [`AuctionScheduler::warm_start`] enabled the scheduler carries the
-/// previous slot's final prices across slots, keyed by provider peer id,
-/// and seeds the next auction from them via
-/// [`SyncAuction::run_warm`] — locality-aware swarms change little between
-/// slots, so most prices are already near equilibrium and convergence needs
-/// far fewer bids. The `n·ε` optimality certificate is preserved (see
-/// `run_warm`'s repair loop), but tie-breaks can differ from a cold run, so
-/// warm outcomes are ε-equivalent rather than bit-identical.
+/// previous slot's final prices across slots via [`PriceCarry`] and seeds
+/// the next auction from them through [`SyncAuction::run_warm`] —
+/// locality-aware swarms change little between slots, so most prices are
+/// already near equilibrium and convergence needs far fewer bids. The `n·ε`
+/// optimality certificate is preserved (see `run_warm`'s repair loop), but
+/// tie-breaks can differ from a cold run, so warm outcomes are ε-equivalent
+/// rather than bit-identical.
 ///
 /// # Examples
 ///
@@ -26,8 +117,7 @@ use std::collections::HashMap;
 pub struct AuctionScheduler {
     engine: SyncAuction,
     warm_start: bool,
-    /// Final prices of the previous slot, by provider peer id.
-    prior_prices: HashMap<PeerId, f64>,
+    prior: PriceCarry,
 }
 
 impl AuctionScheduler {
@@ -36,7 +126,7 @@ impl AuctionScheduler {
         AuctionScheduler {
             engine: SyncAuction::new(AuctionConfig::paper()),
             warm_start: false,
-            prior_prices: HashMap::new(),
+            prior: PriceCarry::default(),
         }
     }
 
@@ -76,29 +166,91 @@ impl ChunkScheduler for AuctionScheduler {
     }
 
     fn schedule(&mut self, problem: &SlotProblem) -> Result<Schedule> {
-        let instance = &problem.instance;
-        let outcome = if self.warm_start && !self.prior_prices.is_empty() {
-            let prices: Vec<f64> = instance
-                .providers()
-                .iter()
-                .map(|p| self.prior_prices.get(&p.peer).copied().unwrap_or(0.0))
-                .collect();
-            self.engine.run_warm(instance, &prices)?
-        } else {
-            self.engine.run(instance)?
-        };
-        if self.warm_start {
-            self.prior_prices = instance
-                .providers()
-                .iter()
-                .zip(&outcome.duals.lambda)
-                .map(|(p, &l)| (p.peer, l))
-                .collect();
+        let engine = &self.engine;
+        schedule_with_carry(
+            problem,
+            self.warm_start,
+            &mut self.prior,
+            |inst| engine.run(inst),
+            |inst, prices| engine.run_warm(inst, prices),
+        )
+    }
+}
+
+/// Schedules each slot with the sharded parallel auction
+/// ([`p2p_core::ShardedAuction`]): per-shard bid batches merged through the
+/// unchanged auctioneer logic with permanent retirement of priced-out
+/// requests, parallel across cores when the machine has them. The outcome
+/// satisfies the same Theorem 1 `n·ε`
+/// certificate as [`AuctionScheduler`]; tie-breaks can differ because the
+/// bid schedule differs, so welfare is ε-equivalent rather than
+/// bit-identical (and exactly identical at `shards = 1`, where the engine
+/// delegates to the synchronous sweep).
+///
+/// [`ShardedAuctionScheduler::warm_start`] composes sharding with
+/// slot-to-slot price carry-over, reusing the identical [`PriceCarry`] and
+/// `run_warm` repair semantics as the sequential scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedAuctionScheduler {
+    engine: ShardedAuction,
+    warm_start: bool,
+    prior: PriceCarry,
+}
+
+impl ShardedAuctionScheduler {
+    /// Sharded auction with the paper's ε = 0 rule.
+    pub fn paper(shards: ShardCount) -> Self {
+        ShardedAuctionScheduler {
+            engine: ShardedAuction::new(AuctionConfig::paper(), shards),
+            warm_start: false,
+            prior: PriceCarry::default(),
         }
-        Ok(Schedule {
-            assignment: outcome.assignment,
-            stats: ScheduleStats { rounds: outcome.rounds, bids: outcome.bids_submitted },
-        })
+    }
+
+    /// Sharded auction with a positive bid increment ε.
+    pub fn with_epsilon(epsilon: f64, shards: ShardCount) -> Self {
+        ShardedAuctionScheduler {
+            engine: ShardedAuction::new(AuctionConfig::with_epsilon(epsilon), shards),
+            ..Self::paper(shards)
+        }
+    }
+
+    /// The engine's shard count.
+    pub fn shards(&self) -> ShardCount {
+        self.engine.shards()
+    }
+
+    /// Enables slot-to-slot price warm-starting (builder-style).
+    #[must_use]
+    pub fn warm_start(mut self) -> Self {
+        self.warm_start = true;
+        self
+    }
+
+    /// Whether warm-starting is enabled.
+    pub fn is_warm_start(&self) -> bool {
+        self.warm_start
+    }
+}
+
+impl ChunkScheduler for ShardedAuctionScheduler {
+    fn name(&self) -> &str {
+        if self.warm_start {
+            "auction_sharded_warm"
+        } else {
+            "auction_sharded"
+        }
+    }
+
+    fn schedule(&mut self, problem: &SlotProblem) -> Result<Schedule> {
+        let engine = &self.engine;
+        schedule_with_carry(
+            problem,
+            self.warm_start,
+            &mut self.prior,
+            |inst| engine.run(inst),
+            |inst, prices| engine.run_warm(inst, prices),
+        )
     }
 }
 
@@ -175,5 +327,80 @@ mod tests {
         assert!(
             out.welfare(&next).get() >= next.instance.optimal_welfare().get() - 2.0 * 0.01 - 1e-9
         );
+    }
+
+    /// A slot problem with a single provider `peer` at index 0 and one
+    /// request from `downstream` worth `v` at cost 0.5.
+    fn single_provider_problem(peer: u32, downstream: u32, v: f64) -> SlotProblem {
+        let mut b = WelfareInstance::builder();
+        let u = b.add_provider(PeerId::new(peer), 1);
+        let chunk = ChunkId::new(VideoId::new(0), downstream);
+        let r = b.add_request(RequestId::new(PeerId::new(downstream), chunk));
+        b.add_edge(r, u, Valuation::new(v), Cost::new(0.5)).unwrap();
+        let inst = b.build().unwrap();
+        SlotProblem::new(inst, vec![SimDuration::from_secs(3)]).unwrap()
+    }
+
+    /// Regression (churn audit): a provider departs and a brand-new peer
+    /// takes over its slot order (provider index 0). The carry is keyed by
+    /// peer id, so the newcomer must start at price 0 — not inherit the
+    /// departed provider's λ — and the departed entry must be dropped from
+    /// the carry immediately.
+    #[test]
+    fn stale_prices_are_not_misapplied_after_provider_turnover() {
+        let mut s = AuctionScheduler::with_epsilon(0.01).warm_start();
+        // Slot 1: provider peer#10 sells out at a high price.
+        let slot1 = single_provider_problem(10, 0, 6.0);
+        s.schedule(&slot1).unwrap();
+        let carried = s.prior.price_of(PeerId::new(10)).unwrap();
+        assert!(carried > 0.0, "slot 1 must leave a positive carried price");
+        // Slot 2: peer#10 left; fresh peer#77 occupies provider index 0.
+        let slot2 = single_provider_problem(77, 1, 2.0);
+        assert_eq!(s.prior.seed(&slot2), vec![0.0], "a new peer must not inherit a stale price");
+        let out = s.schedule(&slot2).unwrap();
+        // The newcomer's request is cheap (v−w = 1.5 < carried λ): had the
+        // stale price leaked in by slot order, the request would have been
+        // priced out and welfare lost.
+        assert_eq!(out.assignment.assigned_count(), 1);
+        assert_eq!(out.welfare(&slot2), slot2.instance.optimal_welfare());
+        // The departed peer's entry is gone from the carry entirely.
+        assert_eq!(s.prior.len(), 1);
+        assert!(s.prior.price_of(PeerId::new(10)).is_none());
+        assert!(s.prior.price_of(PeerId::new(77)).is_some());
+    }
+
+    /// The same turnover guarantee holds for the sharded warm scheduler,
+    /// which shares the carry implementation.
+    #[test]
+    fn sharded_warm_scheduler_survives_provider_turnover() {
+        let mut s = ShardedAuctionScheduler::with_epsilon(0.01, ShardCount::Fixed(4)).warm_start();
+        assert_eq!(s.name(), "auction_sharded_warm");
+        let slot1 = single_provider_problem(10, 0, 6.0);
+        s.schedule(&slot1).unwrap();
+        let slot2 = single_provider_problem(77, 1, 2.0);
+        assert_eq!(s.prior.seed(&slot2), vec![0.0]);
+        let out = s.schedule(&slot2).unwrap();
+        assert_eq!(out.assignment.assigned_count(), 1);
+        assert_eq!(out.welfare(&slot2), slot2.instance.optimal_welfare());
+    }
+
+    #[test]
+    fn sharded_scheduler_matches_the_optimum_on_a_tiny_slot() {
+        let p = problem();
+        let mut s = ShardedAuctionScheduler::paper(ShardCount::Fixed(2));
+        assert_eq!(s.name(), "auction_sharded");
+        assert_eq!(s.shards(), ShardCount::Fixed(2));
+        assert!(!s.is_warm_start());
+        let out = s.schedule(&p).unwrap();
+        assert_eq!(out.welfare(&p), p.instance.optimal_welfare());
+    }
+
+    #[test]
+    fn sharded_scheduler_at_one_shard_equals_the_sequential_scheduler() {
+        let p = problem();
+        let seq = AuctionScheduler::paper().schedule(&p).unwrap();
+        let sharded = ShardedAuctionScheduler::paper(ShardCount::Fixed(1)).schedule(&p).unwrap();
+        assert_eq!(seq.assignment, sharded.assignment);
+        assert_eq!(seq.stats, sharded.stats);
     }
 }

@@ -5,6 +5,9 @@
 //!
 //! * [`AuctionScheduler`] — the paper's primal-dual auction (the
 //!   contribution under evaluation);
+//! * [`ShardedAuctionScheduler`] — the same auction on the sharded
+//!   parallel engine (`p2p_core::ShardedAuction`), for 10³–10⁴-request
+//!   slots;
 //! * [`SimpleLocalityScheduler`] — the paper's comparison baseline: "each
 //!   downstream peer requests chunks from upstream neighbors with the
 //!   lowest network costs in between as much as possible; for bandwidth
@@ -44,7 +47,7 @@ pub mod locality;
 pub mod problem;
 pub mod random;
 
-pub use auction::AuctionScheduler;
+pub use auction::{AuctionScheduler, ShardedAuctionScheduler};
 pub use exact::ExactScheduler;
 pub use greedy::GreedyScheduler;
 pub use locality::SimpleLocalityScheduler;

@@ -41,6 +41,7 @@ pub mod tracker;
 pub use buffer::ChunkBuffer;
 pub use cache::{CacheStats, SlotProblemCache};
 pub use config::{SeedPlacement, SlotBuild, SystemConfig};
+pub use p2p_core::ShardCount;
 pub use peer::PeerState;
 pub use system::{System, WorkloadTrace};
 pub use tracker::Tracker;

@@ -40,6 +40,22 @@ pub enum P2pError {
     /// A solver was handed an inconsistent instance (e.g. an edge referring
     /// to a provider index that does not exist).
     MalformedInstance(String),
+    /// A wall-clock deadline expired before the operation finished (the
+    /// threaded runtime's analogue of [`P2pError::AuctionDiverged`], which
+    /// reports round-budget exhaustion in the synchronous engines).
+    Timeout {
+        /// How long the operation ran before giving up.
+        elapsed: std::time::Duration,
+        /// Progress made before the deadline — protocol messages delivered,
+        /// for the threaded runtime.
+        messages: u64,
+    },
+    /// A worker thread panicked; the panic payload is propagated instead of
+    /// silently hanging the run.
+    WorkerPanicked {
+        /// The panic message (payload rendered to text).
+        message: String,
+    },
 }
 
 impl fmt::Display for P2pError {
@@ -55,6 +71,16 @@ impl fmt::Display for P2pError {
                 write!(f, "auction failed to converge after {iterations} iterations")
             }
             P2pError::MalformedInstance(msg) => write!(f, "malformed instance: {msg}"),
+            P2pError::Timeout { elapsed, messages } => {
+                write!(
+                    f,
+                    "timed out after {:.3}s with {messages} messages delivered",
+                    elapsed.as_secs_f64()
+                )
+            }
+            P2pError::WorkerPanicked { message } => {
+                write!(f, "worker thread panicked: {message}")
+            }
         }
     }
 }
@@ -85,6 +111,9 @@ mod tests {
             P2pError::invalid_config("neighbors", "must be positive").to_string(),
             P2pError::AuctionDiverged { iterations: 5 }.to_string(),
             P2pError::MalformedInstance("edge out of range".into()).to_string(),
+            P2pError::Timeout { elapsed: std::time::Duration::from_millis(1500), messages: 12 }
+                .to_string(),
+            P2pError::WorkerPanicked { message: "boom".into() }.to_string(),
         ];
         for s in samples {
             assert!(!s.ends_with('.'), "{s}");

@@ -64,16 +64,17 @@ pub mod prelude {
     pub use p2p_core::dist::{DistConfig, DistributedAuction};
     pub use p2p_core::{
         verify_optimality, Assignment, AuctionConfig, AuctionOutcome, DualSolution, InstanceDiff,
-        InstancePatch, SyncAuction, WelfareInstance,
+        InstancePatch, ShardCount, ShardedAuction, SyncAuction, WelfareInstance,
     };
     pub use p2p_metrics::{ascii_plot, SlotMetrics, SlotRecorder, Summary, TimeSeries};
+    pub use p2p_runtime::WorkerPool;
     pub use p2p_scenario::{
-        builtin, parse_scenario, run_scenario, scheduler_by_name, Scenario, ScenarioEvent,
-        ScenarioReport, TimedEvent,
+        builtin, parse_scenario, run_scenario, scheduler_by_name, scheduler_for,
+        scheduler_with_shards, Scenario, ScenarioEvent, ScenarioReport, TimedEvent,
     };
     pub use p2p_sched::{
         AuctionScheduler, ChunkScheduler, ExactScheduler, GreedyScheduler, RandomScheduler,
-        Schedule, SimpleLocalityScheduler, SlotProblem,
+        Schedule, ShardedAuctionScheduler, SimpleLocalityScheduler, SlotProblem,
     };
     pub use p2p_streaming::{SlotBuild, SlotProblemCache, System, SystemConfig, WorkloadTrace};
     pub use p2p_topology::{Topology, TopologyConfig};
