@@ -19,11 +19,12 @@
 use p2p_bench::{save_csv, Args};
 use p2p_metrics::ascii_plot;
 use p2p_scenario::{
-    builtin, builtin_spec, builtins, parse_scenario, run_scenario, scheduler_for, Scenario,
+    builtin, builtin_spec, builtins, parse_scenario, run_scenario, scheduler_for_runtime, Scenario,
 };
-use p2p_sched::ChunkScheduler;
+use p2p_sched::{ChunkScheduler, WorkerSpawner};
 use p2p_types::Result;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn load_scenario(args: &Args) -> Result<Scenario> {
     if let Some(path) = args.get_opt_str("file") {
@@ -74,9 +75,14 @@ fn run(args: &Args) -> Result<()> {
     }
     scenario.validate()?;
 
+    // One worker pool for the whole sweep: every flat scheduler leases its
+    // slice workers here instead of spawning per run.
+    let pool: Arc<dyn WorkerSpawner> = Arc::new(p2p_runtime::WorkerPool::new());
     let names = args.get_str("schedulers", "auction,locality");
-    let schedulers: Vec<Box<dyn ChunkScheduler>> =
-        names.split(',').map(|n| scheduler_for(&scenario, n.trim())).collect::<Result<_>>()?;
+    let schedulers: Vec<Box<dyn ChunkScheduler>> = names
+        .split(',')
+        .map(|n| scheduler_for_runtime(&scenario, n.trim(), Some(pool.clone())))
+        .collect::<Result<_>>()?;
     if schedulers.len() < 2 {
         return Err(p2p_types::P2pError::invalid_config(
             "schedulers",

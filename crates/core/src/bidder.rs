@@ -114,32 +114,42 @@ pub fn decide_bid_with_floor(
     epsilon: f64,
     min_increment: f64,
 ) -> BidDecision {
-    if edges.is_empty() {
-        return BidDecision::Abstain { reason: AbstainReason::NoCandidates };
-    }
+    decide_bid_over(edges.iter().map(|e| (e.provider, e.utility)), price_of, epsilon, min_increment)
+}
 
+/// The layout-independent decision core shared by the nested
+/// ([`EdgeView`] slice) and the flat CSR ([`crate::csr`]) engines: both map
+/// their edge storage onto the same `(provider, utility)` iterator, so the
+/// two layouts produce bit-identical decisions by construction.
+pub(crate) fn decide_bid_over(
+    edges: impl Iterator<Item = (ProviderIdx, f64)>,
+    price_of: impl Fn(ProviderIdx) -> f64,
+    epsilon: f64,
+    min_increment: f64,
+) -> BidDecision {
     // Single pass: track the best and second-best net utilities.
-    let mut best: Option<(usize, f64, f64)> = None; // (edge idx, φ, λ)
+    let mut best: Option<(usize, f64, f64, ProviderIdx)> = None; // (edge, φ, λ, u)
     let mut second_phi = f64::NEG_INFINITY;
-    for (k, edge) in edges.iter().enumerate() {
-        let lambda = price_of(edge.provider);
-        let phi = edge.utility - lambda;
+    for (k, (provider, utility)) in edges.enumerate() {
+        let lambda = price_of(provider);
+        let phi = utility - lambda;
         match best {
-            Some((_, best_phi, _)) if phi <= best_phi => {
+            Some((_, best_phi, _, _)) if phi <= best_phi => {
                 if phi > second_phi {
                     second_phi = phi;
                 }
             }
-            Some((_, best_phi, _)) => {
+            Some((_, best_phi, _, _)) => {
                 second_phi = best_phi;
-                best = Some((k, phi, lambda));
+                best = Some((k, phi, lambda, provider));
             }
-            None => best = Some((k, phi, lambda)),
+            None => best = Some((k, phi, lambda, provider)),
         }
     }
 
-    let (edge, best_phi, best_lambda) =
-        best.expect("non-empty edge list always yields a best candidate");
+    let Some((edge, best_phi, best_lambda, provider)) = best else {
+        return BidDecision::Abstain { reason: AbstainReason::NoCandidates };
+    };
     if best_phi < 0.0 {
         return BidDecision::Abstain { reason: AbstainReason::Unprofitable };
     }
@@ -156,7 +166,7 @@ pub fn decide_bid_with_floor(
     if amount <= best_lambda {
         return BidDecision::Abstain { reason: AbstainReason::ZeroMargin };
     }
-    BidDecision::Bid { edge, provider: edges[edge].provider, amount }
+    BidDecision::Bid { edge, provider, amount }
 }
 
 /// The best achievable net utility `max_u (v − w − λ_u)` for a request, or

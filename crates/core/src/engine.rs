@@ -29,12 +29,28 @@ pub struct AuctionConfig {
     pub max_rounds: u64,
     /// Record every price change (for convergence plots).
     pub record_price_trace: bool,
+    /// Permanently retire priced-out requests in the sequential sweep.
+    ///
+    /// Prices are monotone within a run, so a request whose best net
+    /// utility has gone negative (or that has no candidates) can never
+    /// become profitable again; the sharded engine always drops such
+    /// requests from future rounds, and this flag folds the same trick into
+    /// [`SyncAuction`] — the trick is engine-agnostic. The outcome is
+    /// unchanged either way (retired requests could only abstain), the
+    /// sweep just stops re-scanning them. Off by default to keep the
+    /// paper-faithful schedule exactly as written.
+    pub retire_priced_out: bool,
 }
 
 impl AuctionConfig {
     /// The paper's configuration: ε = 0, no trace.
     pub fn paper() -> Self {
-        AuctionConfig { epsilon: 0.0, max_rounds: 1_000_000, record_price_trace: false }
+        AuctionConfig {
+            epsilon: 0.0,
+            max_rounds: 1_000_000,
+            record_price_trace: false,
+            retire_priced_out: false,
+        }
     }
 
     /// Paper configuration with a positive ε (Bertsekas ε-complementary
@@ -47,6 +63,15 @@ impl AuctionConfig {
     #[must_use]
     pub fn recording_trace(mut self) -> Self {
         self.record_price_trace = true;
+        self
+    }
+
+    /// Enables permanent retirement of priced-out requests in the
+    /// sequential sweep (builder-style) — see
+    /// [`AuctionConfig::retire_priced_out`].
+    #[must_use]
+    pub fn retiring_priced_out(mut self) -> Self {
+        self.retire_priced_out = true;
         self
     }
 }
@@ -76,7 +101,7 @@ impl EpsilonScaling {
         EpsilonScaling { initial: 1.0, decay: 4.0, final_epsilon: 1e-6 }
     }
 
-    fn validate(&self) -> Result<(), P2pError> {
+    pub(crate) fn validate(&self) -> Result<(), P2pError> {
         if !(self.initial.is_finite() && self.initial > 0.0) {
             return Err(P2pError::invalid_config("scaling.initial", "must be positive"));
         }
@@ -319,6 +344,8 @@ impl SyncAuction {
             .collect();
 
         let mut assigned: Vec<Option<usize>> = vec![None; instance.request_count()];
+        let retire = self.config.retire_priced_out;
+        let mut retired: Vec<bool> = vec![false; if retire { instance.request_count() } else { 0 }];
         let mut trace = Vec::new();
         let mut rounds = 0u64;
         let mut bids_submitted = 0u64;
@@ -333,8 +360,26 @@ impl SyncAuction {
                 if assigned[r].is_some() {
                     continue;
                 }
+                if retire && retired[r] {
+                    continue;
+                }
                 match decide_bid(&views[r], |p| eff_price[p], epsilon) {
-                    BidDecision::Abstain { .. } => {}
+                    // Prices are monotone within a run, so an unprofitable
+                    // (or candidate-less) request stays so forever; with
+                    // the retirement flag on it is never re-scanned. A
+                    // zero-margin tie can still be broken by a second-best
+                    // price rise, so it stays live.
+                    BidDecision::Abstain { reason } => {
+                        if retire
+                            && matches!(
+                                reason,
+                                crate::bidder::AbstainReason::Unprofitable
+                                    | crate::bidder::AbstainReason::NoCandidates
+                            )
+                        {
+                            retired[r] = true;
+                        }
+                    }
                     BidDecision::Bid { edge, provider, amount } => {
                         bids_this_round += 1;
                         match auctioneers[provider].handle_bid(r, amount) {

@@ -24,6 +24,10 @@
 //! * [`shard::ShardedAuction`] — sharded Jacobi rounds with batched price
 //!   updates and price-delta worklists, for 10³–10⁴-request slots (parallel
 //!   across cores when the machine has them);
+//! * [`csr::FlatAuction`] — the same sequential and sharded schedules over
+//!   a flat CSR compilation of the instance ([`csr::CsrInstance`]) with
+//!   reusable scratch: zero heap allocations in the hot loop after
+//!   warm-up, bit-identical outcomes to the two engines above;
 //! * [`dist::DistributedAuction`] — message-level asynchronous execution on
 //!   the discrete-event simulator with per-link latencies (used to
 //!   reproduce Fig. 2's within-slot price convergence);
@@ -64,6 +68,7 @@
 pub mod auctioneer;
 pub mod bertsekas;
 pub mod bidder;
+pub mod csr;
 pub mod diff;
 pub mod dist;
 pub mod engine;
@@ -77,6 +82,7 @@ pub mod verify;
 mod ordf64;
 
 pub use bidder::{BidDecision, EdgeView};
+pub use csr::{CsrBuilder, CsrInstance, FlatAuction, FlatOutcome, WorkerSpawner};
 pub use diff::{InstanceDiff, InstancePatch};
 pub use engine::{AuctionConfig, AuctionOutcome, EpsilonScaling, SyncAuction};
 pub use instance::{EdgeSpec, InstanceBuilder, ProviderSpec, RequestSpec, WelfareInstance};

@@ -152,12 +152,42 @@ impl ShardCount {
         }
     }
 
-    /// The concrete shard count: `Auto` resolves to the machine's available
-    /// parallelism (1 if unknown).
+    /// The ceiling `Auto` may resolve to: the machine's available
+    /// parallelism (1 if unknown). Use [`ShardCount::resolve_for`] to pick
+    /// the count for an actual slot.
     pub fn resolve(self) -> usize {
         match self {
             ShardCount::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
             ShardCount::Fixed(n) => n.max(1),
+        }
+    }
+
+    /// Requests per shard below which extra shards stop paying for their
+    /// merge boundaries: `Auto` never slices finer than this.
+    pub const AUTO_REQUESTS_PER_SHARD: usize = 256;
+
+    /// The concrete shard count for a slot with `requests` active requests.
+    ///
+    /// `Fixed(n)` is always `n`. `Auto` adapts to the live slot size (the
+    /// ROADMAP's adaptive-shard follow-on): small slots run the sequential
+    /// Gauss–Seidel sweep (`1` — batching overhead would dominate), and the
+    /// count grows with the slot, one shard per
+    /// [`ShardCount::AUTO_REQUESTS_PER_SHARD`] requests, capped at the
+    /// machine's cores — so a 10³–10⁴-request flash crowd lands at ~cores.
+    /// The result depends only on the request count and the machine, never
+    /// on thread scheduling, so `Auto` outcomes stay reproducible per
+    /// machine.
+    pub fn resolve_for(self, requests: usize) -> usize {
+        match self {
+            ShardCount::Fixed(n) => n.max(1),
+            ShardCount::Auto => {
+                let shards = requests / Self::AUTO_REQUESTS_PER_SHARD;
+                if shards <= 1 {
+                    1
+                } else {
+                    shards.min(Self::Auto.resolve())
+                }
+            }
         }
     }
 }
@@ -231,10 +261,11 @@ impl ShardedAuction {
     /// Returns [`P2pError::AuctionDiverged`] if quiescence is not reached
     /// within `max_rounds`.
     pub fn run(&self, instance: &WelfareInstance) -> Result<AuctionOutcome, P2pError> {
-        if self.shards.resolve() <= 1 {
+        let shards = self.shards.resolve_for(instance.request_count());
+        if shards <= 1 {
             return SyncAuction::new(self.config).run(instance);
         }
-        let outcome = self.run_from(instance, None, self.config.epsilon)?;
+        let outcome = self.run_from(instance, None, self.config.epsilon, shards)?;
         self.debug_verify(instance, &outcome);
         Ok(outcome)
     }
@@ -253,12 +284,13 @@ impl ShardedAuction {
         instance: &WelfareInstance,
         prior_prices: &[f64],
     ) -> Result<AuctionOutcome, P2pError> {
-        if self.shards.resolve() <= 1 {
+        let shards = self.shards.resolve_for(instance.request_count());
+        if shards <= 1 {
             return SyncAuction::new(self.config).run_warm(instance, prior_prices);
         }
         let eps = self.config.epsilon;
         let outcome = run_warm_with(instance, prior_prices, eps, |prices| {
-            self.run_from(instance, prices, eps)
+            self.run_from(instance, prices, eps, shards)
         })?;
         self.debug_verify(instance, &outcome);
         Ok(outcome)
@@ -286,14 +318,15 @@ impl ShardedAuction {
     }
 
     /// Core Jacobi engine: optional warm-start prices, explicit ε. Only
-    /// called with an effective shard count ≥ 2.
+    /// called with an effective (slot-resolved) shard count ≥ 2.
     fn run_from(
         &self,
         instance: &WelfareInstance,
         initial_prices: Option<&[f64]>,
         epsilon: f64,
+        shards: usize,
     ) -> Result<AuctionOutcome, P2pError> {
-        let shards = self.shards.resolve().max(2);
+        let shards = shards.max(2);
         let workers = self
             .workers
             .unwrap_or_else(|| {
@@ -818,6 +851,22 @@ mod tests {
         assert!(ShardCount::Auto.resolve() >= 1);
         assert_eq!(ShardCount::Fixed(5).resolve(), 5);
         assert_eq!(ShardCount::default(), ShardCount::Auto);
+    }
+
+    #[test]
+    fn auto_adapts_to_live_slot_size() {
+        let per = ShardCount::AUTO_REQUESTS_PER_SHARD;
+        // Small slots run the sequential sweep.
+        assert_eq!(ShardCount::Auto.resolve_for(0), 1);
+        assert_eq!(ShardCount::Auto.resolve_for(per - 1), 1);
+        assert_eq!(ShardCount::Auto.resolve_for(2 * per - 1), 1);
+        // Flash-crowd slots grow toward the core count.
+        let cores = ShardCount::Auto.resolve();
+        assert_eq!(ShardCount::Auto.resolve_for(4 * per), 4.min(cores));
+        assert_eq!(ShardCount::Auto.resolve_for(10_000 * per), cores);
+        // Fixed counts ignore the slot size.
+        assert_eq!(ShardCount::Fixed(3).resolve_for(1), 3);
+        assert_eq!(ShardCount::Fixed(0).resolve_for(1_000_000), 1);
     }
 
     #[test]

@@ -161,6 +161,43 @@ impl DualSolution {
         DualSolution { lambda, eta }
     }
 
+    /// [`DualSolution::from_prices`] over a flat CSR compilation: derives
+    /// the same `η = max(0, max_u {v − w − λ_u})` from the CSR rows, so the
+    /// result is bit-identical to deriving it from the nested instance.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use p2p_core::csr::CsrInstance;
+    /// use p2p_core::{DualSolution, WelfareInstance};
+    /// use p2p_types::{ChunkId, Cost, PeerId, RequestId, Valuation, VideoId};
+    ///
+    /// let mut b = WelfareInstance::builder();
+    /// let u = b.add_provider(PeerId::new(9), 1);
+    /// let r = b.add_request(RequestId::new(PeerId::new(0), ChunkId::new(VideoId::new(0), 0)));
+    /// b.add_edge(r, u, Valuation::new(4.0), Cost::new(1.0)).unwrap();
+    /// let inst = b.build().unwrap();
+    /// let csr = CsrInstance::compile(&inst);
+    /// let nested = DualSolution::from_prices(&inst, vec![1.0]);
+    /// let flat = DualSolution::from_csr_prices(&csr, vec![1.0]);
+    /// assert_eq!(nested, flat);
+    /// ```
+    pub fn from_csr_prices(csr: &crate::csr::CsrInstance, lambda: Vec<f64>) -> Self {
+        assert_eq!(lambda.len(), csr.provider_count(), "one price per provider");
+        let data = csr.data();
+        let eta = (0..data.request_count())
+            .map(|r| {
+                let (providers, utilities) = data.row(r);
+                providers
+                    .iter()
+                    .zip(utilities)
+                    .map(|(&u, &util)| util - lambda[u as usize])
+                    .fold(0.0_f64, f64::max)
+            })
+            .collect();
+        DualSolution { lambda, eta }
+    }
+
     /// The dual objective `Σ λ_u B(u) + Σ η` (problem (5)).
     pub fn objective(&self, instance: &WelfareInstance) -> f64 {
         let prices: f64 = self

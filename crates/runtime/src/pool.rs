@@ -174,6 +174,39 @@ impl WorkerPool {
     }
 }
 
+/// The flat CSR auction engine ([`p2p_core::csr::FlatAuction`]) leases its
+/// slice workers through this trait: one shared pool can serve every
+/// engine of a process — scenario sweeps, `System` slot loops, benches —
+/// and repeated runs spawn zero new threads (a leased worker parks back in
+/// the pool when its engine drops).
+///
+/// # Examples
+///
+/// ```
+/// use p2p_core::csr::{CsrInstance, FlatAuction, WorkerSpawner};
+/// use p2p_core::{AuctionConfig, ShardCount, WelfareInstance};
+/// use p2p_runtime::WorkerPool;
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new();
+/// let spawner: Arc<dyn WorkerSpawner> = Arc::new(pool.clone());
+/// let csr = CsrInstance::compile(&WelfareInstance::builder().build().unwrap());
+/// let mut engine = FlatAuction::new(AuctionConfig::paper(), ShardCount::Fixed(2))
+///     .with_spawner(spawner);
+/// assert!(engine.run(&csr).is_ok());
+/// ```
+impl p2p_core::csr::WorkerSpawner for WorkerPool {
+    fn spawn_worker(&self, job: Box<dyn FnOnce() + Send + 'static>) -> p2p_core::csr::WorkerJoin {
+        let handle = self.execute(job);
+        // The pool parks a worker *before* reporting completion, so once
+        // this join returns the thread is guaranteed reusable — the engine
+        // calls it when its lease ends.
+        Box::new(move || {
+            let _ = handle.join();
+        })
+    }
+}
+
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Exactly one drop observes the count strike zero, even when the
@@ -354,6 +387,49 @@ mod tests {
         // The worker survives its job's panic and is reused.
         pool.execute(|| {}).join().unwrap();
         assert_eq!(pool.spawned(), 1);
+    }
+
+    #[test]
+    fn flat_engines_lease_and_return_pool_workers() {
+        use p2p_core::csr::{CsrInstance, FlatAuction, WorkerSpawner};
+        use p2p_core::{AuctionConfig, ShardCount, WelfareInstance};
+        use p2p_types::{ChunkId, Cost, PeerId, RequestId, Valuation, VideoId};
+
+        let mut b = WelfareInstance::builder();
+        let us: Vec<_> = (0..4).map(|i| b.add_provider(PeerId::new(100 + i), 2)).collect();
+        for d in 0..64u32 {
+            let r = b.add_request(RequestId::new(PeerId::new(d), ChunkId::new(VideoId::new(0), d)));
+            for (i, &u) in us.iter().enumerate() {
+                let v = 2.0 + f64::from(d % 7) * 0.73 + i as f64 * 0.11;
+                let w = 0.2 + f64::from(d % 5) * 0.29 + i as f64 * 0.07;
+                b.add_edge(r, u, Valuation::new(v), Cost::new(w)).unwrap();
+            }
+        }
+        let inst = b.build().unwrap();
+        let csr = CsrInstance::compile(&inst);
+
+        let pool = WorkerPool::new();
+        let spawner: Arc<dyn WorkerSpawner> = Arc::new(pool.clone());
+        let workers = 3;
+        let run_engine = || {
+            let mut engine =
+                FlatAuction::new(AuctionConfig::with_epsilon(0.01), ShardCount::Fixed(4))
+                    .with_workers(workers)
+                    .with_spawner(spawner.clone());
+            let a = engine.run(&csr).unwrap();
+            // Repeated slot auctions on one engine reuse the leased workers.
+            let b = engine.run(&csr).unwrap();
+            assert_eq!(a.assignment, b.assignment);
+            a
+        };
+        let first = run_engine();
+        assert_eq!(pool.spawned() as usize, workers, "one lease spawns min(shards, workers)");
+        // The first engine dropped: its workers parked back in the pool, so
+        // a second engine (a second "run" of the system) spawns nothing.
+        let second = run_engine();
+        assert_eq!(pool.spawned() as usize, workers, "repeated runs spawn zero new threads");
+        assert_eq!(first.assignment, second.assignment);
+        assert_eq!(first.duals, second.duals);
     }
 
     #[test]

@@ -3,18 +3,21 @@
 use crate::timeline::{Scenario, TimedEvent};
 use p2p_metrics::SlotRecorder;
 use p2p_sched::{
-    AuctionScheduler, ChunkScheduler, ExactScheduler, GreedyScheduler, RandomScheduler,
-    ShardedAuctionScheduler, SimpleLocalityScheduler,
+    AuctionScheduler, ChunkScheduler, ExactScheduler, FlatAuctionScheduler, GreedyScheduler,
+    RandomScheduler, ShardedAuctionScheduler, SimpleLocalityScheduler, WorkerSpawner,
 };
 use p2p_streaming::{ShardCount, System, WorkloadTrace};
 use p2p_types::{P2pError, Result};
+use std::sync::Arc;
 
 /// Scheduler names accepted by [`scheduler_by_name`].
-pub const SCHEDULER_NAMES: [&str; 8] = [
+pub const SCHEDULER_NAMES: [&str; 10] = [
     "auction",
     "auction_warm",
     "auction_sharded",
     "auction_sharded_warm",
+    "auction_flat",
+    "auction_flat_warm",
     "locality",
     "random",
     "greedy",
@@ -44,12 +47,44 @@ pub fn scheduler_with_shards(
     seed: u64,
     shards: ShardCount,
 ) -> Result<Box<dyn ChunkScheduler>> {
+    scheduler_with_runtime(name, seed, shards, None)
+}
+
+/// [`scheduler_with_shards`] with an optional shared worker source for the
+/// flat CSR schedulers: pass one `Arc`'d `p2p_runtime::WorkerPool` (it
+/// implements [`WorkerSpawner`]) and every flat engine built through this
+/// registry leases its slice workers from that pool instead of spawning
+/// its own — repeated scenario runs then spawn zero new threads. The other
+/// schedulers ignore the spawner.
+///
+/// # Errors
+///
+/// Returns [`P2pError::InvalidConfig`] for unknown names or an invalid
+/// shard count.
+pub fn scheduler_with_runtime(
+    name: &str,
+    seed: u64,
+    shards: ShardCount,
+    spawner: Option<Arc<dyn WorkerSpawner>>,
+) -> Result<Box<dyn ChunkScheduler>> {
     shards.validate()?;
+    let flat = |warm: bool| {
+        let mut s = FlatAuctionScheduler::paper(shards);
+        if warm {
+            s = s.warm_start();
+        }
+        if let Some(spawner) = spawner.clone() {
+            s = s.with_spawner(spawner);
+        }
+        s
+    };
     match name {
         "auction" => Ok(Box::new(AuctionScheduler::paper())),
         "auction_warm" => Ok(Box::new(AuctionScheduler::paper().warm_start())),
         "auction_sharded" => Ok(Box::new(ShardedAuctionScheduler::paper(shards))),
         "auction_sharded_warm" => Ok(Box::new(ShardedAuctionScheduler::paper(shards).warm_start())),
+        "auction_flat" => Ok(Box::new(flat(false))),
+        "auction_flat_warm" => Ok(Box::new(flat(true))),
         "locality" | "simple_locality" => Ok(Box::new(SimpleLocalityScheduler::new())),
         "random" => Ok(Box::new(RandomScheduler::new(seed ^ 0x5EED))),
         "greedy" => Ok(Box::new(GreedyScheduler::new())),
@@ -69,6 +104,20 @@ pub fn scheduler_with_shards(
 /// Returns [`P2pError::InvalidConfig`] for unknown names.
 pub fn scheduler_for(scenario: &Scenario, name: &str) -> Result<Box<dyn ChunkScheduler>> {
     scheduler_with_shards(name, scenario.seed, scenario.shards)
+}
+
+/// [`scheduler_for`] with a shared worker source (see
+/// [`scheduler_with_runtime`]).
+///
+/// # Errors
+///
+/// Returns [`P2pError::InvalidConfig`] for unknown names.
+pub fn scheduler_for_runtime(
+    scenario: &Scenario,
+    name: &str,
+    spawner: Option<Arc<dyn WorkerSpawner>>,
+) -> Result<Box<dyn ChunkScheduler>> {
+    scheduler_with_runtime(name, scenario.seed, scenario.shards, spawner)
 }
 
 /// Whole-run aggregates of one scheduler's pass over a scenario.
@@ -330,6 +379,48 @@ mod tests {
             assert_eq!(run.recorder.len() as u64, scenario.slots);
             assert!(run.summary.transfers > 0);
         }
+    }
+
+    /// The flat CSR scheduler is the same auction over a different memory
+    /// layout: full scenario sweeps are bit-identical to the nested
+    /// schedulers at the same shard count (1 ≙ `auction`, ≥ 2 ≙
+    /// `auction_sharded`), warm variants included.
+    #[test]
+    fn flat_scheduler_sweeps_are_bit_identical_to_nested() {
+        for (flat, nested, shards) in [
+            ("auction_flat", "auction", ShardCount::Fixed(1)),
+            ("auction_flat", "auction_sharded", ShardCount::Fixed(4)),
+            ("auction_flat_warm", "auction_warm", ShardCount::Fixed(1)),
+            ("auction_flat_warm", "auction_sharded_warm", ShardCount::Fixed(4)),
+        ] {
+            let scenario = builtin("flash_crowd").unwrap().with_shards(shards).quick(6);
+            let report = run_scenario(
+                &scenario,
+                vec![
+                    scheduler_for(&scenario, nested).unwrap(),
+                    scheduler_for(&scenario, flat).unwrap(),
+                ],
+            )
+            .unwrap();
+            assert_eq!(
+                report.runs[0].recorder.slots(),
+                report.runs[1].recorder.slots(),
+                "{flat} vs {nested} at shards {shards:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_registry_accepts_a_shared_spawner() {
+        let scenario = builtin("flash_crowd").unwrap().quick(6);
+        let spawner: Arc<dyn WorkerSpawner> = Arc::new(p2p_core::csr::ThreadSpawner);
+        let s = scheduler_for_runtime(&scenario, "auction_flat", Some(spawner.clone())).unwrap();
+        assert_eq!(s.name(), "auction_flat");
+        let s = scheduler_for_runtime(&scenario, "auction_flat_warm", Some(spawner)).unwrap();
+        assert_eq!(s.name(), "auction_flat_warm");
+        // Non-flat schedulers accept (and ignore) the spawner.
+        let s = scheduler_with_runtime("auction", 1, ShardCount::Auto, None).unwrap();
+        assert_eq!(s.name(), "auction");
     }
 
     #[test]

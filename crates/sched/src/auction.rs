@@ -2,9 +2,13 @@
 
 use crate::problem::{Schedule, ScheduleStats, SlotProblem};
 use crate::ChunkScheduler;
-use p2p_core::{AuctionConfig, AuctionOutcome, ShardCount, ShardedAuction, SyncAuction};
+use p2p_core::csr::WorkerSpawner;
+use p2p_core::{
+    AuctionConfig, AuctionOutcome, FlatAuction, ShardCount, ShardedAuction, SyncAuction,
+};
 use p2p_types::{PeerId, Result};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Slot-to-slot price carry-over for warm-started auction schedulers.
 ///
@@ -48,13 +52,14 @@ impl PriceCarry {
     /// Replaces the carry with this slot's final prices (full rebuild, so
     /// departed providers are forgotten immediately).
     fn absorb(&mut self, problem: &SlotProblem, outcome: &AuctionOutcome) {
-        self.by_peer = problem
-            .instance
-            .providers()
-            .iter()
-            .zip(&outcome.duals.lambda)
-            .map(|(p, &l)| (p.peer, l))
-            .collect();
+        self.absorb_prices(problem, &outcome.duals.lambda);
+    }
+
+    /// [`PriceCarry::absorb`] from a bare price vector (what the flat
+    /// scheduler's reusable outcome exposes).
+    fn absorb_prices(&mut self, problem: &SlotProblem, lambda: &[f64]) {
+        self.by_peer =
+            problem.instance.providers().iter().zip(lambda).map(|(p, &l)| (p.peer, l)).collect();
     }
 
     /// Number of peers with a carried price (test observability).
@@ -254,6 +259,133 @@ impl ChunkScheduler for ShardedAuctionScheduler {
     }
 }
 
+/// Schedules each slot with the flat CSR engine
+/// ([`p2p_core::csr::FlatAuction`]): the instance's CSR compilation (taken
+/// straight from the incremental slot-problem cache when available,
+/// compiled on the spot otherwise) drives the same auction schedules as
+/// [`AuctionScheduler`] / [`ShardedAuctionScheduler`] with reusable scratch
+/// — zero engine allocations in the hot loop after the first slot.
+/// Outcomes are **bit-identical** to the nested-layout schedulers at every
+/// shard count (`shards = 1` ≙ `auction`, ≥ 2 ≙ `auction_sharded`,
+/// `auto` adapts to the live slot size).
+///
+/// [`FlatAuctionScheduler::warm_start`] composes with slot-to-slot price
+/// carry-over through the same [`PriceCarry`] as the nested schedulers;
+/// [`FlatAuctionScheduler::with_spawner`] lets every scheduler of a
+/// process share one `p2p_runtime::WorkerPool` for slice fan-out, so
+/// repeated runs spawn zero new threads.
+#[derive(Debug, Clone, Default)]
+pub struct FlatAuctionScheduler {
+    engine: FlatAuction,
+    warm_start: bool,
+    prior: PriceCarry,
+    /// Reusable engine result: the slot loop runs through
+    /// `run_into`/`run_warm_into`, so the only per-slot engine allocation
+    /// left is the schedule's own [`Assignment`].
+    out: p2p_core::FlatOutcome,
+}
+
+impl FlatAuctionScheduler {
+    /// Flat auction with the paper's ε = 0 rule.
+    pub fn paper(shards: ShardCount) -> Self {
+        FlatAuctionScheduler {
+            engine: FlatAuction::new(AuctionConfig::paper(), shards),
+            warm_start: false,
+            prior: PriceCarry::default(),
+            out: p2p_core::FlatOutcome::default(),
+        }
+    }
+
+    /// Flat auction with a positive bid increment ε.
+    pub fn with_epsilon(epsilon: f64, shards: ShardCount) -> Self {
+        FlatAuctionScheduler {
+            engine: FlatAuction::new(AuctionConfig::with_epsilon(epsilon), shards),
+            ..Self::paper(shards)
+        }
+    }
+
+    /// The engine's shard count.
+    pub fn shards(&self) -> ShardCount {
+        self.engine.shards()
+    }
+
+    /// Enables slot-to-slot price warm-starting (builder-style).
+    #[must_use]
+    pub fn warm_start(mut self) -> Self {
+        self.warm_start = true;
+        self
+    }
+
+    /// Whether warm-starting is enabled.
+    pub fn is_warm_start(&self) -> bool {
+        self.warm_start
+    }
+
+    /// Installs a shared worker source for the engine's slice fan-out
+    /// (builder-style); see [`p2p_core::csr::FlatAuction::with_spawner`].
+    #[must_use]
+    pub fn with_spawner(mut self, spawner: Arc<dyn WorkerSpawner>) -> Self {
+        self.engine = self.engine.with_spawner(spawner);
+        self
+    }
+
+    /// Forces the engine's worker-thread count (builder-style; results are
+    /// unaffected).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.engine = self.engine.with_workers(workers);
+        self
+    }
+
+    /// Debug-build self-check mirroring the sharded engine's: re-verify
+    /// the Theorem 1 certificate after every converged ε > 0 slot.
+    fn debug_verify(&self, problem: &SlotProblem) {
+        let eps = self.engine.config().epsilon;
+        if cfg!(debug_assertions) && eps > 0.0 {
+            let outcome = self.out.to_outcome();
+            let tol = eps * (problem.instance.request_count() as f64 + 1.0);
+            let report = p2p_core::verify_optimality(
+                &problem.instance,
+                &outcome.assignment,
+                &outcome.duals,
+                tol,
+            );
+            debug_assert!(
+                report.is_optimal(),
+                "flat auction lost its certificate: {:?}",
+                report.violations
+            );
+        }
+    }
+}
+
+impl ChunkScheduler for FlatAuctionScheduler {
+    fn name(&self) -> &str {
+        if self.warm_start {
+            "auction_flat_warm"
+        } else {
+            "auction_flat"
+        }
+    }
+
+    fn schedule(&mut self, problem: &SlotProblem) -> Result<Schedule> {
+        let csr = problem.csr_instance();
+        if self.warm_start && !self.prior.is_empty() {
+            self.engine.run_warm_into(&csr, &self.prior.seed(problem), &mut self.out)?;
+        } else {
+            self.engine.run_into(&csr, &mut self.out)?;
+        }
+        self.debug_verify(problem);
+        if self.warm_start {
+            self.prior.absorb_prices(problem, self.out.lambda());
+        }
+        Ok(Schedule {
+            assignment: self.out.to_assignment(),
+            stats: ScheduleStats { rounds: self.out.rounds(), bids: self.out.bids_submitted() },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,5 +534,66 @@ mod tests {
         let sharded = ShardedAuctionScheduler::paper(ShardCount::Fixed(1)).schedule(&p).unwrap();
         assert_eq!(seq.assignment, sharded.assignment);
         assert_eq!(seq.stats, sharded.stats);
+    }
+
+    #[test]
+    fn flat_scheduler_is_bit_identical_to_its_nested_counterparts() {
+        let p = problem();
+        let seq = AuctionScheduler::paper().schedule(&p).unwrap();
+        let mut flat1 = FlatAuctionScheduler::paper(ShardCount::Fixed(1));
+        assert_eq!(flat1.name(), "auction_flat");
+        assert_eq!(flat1.shards(), ShardCount::Fixed(1));
+        assert!(!flat1.is_warm_start());
+        let f1 = flat1.schedule(&p).unwrap();
+        assert_eq!(f1.assignment, seq.assignment);
+        assert_eq!(f1.stats, seq.stats);
+
+        let sharded =
+            ShardedAuctionScheduler::with_epsilon(0.01, ShardCount::Fixed(2)).schedule(&p).unwrap();
+        let f2 =
+            FlatAuctionScheduler::with_epsilon(0.01, ShardCount::Fixed(2)).schedule(&p).unwrap();
+        assert_eq!(f2.assignment, sharded.assignment);
+        assert_eq!(f2.stats, sharded.stats);
+    }
+
+    #[test]
+    fn flat_scheduler_uses_an_attached_csr_compilation() {
+        let p = problem();
+        let attached = p.clone().with_csr(p.csr_instance());
+        let plain = FlatAuctionScheduler::paper(ShardCount::Fixed(1)).schedule(&p).unwrap();
+        let cached = FlatAuctionScheduler::paper(ShardCount::Fixed(1)).schedule(&attached).unwrap();
+        assert_eq!(plain.assignment, cached.assignment);
+        assert_eq!(plain.stats, cached.stats);
+    }
+
+    /// The turnover guarantee holds for the flat warm scheduler, which
+    /// shares the carry implementation with the nested schedulers.
+    #[test]
+    fn flat_warm_scheduler_survives_provider_turnover() {
+        let mut s = FlatAuctionScheduler::with_epsilon(0.01, ShardCount::Fixed(4)).warm_start();
+        assert_eq!(s.name(), "auction_flat_warm");
+        assert!(s.is_warm_start());
+        let slot1 = single_provider_problem(10, 0, 6.0);
+        s.schedule(&slot1).unwrap();
+        let slot2 = single_provider_problem(77, 1, 2.0);
+        assert_eq!(s.prior.seed(&slot2), vec![0.0]);
+        let out = s.schedule(&slot2).unwrap();
+        assert_eq!(out.assignment.assigned_count(), 1);
+        assert_eq!(out.welfare(&slot2), slot2.instance.optimal_welfare());
+    }
+
+    /// Warm flat and warm nested schedulers stay bit-identical across a
+    /// slot sequence (same carry, same engines).
+    #[test]
+    fn flat_warm_matches_nested_warm_across_slots() {
+        let mut nested =
+            ShardedAuctionScheduler::with_epsilon(0.01, ShardCount::Fixed(2)).warm_start();
+        let mut flat = FlatAuctionScheduler::with_epsilon(0.01, ShardCount::Fixed(2)).warm_start();
+        for slot in [problem(), problem(), single_provider_problem(10, 0, 6.0), problem()] {
+            let a = nested.schedule(&slot).unwrap();
+            let b = flat.schedule(&slot).unwrap();
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(a.stats, b.stats);
+        }
     }
 }

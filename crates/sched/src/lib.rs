@@ -8,6 +8,10 @@
 //! * [`ShardedAuctionScheduler`] — the same auction on the sharded
 //!   parallel engine (`p2p_core::ShardedAuction`), for 10³–10⁴-request
 //!   slots;
+//! * [`FlatAuctionScheduler`] — the same auction on the flat CSR engine
+//!   (`p2p_core::csr::FlatAuction`): zero-allocation hot path over the
+//!   cache-emitted CSR compilation, bit-identical outcomes to the two
+//!   schedulers above at every shard count;
 //! * [`SimpleLocalityScheduler`] — the paper's comparison baseline: "each
 //!   downstream peer requests chunks from upstream neighbors with the
 //!   lowest network costs in between as much as possible; for bandwidth
@@ -47,10 +51,11 @@ pub mod locality;
 pub mod problem;
 pub mod random;
 
-pub use auction::{AuctionScheduler, ShardedAuctionScheduler};
+pub use auction::{AuctionScheduler, FlatAuctionScheduler, ShardedAuctionScheduler};
 pub use exact::ExactScheduler;
 pub use greedy::GreedyScheduler;
 pub use locality::SimpleLocalityScheduler;
+pub use p2p_core::csr::WorkerSpawner;
 pub use problem::{Schedule, ScheduleStats, SlotProblem};
 pub use random::RandomScheduler;
 

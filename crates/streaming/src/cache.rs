@@ -29,7 +29,7 @@
 
 use crate::config::SystemConfig;
 use crate::peer::PeerState;
-use p2p_core::WelfareInstance;
+use p2p_core::{CsrBuilder, WelfareInstance};
 use p2p_sched::SlotProblem;
 use p2p_topology::Topology;
 use p2p_types::{
@@ -96,18 +96,48 @@ pub struct CacheStats {
     pub chunks_reused: u64,
 }
 
+/// Footprint counters for the cache's long-run memory audit: every map the
+/// cache owns, sized. The pruning invariants (blocks only for live
+/// watchers, no empty reverse-index sets, reverse-index keys only for live
+/// neighbors) keep each bound by the *online* population, not by the
+/// monotonically growing set of peers that ever existed — the churn
+/// regression test pins this.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheMemory {
+    /// Cached watcher blocks.
+    pub blocks: usize,
+    /// Keys in the provider → watchers reverse index.
+    pub reverse_keys: usize,
+    /// Total entries across the reverse index's sets.
+    pub reverse_entries: usize,
+    /// Watchers currently marked dirty.
+    pub dirty: usize,
+}
+
 /// The incremental slot-problem builder (see the module docs).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct SlotProblemCache {
     blocks: HashMap<PeerId, WatcherBlock>,
     /// Reverse adjacency: provider → watchers whose neighbor snapshot
-    /// contains it (drives delivery edge-patching).
+    /// contains it (drives delivery edge-patching). Entries whose set
+    /// empties are removed outright, and [`SlotProblemCache::remove_peers`]
+    /// drops departed keys, so the index never outgrows the online
+    /// population on long churny runs.
     watchers_of: HashMap<PeerId, HashSet<PeerId>>,
     /// Watchers whose blocks must be rebuilt at the next emit.
     dirty: HashSet<PeerId>,
     /// Bumped by link repricing; blocks refresh costs lazily on mismatch.
     cost_epoch: u64,
     stats: CacheStats,
+    /// Emits the slot's flat CSR compilation alongside the instance (its
+    /// buffers are recycled slot to slot).
+    csr: CsrBuilder,
+    /// Reused per-emit scratch: peer-id → provider index (peer ids grow
+    /// monotonically for the process lifetime, so this is rebuilt in place
+    /// instead of reallocated every slot).
+    provider_scratch: Vec<usize>,
+    /// Reused per-emit scratch: slack-slot → memoized valuation.
+    slack_scratch: Vec<Option<p2p_types::Valuation>>,
 }
 
 impl SlotProblemCache {
@@ -119,6 +149,16 @@ impl SlotProblemCache {
     /// Counters from the most recent build.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// The cache's current memory footprint (see [`CacheMemory`]).
+    pub fn memory(&self) -> CacheMemory {
+        CacheMemory {
+            blocks: self.blocks.len(),
+            reverse_keys: self.watchers_of.len(),
+            reverse_entries: self.watchers_of.values().map(HashSet::len).sum(),
+            dirty: self.dirty.len(),
+        }
     }
 
     /// Marks one watcher's block for a full rebuild (neighbor list changed,
@@ -145,8 +185,16 @@ impl SlotProblemCache {
     fn drop_block(&mut self, peer: PeerId) {
         if let Some(block) = self.blocks.remove(&peer) {
             for n in &block.neighbors {
-                if let Some(set) = self.watchers_of.get_mut(n) {
+                // Remove emptied sets outright: on very long runs the
+                // reverse index would otherwise accumulate a key (with a
+                // grown, empty set behind it) for every provider whose
+                // watchers all departed.
+                let emptied = self.watchers_of.get_mut(n).is_some_and(|set| {
                     set.remove(&peer);
+                    set.is_empty()
+                });
+                if emptied {
+                    self.watchers_of.remove(n);
                 }
             }
         }
@@ -209,9 +257,22 @@ impl SlotProblemCache {
         let delivery_time = now
             + SimDuration::from_secs_f64(config.slot_len.as_secs_f64() * config.delivery_fraction);
         let mut b = WelfareInstance::builder();
+        // The flat CSR compilation is emitted in lock-step with the nested
+        // instance (same providers, requests and edges in the same order,
+        // same precomputed `v − w`), so the flat scheduler gets its layout
+        // for free — and the CSR builder recycles last slot's buffers.
+        // (The builder and the scratch vectors are moved out for the
+        // duration of the emit so the block loop below can borrow `self`;
+        // they go back at the end.)
+        let mut csr = std::mem::take(&mut self.csr);
+        csr.begin();
         // Peer ids are dense indices into the peer table and never reused,
         // so a flat vector replaces the cold path's per-edge hash lookups.
-        let mut provider_idx: Vec<usize> = vec![usize::MAX; peers.len()];
+        // The vector itself is per-cache scratch: peer ids grow for the
+        // lifetime of the system, so it is rebuilt in place each slot.
+        let mut provider_idx = std::mem::take(&mut self.provider_scratch);
+        provider_idx.clear();
+        provider_idx.resize(peers.len(), usize::MAX);
         for p in peers.iter().flatten() {
             let cap = p.upload_capacity().chunks_per_slot();
             let cap = match isp_throttles.get(&p.isp()) {
@@ -219,11 +280,13 @@ impl SlotProblemCache {
                 None => cap,
             };
             provider_idx[p.id().index()] = b.add_provider(p.id(), cap);
+            csr.add_provider(cap);
         }
         // Under the default `SchedulingSlack` time base a slot's valuation
         // depends only on the (small, integer) slack, so one `ln` per
         // distinct slack serves every request of the slot.
-        let mut slack_valuations: Vec<Option<p2p_types::Valuation>> = Vec::new();
+        let mut slack_valuations = std::mem::take(&mut self.slack_scratch);
+        slack_valuations.clear();
         let memoize_slack =
             matches!(config.valuation_time_base, crate::config::ValuationTimeBase::SchedulingSlack);
 
@@ -286,21 +349,25 @@ impl SlotProblemCache {
                 };
                 let chunk = ChunkId::new(p.video(), cr.k);
                 let r = b.add_request(RequestId::new(p.id(), chunk));
+                csr.add_request();
                 for &rank in &cr.edges {
                     let u = block.neighbors[rank as usize];
-                    b.add_edge(
-                        r,
-                        provider_idx[u.index()],
-                        valuation,
-                        block.neighbor_costs[rank as usize],
-                    )
-                    .map_err(|e| P2pError::MalformedInstance(e.to_string()))?;
+                    let cost = block.neighbor_costs[rank as usize];
+                    b.add_edge(r, provider_idx[u.index()], valuation, cost)
+                        .map_err(|e| P2pError::MalformedInstance(e.to_string()))?;
+                    // The same `v − w` the nested edge computes on demand.
+                    csr.add_edge(provider_idx[u.index()] as u32, (valuation - cost).get());
                 }
                 urgency.push(d_time);
             }
         }
         self.dirty.clear();
-        SlotProblem::new(b.build()?, urgency)
+        let flat = csr.finish();
+        self.csr = csr;
+        self.provider_scratch = provider_idx;
+        self.slack_scratch = slack_valuations;
+        // `with_csr` debug-asserts the emitted CSR matches the instance.
+        Ok(SlotProblem::new(b.build()?, urgency)?.with_csr(flat))
     }
 
     /// Rebuilds one watcher's block from scratch.

@@ -39,7 +39,7 @@ pub mod system;
 pub mod tracker;
 
 pub use buffer::ChunkBuffer;
-pub use cache::{CacheStats, SlotProblemCache};
+pub use cache::{CacheMemory, CacheStats, SlotProblemCache};
 pub use config::{SeedPlacement, SlotBuild, SystemConfig};
 pub use p2p_core::ShardCount;
 pub use peer::PeerState;

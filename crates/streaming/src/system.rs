@@ -725,6 +725,14 @@ impl System {
         self.cache.stats()
     }
 
+    /// The incremental cache's memory footprint (all zero under
+    /// [`SlotBuild::Cold`]). On long churny runs every counter stays
+    /// bounded by the *online* population — departed watchers' blocks and
+    /// reverse-index entries are pruned, not accumulated.
+    pub fn cache_memory(&self) -> crate::cache::CacheMemory {
+        self.cache.memory()
+    }
+
     fn build_slot_problem(&self, now: SimTime) -> Result<SlotProblem> {
         let delivery_time = now
             + SimDuration::from_secs_f64(
@@ -1191,6 +1199,60 @@ mod tests {
         let incremental = sys.prepare_slot().unwrap();
         let cold = sys.cold_slot_problem().unwrap();
         assert_eq!(incremental, cold, "mutation hooks must invalidate the cache");
+    }
+
+    /// Regression (ROADMAP follow-on): the incremental cache's maps must
+    /// not grow monotonically on long churn-heavy runs. Watchers join and
+    /// depart continuously; after every slot the cache holds blocks only
+    /// for online watchers, reverse-index keys only for online peers that
+    /// actually have cached watchers, and no empty reverse-index sets.
+    #[test]
+    fn cache_memory_stays_bounded_under_heavy_churn() {
+        let mut config = SystemConfig::small_test()
+            .with_seed(34)
+            .with_departures(0.9)
+            .with_slot_build(crate::SlotBuild::Incremental);
+        config.arrival_rate = 3.0;
+        let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+        sys.enable_poisson_churn().unwrap();
+        let mut peak_online = 0;
+        let mut saw_departures = false;
+        let mut last_online = 0;
+        for _ in 0..30 {
+            sys.step_slot().unwrap();
+            let online = sys.online_count();
+            saw_departures |= online < last_online;
+            last_online = online;
+            peak_online = peak_online.max(online);
+            let mem = sys.cache_memory();
+            assert!(
+                mem.blocks <= sys.watcher_count(),
+                "blocks ({}) must not outlive watchers ({})",
+                mem.blocks,
+                sys.watcher_count()
+            );
+            assert!(
+                mem.reverse_keys <= online,
+                "reverse index keys ({}) must not exceed online peers ({online})",
+                mem.reverse_keys
+            );
+            assert!(
+                mem.dirty <= online,
+                "dirty marks ({}) must not exceed online peers ({online})",
+                mem.dirty
+            );
+            assert!(
+                mem.reverse_entries >= mem.reverse_keys,
+                "emptied reverse-index sets must be pruned, not kept as keys"
+            );
+        }
+        assert!(saw_departures, "the run must actually churn");
+        assert!(peak_online > 0, "the run must admit watchers");
+        // The emitted problems stay bit-identical to the cold oracle
+        // through all that churn (the pruning must not over-evict).
+        let incremental = sys.prepare_slot().unwrap();
+        let cold = sys.cold_slot_problem().unwrap();
+        assert_eq!(incremental, cold);
     }
 
     #[test]

@@ -63,18 +63,20 @@ pub use p2p_workload as workload;
 pub mod prelude {
     pub use p2p_core::dist::{DistConfig, DistributedAuction};
     pub use p2p_core::{
-        verify_optimality, Assignment, AuctionConfig, AuctionOutcome, DualSolution, InstanceDiff,
-        InstancePatch, ShardCount, ShardedAuction, SyncAuction, WelfareInstance,
+        verify_optimality, Assignment, AuctionConfig, AuctionOutcome, CsrBuilder, CsrInstance,
+        DualSolution, FlatAuction, FlatOutcome, InstanceDiff, InstancePatch, ShardCount,
+        ShardedAuction, SyncAuction, WelfareInstance, WorkerSpawner,
     };
     pub use p2p_metrics::{ascii_plot, SlotMetrics, SlotRecorder, Summary, TimeSeries};
     pub use p2p_runtime::WorkerPool;
     pub use p2p_scenario::{
         builtin, parse_scenario, run_scenario, scheduler_by_name, scheduler_for,
-        scheduler_with_shards, Scenario, ScenarioEvent, ScenarioReport, TimedEvent,
+        scheduler_for_runtime, scheduler_with_runtime, scheduler_with_shards, Scenario,
+        ScenarioEvent, ScenarioReport, TimedEvent,
     };
     pub use p2p_sched::{
-        AuctionScheduler, ChunkScheduler, ExactScheduler, GreedyScheduler, RandomScheduler,
-        Schedule, ShardedAuctionScheduler, SimpleLocalityScheduler, SlotProblem,
+        AuctionScheduler, ChunkScheduler, ExactScheduler, FlatAuctionScheduler, GreedyScheduler,
+        RandomScheduler, Schedule, ShardedAuctionScheduler, SimpleLocalityScheduler, SlotProblem,
     };
     pub use p2p_streaming::{SlotBuild, SlotProblemCache, System, SystemConfig, WorkloadTrace};
     pub use p2p_topology::{Topology, TopologyConfig};
