@@ -5,7 +5,7 @@
 //! Usage:
 //!   `scenarios --list`
 //!     enumerate the built-in scenarios;
-//!   `scenarios --scenario flash_crowd [--quick] [--seed S] [--schedulers auction,locality]
+//!   `scenarios --scenario flash_crowd [--quick] [--seed S] [--schedulers auction_flat,locality]
 //!              [--slot-build cold|incremental] [--shards auto|N]`
 //!     run a built-in scenario;
 //!   `scenarios --file scenarios/flash_crowd.toml`
@@ -78,7 +78,11 @@ fn run(args: &Args) -> Result<()> {
     // One worker pool for the whole sweep: every flat scheduler leases its
     // slice workers here instead of spawning per run.
     let pool: Arc<dyn WorkerSpawner> = Arc::new(p2p_runtime::WorkerPool::new());
-    let names = args.get_str("schedulers", "auction,locality");
+    // The comparison everyone wants first: the registry's default auction
+    // execution (`auction_flat` since ISSUE 6) against the locality
+    // heuristic baseline.
+    let default_pair = format!("{},locality", p2p_scenario::DEFAULT_SCHEDULER);
+    let names = args.get_str("schedulers", &default_pair);
     let schedulers: Vec<Box<dyn ChunkScheduler>> = names
         .split(',')
         .map(|n| scheduler_for_runtime(&scenario, n.trim(), Some(pool.clone())))
@@ -86,7 +90,7 @@ fn run(args: &Args) -> Result<()> {
     if schedulers.len() < 2 {
         return Err(p2p_types::P2pError::invalid_config(
             "schedulers",
-            "a comparison needs at least two (e.g. --schedulers auction,locality)",
+            "a comparison needs at least two (e.g. --schedulers auction_flat,locality)",
         ));
     }
 

@@ -161,7 +161,7 @@ fn run(args: &Args) -> Result<()> {
         }
     }
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = p2p_core::available_cores();
     let json = format!(
         "{{\n  \"note\": \"Cold SyncAuction (Gauss-Seidel sweep) vs the sharded parallel \
          engine (per-slice batched merges, same-round retry passes, permanent \

@@ -117,6 +117,58 @@ pub fn decide_bid_with_floor(
     decide_bid_over(edges.iter().map(|e| (e.provider, e.utility)), price_of, epsilon, min_increment)
 }
 
+/// The top-2 reduction a bid decision is made from: the best candidate
+/// (largest `φ`, earliest edge on ties) and the second-largest `φ` counting
+/// multiplicity (a duplicate maximum *is* the second-best).
+///
+/// Both quantities are order-invariant functions of the `(edge, φ)`
+/// multiset — they depend only on exact float comparisons, never on the
+/// visit order — which is what lets [`crate::csr::kernel`] compute them
+/// lane-parallel and still match the sequential scan bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Top2 {
+    /// Local index of the best edge within the request's candidate list.
+    pub edge: usize,
+    /// The best candidate's provider.
+    pub provider: ProviderIdx,
+    /// The best net utility `φ* = v − w − λ`.
+    pub best_phi: f64,
+    /// The best candidate's price `λ*` at decision time.
+    pub best_lambda: f64,
+    /// The second-largest net utility (`−∞` with a single candidate).
+    pub second_phi: f64,
+}
+
+/// Turns a [`Top2`] reduction into the paper's bid decision — the epilogue
+/// shared by every scan layout (iterator, scalar rows, kernel lanes), so a
+/// decision differs between layouts only if the reductions differ.
+pub(crate) fn decision_from_top2(
+    top: Option<Top2>,
+    epsilon: f64,
+    min_increment: f64,
+) -> BidDecision {
+    let Some(Top2 { edge, provider, best_phi, best_lambda, second_phi }) = top else {
+        return BidDecision::Abstain { reason: AbstainReason::NoCandidates };
+    };
+    if best_phi < 0.0 {
+        return BidDecision::Abstain { reason: AbstainReason::Unprofitable };
+    }
+
+    // The outside option (staying unassigned, utility 0) floors the
+    // second-best: never bid above own value.
+    let reference = second_phi.max(0.0);
+    let margin = best_phi - reference;
+    debug_assert!(margin >= 0.0);
+    if margin + epsilon < min_increment {
+        return BidDecision::Abstain { reason: AbstainReason::ZeroMargin };
+    }
+    let amount = best_lambda + margin + epsilon;
+    if amount <= best_lambda {
+        return BidDecision::Abstain { reason: AbstainReason::ZeroMargin };
+    }
+    BidDecision::Bid { edge, provider, amount }
+}
+
 /// The layout-independent decision core shared by the nested
 /// ([`EdgeView`] slice) and the flat CSR ([`crate::csr`]) engines: both map
 /// their edge storage onto the same `(provider, utility)` iterator, so the
@@ -146,27 +198,14 @@ pub(crate) fn decide_bid_over(
             None => best = Some((k, phi, lambda, provider)),
         }
     }
-
-    let Some((edge, best_phi, best_lambda, provider)) = best else {
-        return BidDecision::Abstain { reason: AbstainReason::NoCandidates };
-    };
-    if best_phi < 0.0 {
-        return BidDecision::Abstain { reason: AbstainReason::Unprofitable };
-    }
-
-    // The outside option (staying unassigned, utility 0) floors the
-    // second-best: never bid above own value.
-    let reference = second_phi.max(0.0);
-    let margin = best_phi - reference;
-    debug_assert!(margin >= 0.0);
-    if margin + epsilon < min_increment {
-        return BidDecision::Abstain { reason: AbstainReason::ZeroMargin };
-    }
-    let amount = best_lambda + margin + epsilon;
-    if amount <= best_lambda {
-        return BidDecision::Abstain { reason: AbstainReason::ZeroMargin };
-    }
-    BidDecision::Bid { edge, provider, amount }
+    let top = best.map(|(edge, best_phi, best_lambda, provider)| Top2 {
+        edge,
+        provider,
+        best_phi,
+        best_lambda,
+        second_phi,
+    });
+    decision_from_top2(top, epsilon, min_increment)
 }
 
 /// The best achievable net utility `max_u (v − w − λ_u)` for a request, or

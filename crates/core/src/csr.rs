@@ -35,9 +35,13 @@
 //! # Bit-equality with the nested engines
 //!
 //! The flat engines are not "approximately" the nested engines — they are
-//! the same auction over a different memory layout. Bid decisions go
-//! through the shared [`crate::bidder`] decision core, merges apply the
-//! same total order, and the auctioneer arena replicates the heap
+//! the same auction over a different memory layout. Bid decisions run the
+//! branchless [`kernel`] reduction by default (selected by the `simd`
+//! cargo feature, overridable per engine with
+//! [`FlatAuction::with_kernel`]) — bit-identical to the shared
+//! [`crate::bidder`] decision core by the order-invariance argument in the
+//! [`kernel`] docs — merges apply the same total order, and the
+//! auctioneer arena replicates the heap
 //! semantics (evict the minimum `(bid, admission-seq)` entry; price = the
 //! smallest admitted bid when full), so outcomes — prices, assignments,
 //! rounds, bids, welfare, the Theorem 1 `n·ε` certificate — are
@@ -80,7 +84,7 @@
 //! assert_eq!(out.duals, sync.duals);
 //! ```
 
-use crate::bidder::{decide_bid_over, AbstainReason, BidDecision, MIN_INCREMENT};
+use crate::bidder::{AbstainReason, BidDecision};
 use crate::engine::{AuctionConfig, AuctionOutcome, EpsilonScaling, PriceChange};
 use crate::instance::WelfareInstance;
 use crate::shard::ShardCount;
@@ -88,6 +92,10 @@ use crate::solution::{Assignment, DualSolution};
 use p2p_types::P2pError;
 use std::sync::mpsc;
 use std::sync::Arc;
+
+pub mod kernel;
+
+pub use kernel::BidKernel;
 
 /// Sentinel for "request unassigned" in the flat choice vector.
 const NONE: u32 = u32::MAX;
@@ -175,7 +183,9 @@ impl CsrInstance {
         for r in instance.requests() {
             b.add_request();
             for e in &r.edges {
-                b.add_edge(e.provider as u32, e.utility().get());
+                // The nested builder already rejected non-finite utilities.
+                b.add_edge(e.provider as u32, e.utility().get())
+                    .expect("validated instance has finite utilities");
             }
         }
         b.finish()
@@ -226,7 +236,10 @@ impl CsrInstance {
 ///
 /// This is a trusting low-level API (indices are not validated); it is fed
 /// by already-validated builders — [`CsrInstance::compile`] and the
-/// incremental slot-problem cache.
+/// incremental slot-problem cache. The one check it does make is edge
+/// *finiteness* ([`CsrBuilder::add_edge`]): a NaN or infinite `v − w`
+/// would silently corrupt every downstream argmax, and this builder is the
+/// last gate before the kernels.
 #[derive(Debug, Default)]
 pub struct CsrBuilder {
     data: CsrData,
@@ -266,11 +279,27 @@ impl CsrBuilder {
 
     /// Appends an edge (provider, precomputed `v − w`) to the most recently
     /// added request.
-    pub fn add_edge(&mut self, provider: u32, utility: f64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::NonFiniteUtility`] for a NaN or infinite
+    /// `utility`: a non-finite `v − w` entering the bid scan makes every
+    /// `φ` comparison (and the kernel's lane reduction) pick an undefined
+    /// winner, silently corrupting the argmax, so it is rejected here at
+    /// build time instead.
+    pub fn add_edge(&mut self, provider: u32, utility: f64) -> Result<(), P2pError> {
         debug_assert!((provider as usize) < self.data.capacity.len(), "provider out of range");
         debug_assert!(!self.data.row_offsets.is_empty(), "add_request before add_edge");
+        if !utility.is_finite() {
+            return Err(P2pError::NonFiniteUtility {
+                request: (self.data.row_offsets.len().max(1) - 1) as u32,
+                provider,
+                utility,
+            });
+        }
         self.data.edge_provider.push(provider);
         self.data.edge_utility.push(utility);
+        Ok(())
     }
 
     /// Closes the emission and returns the shareable instance.
@@ -319,12 +348,12 @@ impl WorkerSpawner for ThreadSpawner {
 
 /// One bid computed against a round's price snapshot.
 #[derive(Debug, Clone, Copy)]
-struct FlatBid {
-    amount: f64,
-    request: u32,
+pub(crate) struct FlatBid {
+    pub(crate) amount: f64,
+    pub(crate) request: u32,
     /// Local edge index within the request's row.
-    edge: u32,
-    provider: u32,
+    pub(crate) edge: u32,
+    pub(crate) provider: u32,
 }
 
 /// One slice's compute order (and, on the way back, its results): owned
@@ -336,6 +365,7 @@ struct SliceCmd {
     csr: Arc<CsrData>,
     prices: Arc<Vec<f64>>,
     epsilon: f64,
+    kernel: BidKernel,
     bids: Vec<FlatBid>,
     retired: Vec<u32>,
 }
@@ -372,7 +402,8 @@ impl Lease {
                 while let Ok(mut cmd) = rx.recv() {
                     cmd.bids.clear();
                     cmd.retired.clear();
-                    compute_slice(
+                    kernel::scan_slice(
+                        cmd.kernel,
                         &cmd.csr,
                         &cmd.chunk,
                         &cmd.prices,
@@ -402,10 +433,12 @@ impl Drop for Lease {
 }
 
 /// Computes one slice's bids against a read-only price snapshot — a pure
-/// function of `(slice, prices)`, safe to fan out in any chunking. Mirrors
-/// the nested sharded engine's `compute_slice`: unprofitable and
-/// candidate-less requests are reported for permanent retirement.
+/// function of `(slice, prices, kernel)`, safe to fan out in any chunking.
+/// Mirrors the nested sharded engine's `compute_slice` (unprofitable and
+/// candidate-less requests are reported for permanent retirement), running
+/// each row through the selected bid kernel — see [`kernel::scan_slice`].
 fn compute_slice(
+    kernel: BidKernel,
     csr: &CsrData,
     slice: &[u32],
     prices: &[f64],
@@ -413,29 +446,7 @@ fn compute_slice(
     bids: &mut Vec<FlatBid>,
     retired: &mut Vec<u32>,
 ) {
-    for &r in slice {
-        let (providers, utilities) = csr.row(r as usize);
-        let decision = decide_bid_over(
-            providers.iter().zip(utilities).map(|(&p, &u)| (p as usize, u)),
-            |p| prices[p],
-            epsilon,
-            MIN_INCREMENT,
-        );
-        match decision {
-            BidDecision::Bid { edge, provider, amount } => {
-                bids.push(FlatBid {
-                    amount,
-                    request: r,
-                    edge: edge as u32,
-                    provider: provider as u32,
-                });
-            }
-            BidDecision::Abstain { reason } => match reason {
-                AbstainReason::Unprofitable | AbstainReason::NoCandidates => retired.push(r),
-                AbstainReason::ZeroMargin => {}
-            },
-        }
-    }
+    kernel::scan_slice(kernel, csr, slice, prices, epsilon, bids, retired);
 }
 
 /// The reusable engine state: every buffer the hot loop touches, allocated
@@ -584,13 +595,11 @@ fn arena_handle_bid(
     *seq += 1;
     let mut new_price = None;
     if filled[provider] == cap {
-        let seg = start..start + cap as usize;
-        let mut min = f64::INFINITY;
-        for i in seg {
-            if entry_bid[i] < min {
-                min = entry_bid[i];
-            }
-        }
+        // Batched price update: one branchless reduction over the full
+        // unit segment (exact — see `kernel::segment_min`). The pass stays
+        // per-accepted-bid because later bids in the same merge batch are
+        // admitted or rejected against the updated price.
+        let min = kernel::segment_min(&entry_bid[start..start + cap as usize]);
         if min != price[provider] {
             price[provider] = min;
             new_price = Some(min);
@@ -689,6 +698,9 @@ impl FlatOutcome {
 pub struct FlatAuction {
     config: AuctionConfig,
     shards: ShardCount,
+    /// Which bid-scan implementation the engine runs (kernel lanes by
+    /// default; see [`BidKernel`]).
+    kernel: BidKernel,
     /// Test/bench override for the worker-thread count (normally
     /// `min(shards, cores)`).
     workers: Option<usize>,
@@ -702,6 +714,7 @@ impl std::fmt::Debug for FlatAuction {
         f.debug_struct("FlatAuction")
             .field("config", &self.config)
             .field("shards", &self.shards)
+            .field("kernel", &self.kernel)
             .field("workers", &self.workers)
             .finish_non_exhaustive()
     }
@@ -714,6 +727,7 @@ impl Clone for FlatAuction {
         FlatAuction {
             config: self.config,
             shards: self.shards,
+            kernel: self.kernel,
             workers: self.workers,
             spawner: Arc::clone(&self.spawner),
             scratch: AuctionScratch::default(),
@@ -734,6 +748,7 @@ impl FlatAuction {
         FlatAuction {
             config,
             shards,
+            kernel: BidKernel::default(),
             workers: None,
             spawner: Arc::new(ThreadSpawner),
             scratch: AuctionScratch::default(),
@@ -749,6 +764,28 @@ impl FlatAuction {
     /// The engine's shard count.
     pub fn shards(&self) -> ShardCount {
         self.shards
+    }
+
+    /// The bid kernel the engine runs.
+    pub fn kernel(&self) -> BidKernel {
+        self.kernel
+    }
+
+    /// Selects the bid-scan implementation (builder-style). Outcomes are
+    /// bit-identical either way (see the [`kernel`] docs); this exists so
+    /// benches and the cross-check suites can pin one path.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: BidKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The effective shard count this engine would use for a slot with
+    /// `requests` active requests — the single
+    /// [`ShardCount::resolve_for`] resolution every engine shares, exposed
+    /// so tests can pin nested/flat agreement.
+    pub fn effective_shards(&self, requests: usize) -> usize {
+        self.shards.resolve_for(requests)
     }
 
     /// Forces the worker-thread count regardless of the machine's core
@@ -963,12 +1000,8 @@ impl FlatAuction {
                     continue;
                 }
                 let (providers, utilities) = data.row(r);
-                let decision = decide_bid_over(
-                    providers.iter().zip(utilities).map(|(&p, &u)| (p as usize, u)),
-                    |p| s.eff_price[p],
-                    epsilon,
-                    MIN_INCREMENT,
-                );
+                let decision =
+                    kernel::decide_row(self.kernel, providers, utilities, &s.eff_price, epsilon);
                 match decision {
                     BidDecision::Abstain { reason } => {
                         if retire
@@ -1044,10 +1077,7 @@ impl FlatAuction {
     ) -> Result<(), P2pError> {
         let workers = self
             .workers
-            .unwrap_or_else(|| {
-                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-                shards.min(cores)
-            })
+            .unwrap_or_else(|| shards.min(crate::shard::available_cores()))
             .max(1)
             .min(shards);
         if workers > 1 && self.lease.as_ref().is_none_or(|l| l.workers != workers) {
@@ -1116,12 +1146,14 @@ impl FlatAuction {
                         slice,
                         &s.eff_price,
                         epsilon,
+                        self.kernel,
                         workers,
                         &mut bids,
                         &mut slice_retired,
                     );
                 } else {
                     compute_slice(
+                        self.kernel,
                         data,
                         slice,
                         &s.eff_price,
@@ -1230,6 +1262,7 @@ fn exec_threaded(
     slice: &[u32],
     prices: &[f64],
     epsilon: f64,
+    kernel: BidKernel,
     workers: usize,
     bids: &mut Vec<FlatBid>,
     retired: &mut Vec<u32>,
@@ -1254,6 +1287,7 @@ fn exec_threaded(
             csr: csr.shared(),
             prices: Arc::clone(&snapshot),
             epsilon,
+            kernel,
             bids: bid_buf,
             retired: retired_buf,
         };
@@ -1267,6 +1301,7 @@ fn exec_threaded(
                 cmd.bids.clear();
                 cmd.retired.clear();
                 compute_slice(
+                    kernel,
                     csr.data(),
                     &cmd.chunk,
                     prices,
@@ -1289,7 +1324,7 @@ fn exec_threaded(
                 // inline (pure function — same result).
                 bids.clear();
                 retired.clear();
-                compute_slice(csr.data(), slice, prices, epsilon, bids, retired);
+                compute_slice(kernel, csr.data(), slice, prices, epsilon, bids, retired);
                 lease.pending.clear();
                 return;
             }
@@ -1448,7 +1483,7 @@ mod tests {
             for r in inst.requests() {
                 b.add_request();
                 for e in &r.edges {
-                    b.add_edge(e.provider as u32, e.utility().get());
+                    b.add_edge(e.provider as u32, e.utility().get()).unwrap();
                 }
             }
             b.finish()
@@ -1650,10 +1685,58 @@ mod tests {
     fn clone_and_debug_cover_the_engine_surface() {
         let flat = FlatAuction::new(AuctionConfig::with_epsilon(0.5), ShardCount::Fixed(3))
             .with_workers(2)
+            .with_kernel(BidKernel::Scalar)
             .with_spawner(Arc::new(ThreadSpawner));
         let cloned = flat.clone();
         assert_eq!(cloned.config().epsilon, 0.5);
         assert_eq!(cloned.shards(), ShardCount::Fixed(3));
+        assert_eq!(cloned.kernel(), BidKernel::Scalar);
         assert!(format!("{flat:?}").contains("FlatAuction"));
+        assert_eq!(FlatAuction::default().kernel(), BidKernel::default());
+    }
+
+    #[test]
+    fn kernel_and_scalar_paths_are_bit_identical_end_to_end() {
+        for (shards, eps) in [(1usize, 0.0), (1, 0.01), (4, 0.0), (4, 0.01)] {
+            let inst = contended_instance(40);
+            let csr = CsrInstance::compile(&inst);
+            let cfg = AuctionConfig::with_epsilon(eps).recording_trace();
+            let mut lanes =
+                FlatAuction::new(cfg, ShardCount::Fixed(shards)).with_kernel(BidKernel::Lanes);
+            let mut scalar =
+                FlatAuction::new(cfg, ShardCount::Fixed(shards)).with_kernel(BidKernel::Scalar);
+            let a = lanes.run(&csr).unwrap();
+            let b = scalar.run(&csr).unwrap();
+            assert_eq!(a.assignment, b.assignment, "shards={shards} eps={eps}");
+            assert_eq!(a.duals, b.duals, "shards={shards} eps={eps}");
+            assert_eq!(a.rounds, b.rounds, "shards={shards} eps={eps}");
+            assert_eq!(a.bids_submitted, b.bids_submitted, "shards={shards} eps={eps}");
+            assert_eq!(a.price_trace, b.price_trace, "shards={shards} eps={eps}");
+            // Warm starts agree too.
+            let aw = lanes.run_warm(&csr, &a.duals.lambda).unwrap();
+            let bw = scalar.run_warm(&csr, &b.duals.lambda).unwrap();
+            assert_eq!(aw.assignment, bw.assignment, "warm shards={shards} eps={eps}");
+            assert_eq!(aw.duals, bw.duals, "warm shards={shards} eps={eps}");
+        }
+    }
+
+    #[test]
+    fn builder_rejects_non_finite_utilities() {
+        let mut b = CsrBuilder::new();
+        b.begin();
+        b.add_provider(1);
+        b.add_request();
+        b.add_edge(0, 1.5).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = b.add_edge(0, bad).unwrap_err();
+            assert!(
+                matches!(err, P2pError::NonFiniteUtility { request: 0, provider: 0, .. }),
+                "{err}"
+            );
+        }
+        // The rejected edges left no trace: the emission is intact.
+        let csr = b.finish();
+        assert_eq!(csr.edge_count(), 1);
+        assert_eq!(csr.data().row(0).1, &[1.5]);
     }
 }

@@ -1,0 +1,435 @@
+//! Branchless bid kernels over the flat CSR layout.
+//!
+//! PR 5's flat engine still walked each request's row through the
+//! edge-at-a-time iterator of [`decide_bid_over`](crate::bidder) — correct,
+//! but opaque to the vectorizer: the running best/second state is carried
+//! through a `match` with two data-dependent branches per edge. This module
+//! re-expresses the same reduction in a chunked, branchless form the
+//! compiler can keep in vector registers:
+//!
+//! * [`row_top2`] — the top-2 reduction over one request's
+//!   `edge_utility` row, `LANES` independent per-lane recurrences (prices
+//!   gathered per lane from the dense `eff_price` array) merged at the end
+//!   with an index tie-break. Selected implementation: `core::simd` when
+//!   the nightly-only `portable-simd` feature is on, otherwise fixed-size
+//!   `[f64; LANES]` chunks written as straight-line selects that stable
+//!   rustc autovectorizes (verified by the `flat_bench` kernel/scalar
+//!   split in `BENCH_simd.json`).
+//! * [`scan_slice`] — the batched variant: one pass over a whole shard
+//!   slice of requests against a single price snapshot, emitting bids and
+//!   retirements exactly as the nested engines' `compute_slice` does.
+//! * [`segment_min`] — the batched price-update reduction over an
+//!   auctioneer arena unit segment (the new price is the smallest admitted
+//!   bid). The *pass itself* stays per-accepted-bid — within a merge batch
+//!   later bids are rejected against the already-updated price, so
+//!   deferring the update would change admissions — but the reduction over
+//!   the segment is branchless and chunked.
+//!
+//! # Why the kernel is bit-identical to the sequential scan
+//!
+//! The sequential recurrence in `decide_bid_over` computes two quantities:
+//! the best candidate (largest `φ`, earliest edge on exact ties) and the
+//! second-largest `φ` counting multiplicity (a duplicated maximum is its
+//! own runner-up). Both are order-invariant functions of the `(edge, φ)`
+//! multiset: they involve only exact float comparisons — no arithmetic —
+//! and the per-edge `φ = utility − λ` is computed by the same single
+//! subtraction in every layout. Splitting the row into lanes and merging
+//! the per-lane top-2 states with an `(φ, edge)` tie-break therefore
+//! reproduces the sequential result *bit for bit, including on exact
+//! ties*, for every finite-`φ` input — which the builders guarantee by
+//! rejecting non-finite utilities ([`P2pError::NonFiniteUtility`]), and
+//! which zero-capacity providers cannot break (their `φ = −∞` candidates
+//! lose every comparison exactly as they do sequentially).
+//!
+//! The one scan the lane split *could* reorder is the second-best's sign
+//! of zero (`+0.0` vs `−0.0` compare equal, so different visit orders may
+//! keep different bit patterns). A sign of zero never survives into a
+//! decision: the epilogue floors the second-best at the outside option
+//! (`max(second, 0.0)`) and `x − (±0.0)` is bit-identical for every
+//! finite `x`, so even those rows decide identically. The all-ties
+//! adversarial case — where this reasoning is under the most pressure —
+//! is additionally pinned by the Theorem 1 `n·ε` certificate proptests in
+//! `crates/core/tests/proptest_kernel.rs`.
+//!
+//! [`P2pError::NonFiniteUtility`]: p2p_types::P2pError::NonFiniteUtility
+
+use super::{CsrData, FlatBid};
+use crate::bidder::{
+    decide_bid_over, decision_from_top2, AbstainReason, BidDecision, Top2, MIN_INCREMENT,
+};
+
+/// Lane width of the chunked reductions: four `f64`s — one AVX2 register,
+/// two NEON registers — is wide enough to saturate the FP select ports
+/// while keeping the merge epilogue and sub-lane rows cheap.
+pub const LANES: usize = 4;
+
+/// Which bid-scan implementation [`FlatAuction`](super::FlatAuction) uses.
+///
+/// Both implementations are always compiled; the `simd` cargo feature
+/// (default-on) only selects which one [`BidKernel::default`] returns, so
+/// the fallback can never rot unnoticed — CI builds and tests both
+/// selections, and `flat_bench` cross-checks their outcomes bid for bid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BidKernel {
+    /// The chunked branchless lane reduction ([`row_top2`]).
+    Lanes,
+    /// The sequential edge-at-a-time scan of PR 5
+    /// (`decide_bid_over` over the row iterator).
+    Scalar,
+}
+
+impl Default for BidKernel {
+    /// [`BidKernel::Lanes`] with the `simd` feature (the default build),
+    /// [`BidKernel::Scalar`] without it.
+    fn default() -> Self {
+        if cfg!(feature = "simd") {
+            BidKernel::Lanes
+        } else {
+            BidKernel::Scalar
+        }
+    }
+}
+
+impl BidKernel {
+    /// The CLI/bench name of this kernel (`lanes` or `scalar`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BidKernel::Lanes => "lanes",
+            BidKernel::Scalar => "scalar",
+        }
+    }
+}
+
+/// One lane-parallel top-2 state: `LANES` independent copies of the
+/// sequential recurrence, kept in parallel arrays so the update loop is
+/// pure straight-line selects.
+struct LaneState {
+    best_phi: [f64; LANES],
+    best_idx: [u32; LANES],
+    second: [f64; LANES],
+}
+
+impl LaneState {
+    /// Seeds lane `j` with edge `j` — every lane starts non-empty, so a
+    /// legitimate `φ = −∞` candidate (zero-capacity provider) is a real
+    /// entry, never confused with an empty-lane sentinel.
+    #[inline]
+    fn seed(phi: [f64; LANES]) -> Self {
+        LaneState {
+            best_phi: phi,
+            best_idx: core::array::from_fn(|j| j as u32),
+            second: [f64::NEG_INFINITY; LANES],
+        }
+    }
+
+    /// Folds one chunk of `φ` values (edges `base .. base + LANES`, lane
+    /// `j` handling edge `base + j`) into the running per-lane states.
+    ///
+    /// Per lane this is exactly the sequential recurrence, rewritten
+    /// branch-free: the value demoted to the runner-up pool is
+    /// `min(φ, best)` — the incoming `φ` when it loses or ties, the old
+    /// best when `φ` wins — and the best advances only on a strict win,
+    /// which preserves the earliest-edge tie-break because lane indices
+    /// only grow.
+    #[inline]
+    fn fold_chunk(&mut self, base: u32, phi: [f64; LANES]) {
+        #[cfg(feature = "portable-simd")]
+        {
+            use core::simd::prelude::*;
+            let p = Simd::<f64, LANES>::from_array(phi);
+            let best = Simd::<f64, LANES>::from_array(self.best_phi);
+            let second = Simd::<f64, LANES>::from_array(self.second);
+            let idx = Simd::<u64, LANES>::from_array(self.best_idx.map(u64::from));
+            let here = Simd::<u64, LANES>::from_array(core::array::from_fn(|j| j as u64))
+                + Simd::<u64, LANES>::splat(u64::from(base));
+            let demoted = p.simd_lt(best).select(p, best);
+            let second = demoted.simd_gt(second).select(demoted, second);
+            let better = p.simd_gt(best);
+            let best = better.select(p, best);
+            let idx = better.select(here, idx);
+            self.best_phi = best.to_array();
+            self.second = second.to_array();
+            let idx = idx.to_array();
+            for j in 0..LANES {
+                self.best_idx[j] = idx[j] as u32;
+            }
+        }
+        #[cfg(not(feature = "portable-simd"))]
+        // Indexed form, not iterators: the four parallel arrays update in
+        // lockstep and the vectorizer needs to see them as one loop body.
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..LANES {
+            let p = phi[j];
+            let best = self.best_phi[j];
+            let demoted = if p < best { p } else { best };
+            self.second[j] = if demoted > self.second[j] { demoted } else { self.second[j] };
+            let better = p > best;
+            self.best_idx[j] = if better { base + j as u32 } else { self.best_idx[j] };
+            self.best_phi[j] = if better { p } else { best };
+        }
+    }
+}
+
+/// Merges two top-2 partial states over disjoint edge subsets:
+/// `(best φ, best edge, second φ)` each. Pure comparisons — exact — with
+/// the earliest-edge tie-break on equal bests; the losing best joins the
+/// runner-up pool (a duplicated maximum is the second-best).
+#[inline]
+fn merge(a: (f64, u32, f64), b: (f64, u32, f64)) -> (f64, u32, f64) {
+    let (a_best, a_idx, a_second) = a;
+    let (b_best, b_idx, b_second) = b;
+    let b_wins = b_best > a_best || (b_best == a_best && b_idx < a_idx);
+    let (best, idx, loser) = if b_wins { (b_best, b_idx, a_best) } else { (a_best, a_idx, b_best) };
+    let mut second = if a_second > b_second { a_second } else { b_second };
+    if loser > second {
+        second = loser;
+    }
+    (best, idx, second)
+}
+
+/// The sequential top-2 recurrence over a sub-range of a row — used for
+/// rows shorter than one lane and for the chunk remainder. Identical to
+/// the `decide_bid_over` recurrence (it *is* the reference semantics).
+#[inline]
+fn fold_scalar(
+    providers: &[u32],
+    utilities: &[f64],
+    prices: &[f64],
+    base: u32,
+) -> Option<(f64, u32, f64)> {
+    let mut state: Option<(f64, u32, f64)> = None;
+    for (k, (&p, &u)) in providers.iter().zip(utilities).enumerate() {
+        let phi = u - prices[p as usize];
+        state = Some(match state {
+            None => (phi, base + k as u32, f64::NEG_INFINITY),
+            Some((best, idx, second)) if phi <= best => {
+                (best, idx, if phi > second { phi } else { second })
+            }
+            Some((best, _, second)) => {
+                (phi, base + k as u32, if best > second { best } else { second })
+            }
+        });
+    }
+    state
+}
+
+/// The branchless chunked top-2 reduction over one request's row: the
+/// kernel counterpart of the sequential scan, bit-identical to it on every
+/// finite-utility instance (see the [module docs](self) for the argument).
+///
+/// `prices` is the dense bidder-visible price array (`eff_price`); lane
+/// `j` of each chunk gathers `prices[providers[base + j]]`.
+pub(crate) fn row_top2(providers: &[u32], utilities: &[f64], prices: &[f64]) -> Option<Top2> {
+    let n = utilities.len();
+    if n < LANES {
+        // Sub-lane rows (including empty) take the reference recurrence —
+        // no lanes to fill, nothing to merge.
+        return finish(fold_scalar(providers, utilities, prices, 0), providers, prices);
+    }
+    let mut phi = [0.0f64; LANES];
+    #[allow(clippy::needless_range_loop)] // lockstep gather, see fold_chunk
+    for j in 0..LANES {
+        phi[j] = utilities[j] - prices[providers[j] as usize];
+    }
+    let mut state = LaneState::seed(phi);
+    let chunks = providers[LANES..].chunks_exact(LANES).zip(utilities[LANES..].chunks_exact(LANES));
+    let mut base = LANES as u32;
+    for (ps, us) in chunks {
+        let mut phi = [0.0f64; LANES];
+        #[allow(clippy::needless_range_loop)] // lockstep gather, see fold_chunk
+        for j in 0..LANES {
+            phi[j] = us[j] - prices[ps[j] as usize];
+        }
+        state.fold_chunk(base, phi);
+        base += LANES as u32;
+    }
+    // Merge the lanes (any order — the reduction is order-invariant; lane
+    // order keeps it deterministic), then the remainder tail.
+    let mut acc = (state.best_phi[0], state.best_idx[0], state.second[0]);
+    for j in 1..LANES {
+        acc = merge(acc, (state.best_phi[j], state.best_idx[j], state.second[j]));
+    }
+    // Edges consumed by the seed and the full chunks; the rest is the tail.
+    let consumed = LANES + (n - LANES) / LANES * LANES;
+    if let Some(rest) =
+        fold_scalar(&providers[consumed..], &utilities[consumed..], prices, consumed as u32)
+    {
+        acc = merge(acc, rest);
+    }
+    finish(Some(acc), providers, prices)
+}
+
+/// Rehydrates the full [`Top2`] from the reduced `(φ, edge, second)`
+/// triple: the winning edge's provider and price are looked up once at the
+/// end instead of being carried through every lane.
+#[inline]
+fn finish(state: Option<(f64, u32, f64)>, providers: &[u32], prices: &[f64]) -> Option<Top2> {
+    state.map(|(best_phi, idx, second_phi)| {
+        let provider = providers[idx as usize] as usize;
+        Top2 { edge: idx as usize, provider, best_phi, best_lambda: prices[provider], second_phi }
+    })
+}
+
+/// One request's bid decision through the selected kernel. Both paths run
+/// the shared decision epilogue, so they can only differ if the top-2
+/// reductions differ — which the module invariant (and the proptest
+/// suite) rules out.
+#[inline]
+pub(crate) fn decide_row(
+    kernel: BidKernel,
+    providers: &[u32],
+    utilities: &[f64],
+    prices: &[f64],
+    epsilon: f64,
+) -> BidDecision {
+    match kernel {
+        BidKernel::Lanes => {
+            decision_from_top2(row_top2(providers, utilities, prices), epsilon, MIN_INCREMENT)
+        }
+        BidKernel::Scalar => decide_bid_over(
+            providers.iter().zip(utilities).map(|(&p, &u)| (p as usize, u)),
+            |p| prices[p],
+            epsilon,
+            MIN_INCREMENT,
+        ),
+    }
+}
+
+/// The batched slice scan: every request of a shard slice decided against
+/// one price snapshot in a single pass, bids and permanent retirements
+/// appended exactly as the nested engines' `compute_slice` emits them.
+pub(crate) fn scan_slice(
+    kernel: BidKernel,
+    csr: &CsrData,
+    slice: &[u32],
+    prices: &[f64],
+    epsilon: f64,
+    bids: &mut Vec<FlatBid>,
+    retired: &mut Vec<u32>,
+) {
+    for &r in slice {
+        let (providers, utilities) = csr.row(r as usize);
+        match decide_row(kernel, providers, utilities, prices, epsilon) {
+            BidDecision::Bid { edge, provider, amount } => {
+                bids.push(FlatBid {
+                    amount,
+                    request: r,
+                    edge: edge as u32,
+                    provider: provider as u32,
+                });
+            }
+            BidDecision::Abstain { reason } => match reason {
+                AbstainReason::Unprofitable | AbstainReason::NoCandidates => retired.push(r),
+                AbstainReason::ZeroMargin => {}
+            },
+        }
+    }
+}
+
+/// The batched price-update reduction: the smallest admitted bid in a full
+/// arena unit segment, chunked and branchless. Exact — the reduction is
+/// pure comparisons, and admitted bids are strictly positive, so there is
+/// no `±0.0` ambiguity to reorder.
+pub(crate) fn segment_min(bids: &[f64]) -> f64 {
+    let mut acc = [f64::INFINITY; LANES];
+    let chunks = bids.chunks_exact(LANES);
+    let rest = chunks.remainder();
+    for ch in chunks {
+        #[allow(clippy::needless_range_loop)] // lockstep min, see fold_chunk
+        for j in 0..LANES {
+            acc[j] = if ch[j] < acc[j] { ch[j] } else { acc[j] };
+        }
+    }
+    let mut min = f64::INFINITY;
+    for &v in rest {
+        if v < min {
+            min = v;
+        }
+    }
+    for &a in &acc {
+        if a < min {
+            min = a;
+        }
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decisions_match(providers: &[u32], utilities: &[f64], prices: &[f64], epsilon: f64) {
+        let lanes = decide_row(BidKernel::Lanes, providers, utilities, prices, epsilon);
+        let scalar = decide_row(BidKernel::Scalar, providers, utilities, prices, epsilon);
+        assert_eq!(lanes, scalar, "providers={providers:?} utilities={utilities:?}");
+    }
+
+    #[test]
+    fn kernel_matches_scalar_on_every_row_shape() {
+        // Every length through several chunk boundaries, values engineered
+        // to include duplicates, zeros, and a max at every position class.
+        for n in 0..64usize {
+            let providers: Vec<u32> = (0..n).map(|k| (k % 7) as u32).collect();
+            let prices: Vec<f64> = (0..7).map(|u| f64::from(u) * 0.25).collect();
+            for variant in 0..4 {
+                let utilities: Vec<f64> = (0..n)
+                    .map(|k| match variant {
+                        0 => (k as f64 * 17.0) % 5.3 - 1.0,
+                        1 => 2.0, // all ties
+                        2 => {
+                            if k == n / 2 {
+                                9.0
+                            } else {
+                                1.0
+                            }
+                        } // unique max mid-row
+                        _ => -(k as f64) - 1.0, // all unprofitable
+                    })
+                    .collect();
+                for eps in [0.0, 0.01, 0.5] {
+                    decisions_match(&providers, &utilities, &prices, eps);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_handles_infinite_prices_like_the_scalar_scan() {
+        // Zero-capacity providers surface as eff_price = +∞ (φ = −∞).
+        let providers = [0u32, 1, 2, 0, 1, 2, 0];
+        let prices = [f64::INFINITY, 0.5, f64::INFINITY];
+        let utilities = [4.0, 3.0, 2.0, 1.0, 5.0, 0.0, 8.0];
+        decisions_match(&providers, &utilities, &prices, 0.0);
+        // All candidates at −∞: abstains Unprofitable either way.
+        let dead = [0u32; 6];
+        let dead_prices = [f64::INFINITY];
+        let utils = [1.0; 6];
+        decisions_match(&dead, &utils, &dead_prices, 0.0);
+        assert_eq!(
+            decide_row(BidKernel::Lanes, &dead, &utils, &dead_prices, 0.0),
+            BidDecision::Abstain { reason: AbstainReason::Unprofitable }
+        );
+    }
+
+    #[test]
+    fn segment_min_matches_a_sequential_scan() {
+        for n in 0..24usize {
+            let bids: Vec<f64> = (0..n).map(|k| ((k as f64 * 13.7) % 6.1) + 0.1).collect();
+            let mut min = f64::INFINITY;
+            for &b in &bids {
+                if b < min {
+                    min = b;
+                }
+            }
+            assert_eq!(segment_min(&bids), min);
+        }
+    }
+
+    #[test]
+    fn kernel_names_and_default_are_stable() {
+        assert_eq!(BidKernel::Lanes.name(), "lanes");
+        assert_eq!(BidKernel::Scalar.name(), "scalar");
+        let expect = if cfg!(feature = "simd") { BidKernel::Lanes } else { BidKernel::Scalar };
+        assert_eq!(BidKernel::default(), expect);
+    }
+}

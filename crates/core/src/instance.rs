@@ -177,7 +177,12 @@ impl InstanceBuilder {
     ///
     /// Returns [`P2pError::MalformedInstance`] if either index is out of
     /// range or the edge duplicates an existing (request, provider) pair —
-    /// a request has at most one edge per neighbor.
+    /// a request has at most one edge per neighbor — and
+    /// [`P2pError::NonFiniteUtility`] if the welfare weight `v − w`
+    /// overflows to infinity (finite `valuation` and `cost` do not
+    /// guarantee a finite difference): a non-finite utility would flow
+    /// into the bidders' `φ` comparisons and the kernel's max-reduction
+    /// with an undefined winner, so it is rejected at build time.
     pub fn add_edge(
         &mut self,
         request: RequestIdx,
@@ -201,6 +206,17 @@ impl InstanceBuilder {
             return Err(P2pError::MalformedInstance(format!(
                 "duplicate edge request {request} -> provider {provider}"
             )));
+        }
+        // Raw difference, not `EdgeSpec::utility` — the unit type's
+        // constructor asserts finiteness, and this must be an error, not a
+        // panic.
+        let utility = valuation.get() - cost.get();
+        if !utility.is_finite() {
+            return Err(P2pError::NonFiniteUtility {
+                request: request as u32,
+                provider: provider as u32,
+                utility,
+            });
         }
         req.edges.push(EdgeSpec { provider, valuation, cost });
         Ok(())
@@ -268,6 +284,23 @@ mod tests {
         let r = b.add_request(rid(0, 0));
         b.add_edge(r, u, Valuation::new(1.0), Cost::new(0.0)).unwrap();
         assert!(b.add_edge(r, u, Valuation::new(2.0), Cost::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn non_finite_utilities_rejected() {
+        // Finite valuation and cost whose difference overflows to +∞ — the
+        // one non-finite `v − w` the unit types cannot catch at
+        // construction time.
+        let mut b = WelfareInstance::builder();
+        let u = b.add_provider(PeerId::new(1), 1);
+        let r = b.add_request(rid(0, 0));
+        let err = b.add_edge(r, u, Valuation::new(f64::MAX), Cost::new(f64::MIN)).unwrap_err();
+        assert!(matches!(err, P2pError::NonFiniteUtility { request: 0, provider: 0, .. }), "{err}");
+        // The rejected edge was not recorded; a finite one still lands.
+        b.add_edge(r, u, Valuation::new(1.0), Cost::new(0.25)).unwrap();
+        let inst = b.build().unwrap();
+        assert_eq!(inst.edge_count(), 1);
+        assert_eq!(inst.request(0).edges[0].utility(), Utility::new(0.75));
     }
 
     #[test]

@@ -64,6 +64,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 pub mod auctioneer;
 pub mod bertsekas;
@@ -82,11 +83,11 @@ pub mod verify;
 mod ordf64;
 
 pub use bidder::{BidDecision, EdgeView};
-pub use csr::{CsrBuilder, CsrInstance, FlatAuction, FlatOutcome, WorkerSpawner};
+pub use csr::{BidKernel, CsrBuilder, CsrInstance, FlatAuction, FlatOutcome, WorkerSpawner};
 pub use diff::{InstanceDiff, InstancePatch};
 pub use engine::{AuctionConfig, AuctionOutcome, EpsilonScaling, SyncAuction};
 pub use instance::{EdgeSpec, InstanceBuilder, ProviderSpec, RequestSpec, WelfareInstance};
-pub use shard::{ShardCount, ShardedAuction};
+pub use shard::{available_cores, ShardCount, ShardedAuction};
 pub use solution::{Assignment, DualSolution};
 pub use verify::{verify_optimality, OptimalityReport};
 

@@ -152,12 +152,12 @@ impl ShardCount {
         }
     }
 
-    /// The ceiling `Auto` may resolve to: the machine's available
-    /// parallelism (1 if unknown). Use [`ShardCount::resolve_for`] to pick
-    /// the count for an actual slot.
+    /// The ceiling `Auto` may resolve to: the pinnable core count of
+    /// [`available_cores`]. Use [`ShardCount::resolve_for`] to pick the
+    /// count for an actual slot.
     pub fn resolve(self) -> usize {
         match self {
-            ShardCount::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            ShardCount::Auto => available_cores(),
             ShardCount::Fixed(n) => n.max(1),
         }
     }
@@ -190,6 +190,31 @@ impl ShardCount {
             }
         }
     }
+}
+
+/// The core count every shard resolution and worker fan-out in the
+/// workspace consults — the **single** entry point (via
+/// [`ShardCount::resolve_for`] and the engines' worker sizing) where
+/// `available_parallelism` is read, so a shard-count decision can never
+/// observe a different machine than the pool it fans out to.
+///
+/// Pinnable for reproducible bench and CI runs: set `P2P_CORES` to a
+/// positive integer and every engine, scheduler and bench binary resolves
+/// against that count instead of the machine's. Unset (or invalid), it
+/// falls back to [`std::thread::available_parallelism`] (1 if unknown).
+pub fn available_cores() -> usize {
+    match std::env::var("P2P_CORES") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => machine_cores(),
+        },
+        Err(_) => machine_cores(),
+    }
+}
+
+/// The machine's own core count (the `P2P_CORES`-less fallback).
+fn machine_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// One bid computed by a shard against the round's price snapshot.
@@ -239,6 +264,14 @@ impl ShardedAuction {
     /// The engine's shard count.
     pub fn shards(&self) -> ShardCount {
         self.shards
+    }
+
+    /// The effective shard count this engine would use for a slot with
+    /// `requests` active requests — the single
+    /// [`ShardCount::resolve_for`] resolution every engine shares, exposed
+    /// so tests can pin nested/flat agreement.
+    pub fn effective_shards(&self, requests: usize) -> usize {
+        self.shards.resolve_for(requests)
     }
 
     /// Forces the OS worker-thread count regardless of the machine's core
@@ -327,14 +360,8 @@ impl ShardedAuction {
         shards: usize,
     ) -> Result<AuctionOutcome, P2pError> {
         let shards = shards.max(2);
-        let workers = self
-            .workers
-            .unwrap_or_else(|| {
-                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-                shards.min(cores)
-            })
-            .max(1)
-            .min(shards);
+        let workers =
+            self.workers.unwrap_or_else(|| shards.min(available_cores())).max(1).min(shards);
         let views = edge_views(instance);
         if workers <= 1 {
             // Single worker: compute each slice on the calling thread. The

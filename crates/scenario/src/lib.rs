@@ -52,7 +52,7 @@ pub use library::{builtin, builtin_spec, builtins, BUILTIN_NAMES};
 pub use runner::{
     run_one, run_scenario, scheduler_by_name, scheduler_for, scheduler_for_runtime,
     scheduler_with_runtime, scheduler_with_shards, RunSummary, ScenarioReport, ScenarioRun,
-    SCHEDULER_NAMES,
+    DEFAULT_SCHEDULER, SCHEDULER_NAMES,
 };
 pub use spec::parse_scenario;
 pub use timeline::{Profile, Scenario, TimedEvent};

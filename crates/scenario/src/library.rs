@@ -111,8 +111,96 @@ isp = 0
 count = 2
 "#;
 
-/// Names of all built-in scenarios, in presentation order.
-pub const BUILTIN_NAMES: [&str; 4] = ["flash_crowd", "isp_outage", "prime_time", "seed_starvation"];
+/// `paper_flash_crowd`: the Sec. V evaluation system (5 ISPs, 100
+/// videos, 10 s slots) under a release-day surge.
+const PAPER_FLASH_CROWD: &str = r#"
+name = "paper_flash_crowd"
+description = "Sec. V system: release surge to hundreds of peers, then a regional wave"
+profile = "paper"
+seed = 42
+slots = 30
+peers = 80
+churn = true
+arrival_rate = 2.0
+
+[[event]]                # the release goes viral across every ISP
+at_slot = 8
+kind = "flash_crowd"
+peers = 200
+video = 0
+
+[[event]]                # a second wave inside one access ISP
+at_slot = 18
+kind = "flash_crowd"
+peers = 80
+isp = 3
+"#;
+
+/// `paper_prime_time`: the Sec. V system through an evening load cycle.
+const PAPER_PRIME_TIME: &str = r#"
+name = "paper_prime_time"
+description = "Sec. V system: evening churn x6 with head-heavy demand, then cool-off"
+profile = "paper"
+seed = 42
+slots = 30
+peers = 60
+churn = true
+arrival_rate = 2.0
+
+[[event]]                # prime time begins
+at_slot = 6
+kind = "churn_burst"
+rate = 12.0
+
+[[event]]                # the catalog head dominates tonight
+at_slot = 8
+kind = "popularity_shift"
+alpha = 3.0
+q = 0.5
+
+[[event]]                # overnight baseline
+at_slot = 22
+kind = "churn_burst"
+rate = 2.0
+"#;
+
+/// `paper_isp_outage`: the Sec. V system with a mid-run transit
+/// degradation — the regime where ISP-aware costs matter most.
+const PAPER_ISP_OUTAGE: &str = r#"
+name = "paper_isp_outage"
+description = "Sec. V system: ISP 2's transit reprices 40x mid-run, then recovers"
+profile = "paper"
+seed = 42
+slots = 30
+peers = 80
+churn = true
+arrival_rate = 2.0
+seeds_per_video = 2      # scarce seeds force cross-ISP traffic into the outage
+
+[[event]]                # congestion: ISP 2's transit reprices 40x
+at_slot = 8
+kind = "isp_outage"
+isp = 2
+factor = 40.0
+
+[[event]]                # operators fix the link
+at_slot = 20
+kind = "isp_recovery"
+isp = 2
+"#;
+
+/// Names of all built-in scenarios, in presentation order: the fast
+/// small-profile quartet, then the `paper`-profile suite sized like the
+/// paper's Sec. V evaluation (5 ISPs, 100 videos, 10 s slots).
+pub const BUILTIN_NAMES: [&str; 7] = [
+    "flash_crowd",
+    "isp_outage",
+    "prime_time",
+    "seed_starvation",
+    "paper_flash_crowd",
+    "paper_prime_time",
+    "paper_isp_outage",
+];
 
 /// The spec text of a built-in scenario, if the name is known.
 pub fn builtin_spec(name: &str) -> Option<&'static str> {
@@ -121,6 +209,9 @@ pub fn builtin_spec(name: &str) -> Option<&'static str> {
         "isp_outage" => Some(ISP_OUTAGE),
         "prime_time" => Some(PRIME_TIME),
         "seed_starvation" => Some(SEED_STARVATION),
+        "paper_flash_crowd" => Some(PAPER_FLASH_CROWD),
+        "paper_prime_time" => Some(PAPER_PRIME_TIME),
+        "paper_isp_outage" => Some(PAPER_ISP_OUTAGE),
         _ => None,
     }
 }
@@ -188,6 +279,21 @@ mod tests {
             "late_seed",
         ] {
             assert!(kinds.contains(required), "no built-in exercises {required}");
+        }
+    }
+
+    #[test]
+    fn paper_suite_runs_the_sec_v_system() {
+        use crate::timeline::Profile;
+        let papers: Vec<_> = BUILTIN_NAMES.iter().filter(|n| n.starts_with("paper_")).collect();
+        assert_eq!(papers.len(), 3, "the Sec. V suite has three scenarios");
+        for name in papers {
+            let s = builtin(name).unwrap();
+            assert_eq!(s.profile, Profile::Paper, "{name} must use the paper profile");
+            s.validate().unwrap();
+            let config = s.base_config();
+            assert_eq!(config.isp_count, 5, "{name}: Sec. V runs 5 ISPs");
+            assert_eq!(config.video_count, 100, "{name}: Sec. V runs 100 videos");
         }
     }
 

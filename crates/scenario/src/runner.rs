@@ -24,6 +24,14 @@ pub const SCHEDULER_NAMES: [&str; 10] = [
     "exact",
 ];
 
+/// The scheduler the registry hands out for the name `default`: the flat
+/// CSR auction engine. Promoted from `auction` on the evidence of
+/// `BENCH_simd.json` (ISSUE 6) — the flat engine with the lane bid kernel
+/// is the fastest certified execution of the paper's auction at every
+/// measured slot size, and its outcomes are bit-identical to the
+/// sequential engine's, so the flip changes latency only.
+pub const DEFAULT_SCHEDULER: &str = "auction_flat";
+
 /// Builds a scheduler from its CLI name (`seed` parameterizes the
 /// stochastic ones; the sharded auctions follow the machine's cores —
 /// use [`scheduler_with_shards`] or [`scheduler_for`] to pin the count).
@@ -68,6 +76,9 @@ pub fn scheduler_with_runtime(
     spawner: Option<Arc<dyn WorkerSpawner>>,
 ) -> Result<Box<dyn ChunkScheduler>> {
     shards.validate()?;
+    // `default` is a stable alias: callers that don't care which execution
+    // of the auction they get follow the registry's promotion decisions.
+    let name = if name == "default" { DEFAULT_SCHEDULER } else { name };
     let flat = |warm: bool| {
         let mut s = FlatAuctionScheduler::paper(shards);
         if warm {
@@ -345,6 +356,14 @@ mod tests {
             assert!(!s.name().is_empty());
         }
         assert!(scheduler_by_name("warp", 1).is_err());
+    }
+
+    #[test]
+    fn default_alias_resolves_to_the_flat_auction() {
+        assert_eq!(DEFAULT_SCHEDULER, "auction_flat");
+        assert!(SCHEDULER_NAMES.contains(&DEFAULT_SCHEDULER));
+        let s = scheduler_by_name("default", 1).unwrap();
+        assert_eq!(s.name(), scheduler_by_name(DEFAULT_SCHEDULER, 1).unwrap().name());
     }
 
     #[test]

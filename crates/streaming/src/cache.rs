@@ -355,8 +355,10 @@ impl SlotProblemCache {
                     let cost = block.neighbor_costs[rank as usize];
                     b.add_edge(r, provider_idx[u.index()], valuation, cost)
                         .map_err(|e| P2pError::MalformedInstance(e.to_string()))?;
-                    // The same `v − w` the nested edge computes on demand.
-                    csr.add_edge(provider_idx[u.index()] as u32, (valuation - cost).get());
+                    // The same `v − w` the nested edge computes on demand
+                    // (finite — the nested builder just validated it).
+                    csr.add_edge(provider_idx[u.index()] as u32, (valuation - cost).get())
+                        .map_err(|e| P2pError::MalformedInstance(e.to_string()))?;
                 }
                 urgency.push(d_time);
             }

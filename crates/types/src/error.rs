@@ -40,6 +40,18 @@ pub enum P2pError {
     /// A solver was handed an inconsistent instance (e.g. an edge referring
     /// to a provider index that does not exist).
     MalformedInstance(String),
+    /// An edge carried a NaN or infinite welfare weight `v − w`. Non-finite
+    /// utilities poison the bidder's argmax comparisons (every ordering of
+    /// a NaN compares false) and the kernel's lane reductions, so builders
+    /// reject them at construction time.
+    NonFiniteUtility {
+        /// The request (row) the edge belongs to.
+        request: u32,
+        /// The provider the edge points at.
+        provider: u32,
+        /// The offending `v − w` value.
+        utility: f64,
+    },
     /// A wall-clock deadline expired before the operation finished (the
     /// threaded runtime's analogue of [`P2pError::AuctionDiverged`], which
     /// reports round-budget exhaustion in the synchronous engines).
@@ -71,6 +83,13 @@ impl fmt::Display for P2pError {
                 write!(f, "auction failed to converge after {iterations} iterations")
             }
             P2pError::MalformedInstance(msg) => write!(f, "malformed instance: {msg}"),
+            P2pError::NonFiniteUtility { request, provider, utility } => {
+                write!(
+                    f,
+                    "non-finite utility {utility} on the edge from request {request} \
+                     to provider {provider}"
+                )
+            }
             P2pError::Timeout { elapsed, messages } => {
                 write!(
                     f,
@@ -111,6 +130,7 @@ mod tests {
             P2pError::invalid_config("neighbors", "must be positive").to_string(),
             P2pError::AuctionDiverged { iterations: 5 }.to_string(),
             P2pError::MalformedInstance("edge out of range".into()).to_string(),
+            P2pError::NonFiniteUtility { request: 3, provider: 1, utility: f64::NAN }.to_string(),
             P2pError::Timeout { elapsed: std::time::Duration::from_millis(1500), messages: 12 }
                 .to_string(),
             P2pError::WorkerPanicked { message: "boom".into() }.to_string(),

@@ -31,7 +31,7 @@ fn every_builtin_runs_a_two_scheduler_comparison() {
         }
         assert!(report.summary_table().contains(name));
     }
-    assert_eq!(builtins().len(), 4);
+    assert_eq!(builtins().len(), 7);
 }
 
 #[test]
