@@ -11,18 +11,25 @@
 //!   `scenarios --file scenarios/flash_crowd.toml`
 //!     run an external spec file (see `p2p_scenario::spec` for the format);
 //!   `scenarios --scenario isp_outage --show`
-//!     print a built-in's spec text (a ready-made template for `--file`).
+//!     print a built-in's spec text (a ready-made template for `--file`);
+//!   `scenarios --scenario flash_crowd --metrics-out DIR`
+//!     additionally run with engine probes on and write the observability
+//!     bundle (structured `RunReport` JSON, per-slot CSV, per-event-window
+//!     series CSVs, ascii plot) under `DIR`.
 //!
 //! Output is deterministic: the same seed and scenario produce
-//! byte-identical metric summaries across runs.
+//! byte-identical metric summaries across runs (wall-clock phase timings
+//! appear only inside the `--metrics-out` run reports).
 
 use p2p_bench::{save_csv, Args};
-use p2p_metrics::ascii_plot;
+use p2p_metrics::{ascii_plot, PoolCounters};
 use p2p_scenario::{
-    builtin, builtin_spec, builtins, parse_scenario, run_scenario, scheduler_for_runtime, Scenario,
+    builtin, builtin_spec, builtins, event_windows, parse_scenario, run_scenario_probed,
+    scheduler_for_runtime, Scenario, ScenarioReport,
 };
 use p2p_sched::{ChunkScheduler, WorkerSpawner};
-use p2p_types::Result;
+use p2p_types::{P2pError, Result};
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -76,8 +83,10 @@ fn run(args: &Args) -> Result<()> {
     scenario.validate()?;
 
     // One worker pool for the whole sweep: every flat scheduler leases its
-    // slice workers here instead of spawning per run.
-    let pool: Arc<dyn WorkerSpawner> = Arc::new(p2p_runtime::WorkerPool::new());
+    // slice workers here instead of spawning per run. Kept concrete so the
+    // metrics bundle can read its utilization counters.
+    let worker_pool = Arc::new(p2p_runtime::WorkerPool::new());
+    let pool: Arc<dyn WorkerSpawner> = worker_pool.clone();
     // The comparison everyone wants first: the registry's default auction
     // execution (`auction_flat` since ISSUE 6) against the locality
     // heuristic baseline.
@@ -94,7 +103,8 @@ fn run(args: &Args) -> Result<()> {
         ));
     }
 
-    let report = run_scenario(&scenario, schedulers)?;
+    let metrics_out = args.get_opt_str("metrics-out");
+    let report = run_scenario_probed(&scenario, schedulers, metrics_out.is_some())?;
     print!("{}", report.summary_table());
 
     let welfare: Vec<_> = report
@@ -118,6 +128,66 @@ fn run(args: &Args) -> Result<()> {
         let path = save_csv(&stem, "time_s", &refs);
         println!("wrote {}", path.display());
     }
+
+    if let Some(dir) = metrics_out {
+        write_metrics_bundle(Path::new(&dir), &scenario, &report, &worker_pool)?;
+    }
+    Ok(())
+}
+
+fn write_file(path: &Path, contents: &[u8]) -> Result<()> {
+    std::fs::write(path, contents)
+        .map_err(|e| P2pError::invalid_config("metrics-out", format!("{}: {e}", path.display())))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Writes the probed sweep's observability bundle under `dir`: per run one
+/// structured `RunReport` JSON (with the shared pool's utilization counters
+/// injected), the per-slot counter CSV, one recorder-series CSV per
+/// before/during/after event window, and an ascii welfare plot.
+fn write_metrics_bundle(
+    dir: &Path,
+    scenario: &Scenario,
+    report: &ScenarioReport,
+    pool: &p2p_runtime::WorkerPool,
+) -> Result<()> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| P2pError::invalid_config("metrics-out", format!("{}: {e}", dir.display())))?;
+    let windows = event_windows(scenario);
+    for run in &report.runs {
+        let Some(rr) = &run.report else { continue };
+        let mut rr = rr.clone();
+        // The pool is shared by the whole sweep, so these counters are
+        // process-cumulative at the time this run's report is written.
+        rr.pool = Some(PoolCounters {
+            spawned: pool.spawned(),
+            jobs: pool.jobs_executed(),
+            parks: pool.parks(),
+            idle: pool.idle() as u64,
+        });
+        let stem = format!("{}_{}", scenario.name, run.summary.scheduler);
+        write_file(&dir.join(format!("report_{stem}.json")), rr.to_json().as_bytes())?;
+        write_file(&dir.join(format!("slots_{stem}.csv")), rr.slot_csv().as_bytes())?;
+        for (name, lo, hi) in &windows {
+            let lo_t = *lo as f64 * rr.slot_secs;
+            let hi_t = *hi as f64 * rr.slot_secs;
+            let series = [
+                run.recorder.welfare_series().window(lo_t, hi_t),
+                run.recorder.inter_isp_series().window(lo_t, hi_t),
+                run.recorder.miss_rate_series().window(lo_t, hi_t),
+                run.recorder.population_series().window(lo_t, hi_t),
+            ];
+            let refs: Vec<_> = series.iter().collect();
+            let mut buf = Vec::new();
+            p2p_metrics::write_csv(&mut buf, "time_s", &refs)
+                .map_err(|e| P2pError::invalid_config("metrics-out", e.to_string()))?;
+            write_file(&dir.join(format!("window_{name}_{stem}.csv")), &buf)?;
+        }
+        let welfare = [run.recorder.welfare_series()];
+        let refs: Vec<_> = welfare.iter().collect();
+        write_file(&dir.join(format!("plot_{stem}.txt")), ascii_plot(&refs, 90, 14).as_bytes())?;
+    }
     Ok(())
 }
 
@@ -129,6 +199,7 @@ fn main() -> ExitCode {
             eprintln!("usage: scenarios [--list] [--show] [--scenario NAME | --file PATH]");
             eprintln!("                 [--quick] [--seed S] [--schedulers a,b,...]");
             eprintln!("                 [--slot-build cold|incremental] [--shards auto|N]");
+            eprintln!("                 [--metrics-out DIR]");
             ExitCode::FAILURE
         }
     }

@@ -89,6 +89,7 @@ use crate::engine::{AuctionConfig, AuctionOutcome, EpsilonScaling, PriceChange};
 use crate::instance::WelfareInstance;
 use crate::shard::ShardCount;
 use crate::solution::{Assignment, DualSolution};
+use p2p_metrics::{AuctionProbe, NoProbe};
 use p2p_types::P2pError;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -833,7 +834,20 @@ impl FlatAuction {
     /// Returns [`P2pError::AuctionDiverged`] if quiescence is not reached
     /// within `max_rounds`.
     pub fn run_into(&mut self, csr: &CsrInstance, out: &mut FlatOutcome) -> Result<(), P2pError> {
-        self.run_from(csr, None, self.config.epsilon, out)
+        self.run_from(csr, None, self.config.epsilon, out, &mut NoProbe)
+    }
+
+    /// [`FlatAuction::run_into`] with an observation probe. The engine is
+    /// generic over the probe, so the [`NoProbe`] path (what `run_into`
+    /// uses) monomorphizes to the uninstrumented, zero-allocation loop —
+    /// outcomes are bit-identical either way (property-tested).
+    pub fn run_into_probed(
+        &mut self,
+        csr: &CsrInstance,
+        out: &mut FlatOutcome,
+        probe: &mut impl AuctionProbe,
+    ) -> Result<(), P2pError> {
+        self.run_from(csr, None, self.config.epsilon, out, probe)
     }
 
     /// Runs warm-started from `prior_prices`, with exactly the price
@@ -868,6 +882,23 @@ impl FlatAuction {
         prior_prices: &[f64],
         out: &mut FlatOutcome,
     ) -> Result<(), P2pError> {
+        self.run_warm_into_probed(csr, prior_prices, out, &mut NoProbe)
+    }
+
+    /// [`FlatAuction::run_warm_into`] with an observation probe (every
+    /// CS 1 repair pass reports into the same probe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::AuctionDiverged`] if any pass exceeds
+    /// `max_rounds`.
+    pub fn run_warm_into_probed(
+        &mut self,
+        csr: &CsrInstance,
+        prior_prices: &[f64],
+        out: &mut FlatOutcome,
+        probe: &mut impl AuctionProbe,
+    ) -> Result<(), P2pError> {
         let eps = self.config.epsilon;
         // Take the warm buffers out of the scratch so the repair loop can
         // hold them across `run_from` calls (no allocation: `take` swaps in
@@ -880,7 +911,7 @@ impl FlatAuction {
         let mut rounds = 0;
         let mut bids = 0;
         let result = loop {
-            if let Err(e) = self.run_from(csr, Some(&prices), eps, out) {
+            if let Err(e) = self.run_from(csr, Some(&prices), eps, out, &mut *probe) {
                 break Err(e);
             }
             rounds += out.rounds;
@@ -937,7 +968,7 @@ impl FlatAuction {
         loop {
             let last_phase = epsilon <= scaling.final_epsilon;
             let eps = epsilon.max(scaling.final_epsilon);
-            self.run_from(csr, prices.as_deref(), eps, &mut out)?;
+            self.run_from(csr, prices.as_deref(), eps, &mut out, &mut NoProbe)?;
             rounds += out.rounds;
             bids += out.bids_submitted;
             trace.extend(out.price_trace.iter().copied());
@@ -954,30 +985,32 @@ impl FlatAuction {
         }
     }
 
-    /// Core dispatch: optional warm prices, explicit ε.
-    fn run_from(
+    /// Core dispatch: optional warm prices, explicit ε, generic probe.
+    fn run_from<P: AuctionProbe>(
         &mut self,
         csr: &CsrInstance,
         initial: Option<&[f64]>,
         epsilon: f64,
         out: &mut FlatOutcome,
+        probe: &mut P,
     ) -> Result<(), P2pError> {
         let shards = self.shards.resolve_for(csr.request_count());
         if shards <= 1 {
-            self.run_sweep(csr, initial, epsilon, out)
+            self.run_sweep(csr, initial, epsilon, out, probe)
         } else {
-            self.run_sharded(csr, initial, epsilon, shards.max(2), out)
+            self.run_sharded(csr, initial, epsilon, shards.max(2), out, probe)
         }
     }
 
     /// The sequential Gauss–Seidel sweep over CSR rows — the schedule of
     /// [`crate::SyncAuction`], bid for bid.
-    fn run_sweep(
+    fn run_sweep<P: AuctionProbe>(
         &mut self,
         csr: &CsrInstance,
         initial: Option<&[f64]>,
         epsilon: f64,
         out: &mut FlatOutcome,
+        probe: &mut P,
     ) -> Result<(), P2pError> {
         let data = csr.data();
         let s = &mut self.scratch;
@@ -992,6 +1025,8 @@ impl FlatAuction {
                 return Err(P2pError::AuctionDiverged { iterations: rounds - 1 });
             }
             let mut bids_this_round = 0u64;
+            let mut conflicts_this_round = 0u64;
+            let mut retired_this_round = 0u64;
             for r in 0..requests {
                 if s.assigned[r] != NONE {
                     continue;
@@ -1011,6 +1046,7 @@ impl FlatAuction {
                             )
                         {
                             s.retired[r] = true;
+                            retired_this_round += 1;
                         }
                     }
                     BidDecision::Bid { edge, provider, amount } => {
@@ -1037,8 +1073,10 @@ impl FlatAuction {
                                 s.assigned[r] = edge as u32;
                                 if let Some(loser) = evicted {
                                     s.assigned[loser as usize] = NONE;
+                                    conflicts_this_round += 1;
                                 }
                                 if let Some(p) = new_price {
+                                    probe.price_change(provider, p - s.eff_price[provider]);
                                     s.eff_price[provider] = p;
                                     if self.config.record_price_trace {
                                         s.trace.push(PriceChange {
@@ -1054,11 +1092,12 @@ impl FlatAuction {
                 }
             }
             bids_submitted += bids_this_round;
+            probe.round(rounds, bids_this_round, conflicts_this_round, 0, retired_this_round);
             if bids_this_round == 0 {
                 break;
             }
         }
-        finalize(data, s, rounds, bids_submitted, out);
+        finalize(data, s, rounds, bids_submitted, out, probe);
         Ok(())
     }
 
@@ -1067,13 +1106,15 @@ impl FlatAuction {
     /// slices bid against price snapshots, merges apply in a total order,
     /// same-round retry passes resolve eviction chains, and priced-out
     /// requests retire permanently.
-    fn run_sharded(
+    #[allow(clippy::too_many_arguments)]
+    fn run_sharded<P: AuctionProbe>(
         &mut self,
         csr: &CsrInstance,
         initial: Option<&[f64]>,
         epsilon: f64,
         shards: usize,
         out: &mut FlatOutcome,
+        probe: &mut P,
     ) -> Result<(), P2pError> {
         let workers = self
             .workers
@@ -1107,6 +1148,8 @@ impl FlatAuction {
                 break 'run Err(P2pError::AuctionDiverged { iterations: rounds - 1 });
             }
             let mut round_bids = 0u64;
+            let mut round_conflicts = 0u64;
+            let mut round_retired = 0u64;
             // Finer batching in the contended first round, exactly as the
             // nested sharded engine does.
             let batches = if rounds == 1 { shards * 4 } else { shards };
@@ -1165,6 +1208,7 @@ impl FlatAuction {
                 for &r in &slice_retired {
                     s.retired[r as usize] = true;
                 }
+                round_retired += slice_retired.len() as u64;
                 if bids.is_empty() {
                     continue;
                 }
@@ -1202,14 +1246,20 @@ impl FlatAuction {
                     ) {
                         ArenaOutcome::Rejected => {
                             spill.push(bid.request);
+                            round_conflicts += 1;
                         }
                         ArenaOutcome::Accepted { evicted, new_price } => {
                             s.assigned[bid.request as usize] = bid.edge;
                             if let Some(loser) = evicted {
                                 s.assigned[loser as usize] = NONE;
                                 spill.push(loser);
+                                round_conflicts += 1;
                             }
                             if let Some(p) = new_price {
+                                probe.price_change(
+                                    bid.provider as usize,
+                                    p - s.eff_price[bid.provider as usize],
+                                );
                                 s.eff_price[bid.provider as usize] = p;
                                 if self.config.record_price_trace {
                                     s.trace.push(PriceChange {
@@ -1229,6 +1279,13 @@ impl FlatAuction {
                 "round {rounds}: assignment/auctioneer desync"
             );
             bids_submitted += round_bids;
+            probe.round(
+                rounds,
+                round_bids,
+                round_conflicts,
+                u64::from(retry_passes),
+                round_retired,
+            );
             if round_bids == 0 {
                 break 'run Ok(());
             }
@@ -1247,7 +1304,7 @@ impl FlatAuction {
         s.bids = bids;
         s.slice_retired = slice_retired;
         result?;
-        finalize(data, s, rounds, bids_submitted, out);
+        finalize(data, s, rounds, bids_submitted, out, probe);
         Ok(())
     }
 }
@@ -1343,12 +1400,13 @@ fn exec_threaded(
 /// the buffers' high-water marks: final λ (with the zero-capacity
 /// standalone prices of the nested `final_prices`), η derived exactly as
 /// [`DualSolution::from_prices`], choices, welfare and counters.
-fn finalize(
+fn finalize<P: AuctionProbe>(
     data: &CsrData,
     s: &mut AuctionScratch,
     rounds: u64,
     bids_submitted: u64,
     out: &mut FlatOutcome,
+    probe: &mut P,
 ) {
     out.lambda.clear();
     out.lambda.extend_from_slice(&s.price);
@@ -1384,6 +1442,18 @@ fn finalize(
     out.bids_submitted = bids_submitted;
     out.price_trace.clear();
     out.price_trace.extend_from_slice(&s.trace);
+    if probe.enabled() {
+        // Theorem 1's ε-certificate: the duality gap `Σ λ·B + Σ η − welfare`
+        // bounds the welfare loss. Only computed when someone is listening,
+        // so the NoProbe hot path keeps its instruction count.
+        let mut dual = 0.0_f64;
+        for (u, &cap) in data.capacity.iter().enumerate() {
+            dual += out.lambda[u] * f64::from(cap);
+        }
+        dual += out.eta.iter().sum::<f64>();
+        let assigned = out.choice.iter().filter(|&&c| c != NONE).count() as u64;
+        probe.run_complete(rounds, bids_submitted, assigned, dual - out.welfare);
+    }
 }
 
 /// Carried prices made ε-valid for a warm start, written into `prices`

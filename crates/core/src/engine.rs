@@ -16,6 +16,7 @@ use crate::auctioneer::{Auctioneer, BidOutcome};
 use crate::bidder::{decide_bid, BidDecision, EdgeView};
 use crate::instance::{ProviderIdx, WelfareInstance};
 use crate::solution::{Assignment, DualSolution};
+use p2p_metrics::{AuctionProbe, NoProbe};
 use p2p_types::P2pError;
 use serde::{Deserialize, Serialize};
 
@@ -182,7 +183,19 @@ impl SyncAuction {
     /// patterns; the paper's Theorem 1 guarantees termination under its
     /// sufficiency assumption).
     pub fn run(&self, instance: &WelfareInstance) -> Result<AuctionOutcome, P2pError> {
-        self.run_from(instance, None, self.config.epsilon)
+        self.run_from(instance, None, self.config.epsilon, &mut NoProbe)
+    }
+
+    /// [`SyncAuction::run`] with an observation probe. The engine is generic
+    /// over the probe, so `run` (which passes [`NoProbe`]) monomorphizes to
+    /// the uninstrumented loop — outcomes are bit-identical either way
+    /// (property-tested).
+    pub fn run_probed(
+        &self,
+        instance: &WelfareInstance,
+        probe: &mut impl AuctionProbe,
+    ) -> Result<AuctionOutcome, P2pError> {
+        self.run_from(instance, None, self.config.epsilon, probe)
     }
 
     /// Runs the auction warm-started from `prior_prices` — typically the
@@ -245,8 +258,21 @@ impl SyncAuction {
         instance: &WelfareInstance,
         prior_prices: &[f64],
     ) -> Result<AuctionOutcome, P2pError> {
+        self.run_warm_probed(instance, prior_prices, &mut NoProbe)
+    }
+
+    /// [`SyncAuction::run_warm`] with an observation probe (every repair
+    /// pass reports into the same probe).
+    pub fn run_warm_probed(
+        &self,
+        instance: &WelfareInstance,
+        prior_prices: &[f64],
+        probe: &mut impl AuctionProbe,
+    ) -> Result<AuctionOutcome, P2pError> {
         let eps = self.config.epsilon;
-        run_warm_with(instance, prior_prices, eps, |prices| self.run_from(instance, prices, eps))
+        run_warm_with(instance, prior_prices, eps, |prices| {
+            self.run_from(instance, prices, eps, &mut *probe)
+        })
     }
 
     /// Runs the auction with ε-scaling (Bertsekas 1988): phases with
@@ -287,7 +313,7 @@ impl SyncAuction {
         loop {
             let last_phase = epsilon <= scaling.final_epsilon;
             let eps = epsilon.max(scaling.final_epsilon);
-            let outcome = self.run_from(instance, prices.as_deref(), eps)?;
+            let outcome = self.run_from(instance, prices.as_deref(), eps, &mut NoProbe)?;
             rounds += outcome.rounds;
             bids += outcome.bids_submitted;
             trace.extend(outcome.price_trace.iter().copied());
@@ -310,12 +336,14 @@ impl SyncAuction {
         }
     }
 
-    /// Core engine: optional warm-start prices, explicit ε.
-    pub(crate) fn run_from(
+    /// Core engine: optional warm-start prices, explicit ε. Generic over
+    /// the probe so the [`NoProbe`] instantiation compiles to the bare loop.
+    pub(crate) fn run_from<P: AuctionProbe>(
         &self,
         instance: &WelfareInstance,
         initial_prices: Option<&[f64]>,
         epsilon: f64,
+        probe: &mut P,
     ) -> Result<AuctionOutcome, P2pError> {
         let views = edge_views(instance);
         let mut auctioneers: Vec<Auctioneer> = instance
@@ -356,6 +384,8 @@ impl SyncAuction {
                 return Err(P2pError::AuctionDiverged { iterations: rounds - 1 });
             }
             let mut bids_this_round = 0u64;
+            let mut conflicts_this_round = 0u64;
+            let mut retired_this_round = 0u64;
             for r in 0..instance.request_count() {
                 if assigned[r].is_some() {
                     continue;
@@ -378,6 +408,7 @@ impl SyncAuction {
                             )
                         {
                             retired[r] = true;
+                            retired_this_round += 1;
                         }
                     }
                     BidDecision::Bid { edge, provider, amount } => {
@@ -392,8 +423,10 @@ impl SyncAuction {
                                 assigned[r] = Some(edge);
                                 if let Some(loser) = evicted {
                                     assigned[loser] = None;
+                                    conflicts_this_round += 1;
                                 }
                                 if let Some(p) = new_price {
+                                    probe.price_change(provider, p - eff_price[provider]);
                                     eff_price[provider] = p;
                                     if self.config.record_price_trace {
                                         trace.push(PriceChange {
@@ -409,20 +442,34 @@ impl SyncAuction {
                 }
             }
             bids_submitted += bids_this_round;
+            probe.round(rounds, bids_this_round, conflicts_this_round, 0, retired_this_round);
             if bids_this_round == 0 {
                 break;
             }
         }
 
         let lambda = final_prices(instance, &auctioneers);
-        Ok(AuctionOutcome {
+        let outcome = AuctionOutcome {
             assignment: Assignment::new(assigned),
             duals: DualSolution::from_prices(instance, lambda),
             rounds,
             bids_submitted,
             converged: true,
             price_trace: trace,
-        })
+        };
+        if probe.enabled() {
+            // Theorem 1's certificate: the duality gap bounds the welfare
+            // loss. Only computed when someone is listening.
+            let slack =
+                outcome.duals.objective(instance) - outcome.assignment.welfare(instance).get();
+            probe.run_complete(
+                outcome.rounds,
+                outcome.bids_submitted,
+                outcome.assignment.assigned_count() as u64,
+                slack,
+            );
+        }
+        Ok(outcome)
     }
 }
 

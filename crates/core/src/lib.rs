@@ -87,6 +87,7 @@ pub use csr::{BidKernel, CsrBuilder, CsrInstance, FlatAuction, FlatOutcome, Work
 pub use diff::{InstanceDiff, InstancePatch};
 pub use engine::{AuctionConfig, AuctionOutcome, EpsilonScaling, SyncAuction};
 pub use instance::{EdgeSpec, InstanceBuilder, ProviderSpec, RequestSpec, WelfareInstance};
+pub use p2p_metrics::{AuctionProbe, CountingProbe, EngineReport, NoProbe};
 pub use shard::{available_cores, ShardCount, ShardedAuction};
 pub use solution::{Assignment, DualSolution};
 pub use verify::{verify_optimality, OptimalityReport};

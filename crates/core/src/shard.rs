@@ -90,6 +90,7 @@ use crate::engine::{edge_views, final_prices, run_warm_with, AuctionConfig, Auct
 use crate::engine::{PriceChange, SyncAuction};
 use crate::instance::WelfareInstance;
 use crate::solution::{Assignment, DualSolution};
+use p2p_metrics::{AuctionProbe, NoProbe};
 use p2p_types::P2pError;
 use serde::{Deserialize, Serialize};
 use std::sync::mpsc;
@@ -294,11 +295,23 @@ impl ShardedAuction {
     /// Returns [`P2pError::AuctionDiverged`] if quiescence is not reached
     /// within `max_rounds`.
     pub fn run(&self, instance: &WelfareInstance) -> Result<AuctionOutcome, P2pError> {
+        self.run_probed(instance, &mut NoProbe)
+    }
+
+    /// [`ShardedAuction::run`] with an observation probe. The engine is
+    /// generic over the probe, so `run` (which passes [`NoProbe`])
+    /// monomorphizes to the uninstrumented loop — outcomes are
+    /// bit-identical either way (property-tested).
+    pub fn run_probed(
+        &self,
+        instance: &WelfareInstance,
+        probe: &mut impl AuctionProbe,
+    ) -> Result<AuctionOutcome, P2pError> {
         let shards = self.shards.resolve_for(instance.request_count());
         if shards <= 1 {
-            return SyncAuction::new(self.config).run(instance);
+            return SyncAuction::new(self.config).run_probed(instance, probe);
         }
-        let outcome = self.run_from(instance, None, self.config.epsilon, shards)?;
+        let outcome = self.run_from(instance, None, self.config.epsilon, shards, probe)?;
         self.debug_verify(instance, &outcome);
         Ok(outcome)
     }
@@ -317,13 +330,29 @@ impl ShardedAuction {
         instance: &WelfareInstance,
         prior_prices: &[f64],
     ) -> Result<AuctionOutcome, P2pError> {
+        self.run_warm_probed(instance, prior_prices, &mut NoProbe)
+    }
+
+    /// [`ShardedAuction::run_warm`] with an observation probe (every CS 1
+    /// repair pass reports into the same probe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::AuctionDiverged`] if any pass exceeds
+    /// `max_rounds`.
+    pub fn run_warm_probed(
+        &self,
+        instance: &WelfareInstance,
+        prior_prices: &[f64],
+        probe: &mut impl AuctionProbe,
+    ) -> Result<AuctionOutcome, P2pError> {
         let shards = self.shards.resolve_for(instance.request_count());
         if shards <= 1 {
-            return SyncAuction::new(self.config).run_warm(instance, prior_prices);
+            return SyncAuction::new(self.config).run_warm_probed(instance, prior_prices, probe);
         }
         let eps = self.config.epsilon;
         let outcome = run_warm_with(instance, prior_prices, eps, |prices| {
-            self.run_from(instance, prices, eps, shards)
+            self.run_from(instance, prices, eps, shards, &mut *probe)
         })?;
         self.debug_verify(instance, &outcome);
         Ok(outcome)
@@ -352,12 +381,13 @@ impl ShardedAuction {
 
     /// Core Jacobi engine: optional warm-start prices, explicit ε. Only
     /// called with an effective (slot-resolved) shard count ≥ 2.
-    fn run_from(
+    fn run_from<P: AuctionProbe>(
         &self,
         instance: &WelfareInstance,
         initial_prices: Option<&[f64]>,
         epsilon: f64,
         shards: usize,
+        probe: &mut P,
     ) -> Result<AuctionOutcome, P2pError> {
         let shards = shards.max(2);
         let workers =
@@ -371,7 +401,7 @@ impl ShardedAuction {
             let mut exec = |slice: &[usize], prices: &[f64], out: &mut SliceResult| {
                 compute_slice(&views, slice, prices, epsilon, out);
             };
-            return self.rounds_loop(instance, initial_prices, shards, &mut exec);
+            return self.rounds_loop(instance, initial_prices, shards, &mut exec, probe);
         }
         // Per-run worker threads: spawned lazily on the first slice large
         // enough to fan out (small runs never pay a spawn), parked on a
@@ -427,7 +457,7 @@ impl ShardedAuction {
                     out.retired.extend_from_slice(&part.retired);
                 }
             };
-            self.rounds_loop(instance, initial_prices, shards, &mut exec)
+            self.rounds_loop(instance, initial_prices, shards, &mut exec, probe)
             // Dropping `cmd_txs` here ends the worker loops; the scope joins
             // them before returning.
         })
@@ -437,12 +467,13 @@ impl ShardedAuction {
     /// `exec` fills a [`SliceResult`] with one slice's bids (and retired
     /// requests) against the given price snapshot; this loop partitions
     /// each round's worklist into `shards` slices and merges them in order.
-    fn rounds_loop(
+    fn rounds_loop<P: AuctionProbe>(
         &self,
         instance: &WelfareInstance,
         initial_prices: Option<&[f64]>,
         shards: usize,
         exec: &mut RoundExec<'_>,
+        probe: &mut P,
     ) -> Result<AuctionOutcome, P2pError> {
         let request_count = instance.request_count();
         let mut auctioneers: Vec<Auctioneer> = instance
@@ -485,6 +516,8 @@ impl ShardedAuction {
                 return Err(P2pError::AuctionDiverged { iterations: rounds - 1 });
             }
             let mut round_bids = 0u64;
+            let mut round_conflicts = 0u64;
+            let mut round_retired = 0u64;
             // The first round is the contended one: no prices exist yet, so
             // every request bids and conflicts concentrate there. Finer
             // batching in round 1 resolves them with fresh prices sooner
@@ -525,6 +558,7 @@ impl ShardedAuction {
                 for &r in &result.retired {
                     retired[r] = true;
                 }
+                round_retired += result.retired.len() as u64;
                 if result.bids.is_empty() {
                     continue;
                 }
@@ -558,6 +592,7 @@ impl ShardedAuction {
                             // provider; retry in the spill pass (and, if it
                             // loses again, in the next round's worklist).
                             spill.push(bid.request);
+                            round_conflicts += 1;
                         }
                         BidOutcome::Accepted { evicted, new_price } => {
                             assigned[bid.request] = Some(bid.edge);
@@ -566,8 +601,10 @@ impl ShardedAuction {
                                 // rebuild below catches later generations.
                                 assigned[loser] = None;
                                 spill.push(loser);
+                                round_conflicts += 1;
                             }
                             if let Some(p) = new_price {
+                                probe.price_change(bid.provider, p - eff_price[bid.provider]);
                                 eff_price[bid.provider] = p;
                                 if self.config.record_price_trace {
                                     trace.push(PriceChange {
@@ -589,6 +626,13 @@ impl ShardedAuction {
                 "round {rounds}: assignment/auctioneer desync"
             );
             bids_submitted += round_bids;
+            probe.round(
+                rounds,
+                round_bids,
+                round_conflicts,
+                u64::from(retry_passes),
+                round_retired,
+            );
             if round_bids == 0 {
                 break;
             }
@@ -604,14 +648,27 @@ impl ShardedAuction {
         }
 
         let lambda = final_prices(instance, &auctioneers);
-        Ok(AuctionOutcome {
+        let outcome = AuctionOutcome {
             assignment: Assignment::new(assigned),
             duals: DualSolution::from_prices(instance, lambda),
             rounds,
             bids_submitted,
             converged: true,
             price_trace: trace,
-        })
+        };
+        if probe.enabled() {
+            // Theorem 1's certificate (dual − primal); only computed when
+            // someone is listening.
+            let slack =
+                outcome.duals.objective(instance) - outcome.assignment.welfare(instance).get();
+            probe.run_complete(
+                outcome.rounds,
+                outcome.bids_submitted,
+                outcome.assignment.assigned_count() as u64,
+                slack,
+            );
+        }
+        Ok(outcome)
     }
 }
 

@@ -7,7 +7,7 @@
 //! concurrently inside the measured windows.
 
 use p2p_core::csr::{CsrInstance, FlatAuction, FlatOutcome};
-use p2p_core::{AuctionConfig, ShardCount, WelfareInstance};
+use p2p_core::{AuctionConfig, NoProbe, ShardCount, WelfareInstance};
 use p2p_types::{ChunkId, Cost, PeerId, RequestId, Valuation, VideoId};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,6 +117,11 @@ fn hot_loop_allocates_nothing_after_the_first_slot() {
         carried.extend_from_slice(out.lambda());
         engine.run_warm_into(&csr2, &carried, &mut out).unwrap();
         engine.run_into(&csr2, &mut out).unwrap();
+        // Probes compiled in but disabled: the `NoProbe` entry points
+        // monomorphize to the bare loop and must stay allocation-free too
+        // (the observability layer's zero-overhead-when-off guarantee).
+        engine.run_into_probed(&csr1, &mut out, &mut NoProbe).unwrap();
+        engine.run_warm_into_probed(&csr2, &carried, &mut out, &mut NoProbe).unwrap();
         let after = allocations();
         assert_eq!(
             after - before,

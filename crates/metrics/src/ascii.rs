@@ -43,13 +43,21 @@ pub fn ascii_plot(series: &[&TimeSeries], width: usize, height: usize) -> String
         y_max = y_min + 1.0;
     }
 
+    // The span can overflow to +inf for extreme data (e.g. points at
+    // ±f64::MAX), making the ratio NaN — pin such points to the origin
+    // column/row and clamp everything into the grid.
+    let cell = |v: f64, lo: f64, hi: f64, cells: usize| -> usize {
+        let t = (v - lo) / (hi - lo);
+        let t = if t.is_finite() { t.clamp(0.0, 1.0) } else { 0.0 };
+        ((t * (cells - 1) as f64).round() as usize).min(cells - 1)
+    };
+
     let mut grid = vec![vec![' '; width]; height];
     for (si, s) in series.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
         for &(x, y) in s.points() {
-            let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
-            let row = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
-            let row = height - 1 - row;
+            let col = cell(x, x_min, x_max, width);
+            let row = height - 1 - cell(y, y_min, y_max, height);
             grid[row][col] = glyph;
         }
     }
@@ -114,6 +122,19 @@ mod tests {
         s.push(1.0, 5.0);
         let p = ascii_plot(&[&s], 20, 5);
         assert!(p.contains('*'));
+    }
+
+    #[test]
+    fn extreme_values_stay_in_grid() {
+        // x/y spans overflow f64 here; the ratio guard must keep every
+        // point inside the grid instead of producing NaN indices.
+        let mut s = TimeSeries::new("extreme");
+        s.push(-f64::MAX, -f64::MAX);
+        s.push(f64::MAX, f64::MAX);
+        let p = ascii_plot(&[&s], 20, 6);
+        assert!(p.contains('*'));
+        assert!(p.contains("extreme"));
+        assert_eq!(p.lines().count(), 6 + 2 + 1);
     }
 
     #[test]

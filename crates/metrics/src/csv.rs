@@ -94,6 +94,17 @@ mod tests {
     }
 
     #[test]
+    fn zero_point_series_emit_header_only() {
+        // Matching-but-empty series are valid: a header-only CSV, not an
+        // error and not a panic.
+        let a = TimeSeries::new("a");
+        let b = TimeSeries::new("b");
+        let mut out = Vec::new();
+        write_csv(&mut out, "t", &[&a, &b]).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "t,a,b\n");
+    }
+
+    #[test]
     fn mismatched_lengths_rejected() {
         let a = series("a", &[1.0]);
         let b = series("b", &[1.0, 2.0]);

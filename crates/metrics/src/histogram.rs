@@ -1,0 +1,326 @@
+//! Fixed-bucket, log-spaced histograms with an associative, bit-stable
+//! merge — the bounded-memory distribution sketch of the observability
+//! layer.
+//!
+//! A [`Histogram`] owns `buckets` counters whose bounds are consecutive
+//! powers of two starting at `2^min_exp` (bucket 0 is the underflow bucket,
+//! the last bucket the overflow bucket), so memory is O(buckets) regardless
+//! of how many samples a run records. Bucketing reads the IEEE-754 exponent
+//! directly — no `log` call — which keeps the per-sample cost a handful of
+//! integer operations, cheap enough for auction hot-path probes.
+//!
+//! Merging adds the `u64` counts and combines the min/max trackers; because
+//! every combining operation (integer addition, `f64::min`/`f64::max` over
+//! non-NaN values) is associative and commutative, merging is
+//! **bit-stable**: any merge tree over the same multiset of histograms
+//! produces the identical struct. The property suite pins this. (A mean
+//! would need an `f64` sum, whose addition order changes the bits — so the
+//! histogram deliberately stores none.)
+//!
+//! # Examples
+//!
+//! ```
+//! use p2p_metrics::Histogram;
+//!
+//! let mut h = Histogram::for_counts();
+//! for v in [1.0, 3.0, 3.0, 120.0] {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.total(), 4);
+//! assert_eq!(h.min(), Some(1.0));
+//! assert_eq!(h.max(), Some(120.0));
+//! // The 0.5-quantile upper bound lands in 3.0's bucket: (2, 4].
+//! assert_eq!(h.quantile(0.5), Some(4.0));
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bucket histogram over power-of-two bounds (see the
+/// [module docs](self)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Exponent of the first finite bound: bucket 0 counts values below
+    /// `2^min_exp` (including zero and negatives).
+    min_exp: i32,
+    /// `counts[0]` underflow, `counts[i]` covers `(2^(min_exp+i-1),
+    /// 2^(min_exp+i)]`-style ranges (half-open on the top in practice),
+    /// `counts[last]` overflow.
+    counts: Vec<u64>,
+    /// Finite samples recorded.
+    total: u64,
+    /// Non-finite samples rejected (counted, never bucketed).
+    nonfinite: u64,
+    /// Smallest finite sample (`+inf` when none — the `f64::min` identity).
+    min: f64,
+    /// Largest finite sample (`-inf` when none — the `f64::max` identity).
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram with `buckets` counters, the first finite bound at
+    /// `2^min_exp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets < 3` (underflow + at least one finite bucket +
+    /// overflow) or if the exponent range leaves the `f64` exponent domain.
+    pub fn new(min_exp: i32, buckets: usize) -> Self {
+        assert!(buckets >= 3, "a histogram needs underflow, finite and overflow buckets");
+        assert!(
+            min_exp > -1022 && min_exp + buckets as i32 <= 1024,
+            "bucket bounds must stay within the f64 exponent range"
+        );
+        Histogram {
+            min_exp,
+            counts: vec![0; buckets],
+            total: 0,
+            nonfinite: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Preset for counting quantities (bids per round, patch sizes):
+    /// bounds 1, 2, 4, … 2³², 34 buckets.
+    pub fn for_counts() -> Self {
+        Histogram::new(0, 34)
+    }
+
+    /// Preset for price deltas and other small positive reals: bounds from
+    /// `2⁻²⁰` (≈ 1e-6) up to `2¹³` (8192), 35 buckets.
+    pub fn for_prices() -> Self {
+        Histogram::new(-20, 35)
+    }
+
+    /// Preset for wall-clock phase latencies in seconds: bounds from
+    /// `2⁻²⁰` s (≈ 1 µs) up to `2¹²` s (~68 min), 34 buckets.
+    pub fn for_seconds() -> Self {
+        Histogram::new(-20, 34)
+    }
+
+    /// Exponent of the first finite bound.
+    pub fn min_exp(&self) -> i32 {
+        self.min_exp
+    }
+
+    /// The raw bucket counts (`counts[0]` underflow, last overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Finite samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Non-finite samples rejected.
+    pub fn nonfinite(&self) -> u64 {
+        self.nonfinite
+    }
+
+    /// Smallest finite sample recorded, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest finite sample recorded, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Whether no finite sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The upper bound of bucket `i` (`+inf` for the overflow bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bound(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bucket out of range");
+        if i + 1 == self.counts.len() {
+            f64::INFINITY
+        } else {
+            // Exact: 2^k is representable across the asserted range.
+            (2.0f64).powi(self.min_exp + i as i32)
+        }
+    }
+
+    /// The bucket a value lands in, via its IEEE-754 exponent (no `log`
+    /// call — cheap enough for hot-path probes).
+    fn bucket_of(&self, v: f64) -> usize {
+        if v <= 0.0 {
+            return 0;
+        }
+        // Biased IEEE-754 exponent: floor(log2 v) for normal values;
+        // subnormals report -1023, which correctly lands in the underflow
+        // bucket for any in-range `min_exp`.
+        let e = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+        if e < self.min_exp {
+            return 0;
+        }
+        ((e - self.min_exp + 1) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Records one sample. Non-finite values are counted in
+    /// [`Histogram::nonfinite`] and never bucketed (a NaN must not poison
+    /// min/max or the merge's bit-stability).
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.nonfinite += 1;
+            return;
+        }
+        let b = self.bucket_of(v);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another histogram of the same shape into this one. The
+    /// operation is associative, commutative, and bit-stable (see the
+    /// [module docs](self)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes (min exponent or bucket count) differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.min_exp, other.min_exp, "histogram shapes must match to merge");
+        assert_eq!(self.counts.len(), other.counts.len(), "histogram shapes must match to merge");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.nonfinite += other.nonfinite;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// An upper bound on the `q`-quantile (`q ∈ [0, 1]`): the bound of the
+    /// first bucket whose cumulative count reaches `q · total`, clamped to
+    /// the observed max. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(self.bound(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Resets every counter, keeping the shape.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.nonfinite = 0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_powers_of_two() {
+        let mut h = Histogram::new(0, 6);
+        // Bounds: underflow <1, then 1, 2, 4, 8, overflow.
+        for (v, want) in [
+            (0.0, 0),
+            (-3.0, 0),
+            (0.5, 0),
+            (1.0, 1),
+            (1.9, 1),
+            (2.0, 2),
+            (3.99, 2),
+            (4.0, 3),
+            (8.0, 4),
+            (15.9, 4),
+            (16.0, 5),
+            (1e300, 5),
+        ] {
+            let mut one = Histogram::new(0, 6);
+            one.record(v);
+            assert_eq!(one.counts()[want], 1, "v={v} want bucket {want}");
+            h.record(v);
+        }
+        assert_eq!(h.total(), 12);
+        assert_eq!(h.bound(0), 1.0);
+        assert_eq!(h.bound(4), 16.0);
+        assert_eq!(h.bound(5), f64::INFINITY);
+    }
+
+    #[test]
+    fn nonfinite_samples_are_counted_not_bucketed() {
+        let mut h = Histogram::for_counts();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(2.0);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.nonfinite(), 2);
+        assert_eq!(h.min(), Some(2.0));
+        assert_eq!(h.max(), Some(2.0));
+    }
+
+    #[test]
+    fn quantiles_return_bucket_upper_bounds() {
+        let mut h = Histogram::for_counts();
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..90 {
+            h.record(3.0); // bucket (2, 4]
+        }
+        for _ in 0..10 {
+            h.record(1000.0); // bucket (512, 1024]
+        }
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        assert_eq!(h.quantile(0.9), Some(4.0));
+        assert_eq!(h.quantile(0.99), Some(1000.0)); // clamped to max
+        assert_eq!(h.quantile(1.0), Some(1000.0));
+        assert_eq!(h.quantile(0.0), Some(4.0));
+    }
+
+    #[test]
+    fn merge_adds_counts_and_combines_extremes() {
+        let mut a = Histogram::for_counts();
+        let mut b = Histogram::for_counts();
+        a.record(1.0);
+        b.record(100.0);
+        b.record(f64::NAN);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.nonfinite(), 1);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must match")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(0, 8);
+        a.merge(&Histogram::new(1, 8));
+    }
+
+    #[test]
+    fn clear_keeps_shape() {
+        let mut h = Histogram::for_prices();
+        h.record(0.25);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.counts().len(), 35);
+        assert_eq!(h.min(), None);
+    }
+}

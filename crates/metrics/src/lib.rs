@@ -23,12 +23,22 @@
 
 pub mod ascii;
 pub mod csv;
+pub mod histogram;
+pub mod hll;
+pub mod probe;
+pub mod report;
 pub mod series;
 pub mod slot;
 pub mod summary;
 
 pub use ascii::ascii_plot;
 pub use csv::write_csv;
+pub use histogram::Histogram;
+pub use hll::{mix64, Hll};
+pub use probe::{AuctionProbe, CountingProbe, EngineReport, NoProbe};
+pub use report::{
+    CacheCounters, PhaseTimings, PoolCounters, RunReport, SlotReport, UniqueCounts, WindowReport,
+};
 pub use series::TimeSeries;
 pub use slot::{SlotMetrics, SlotRecorder};
 pub use summary::Summary;

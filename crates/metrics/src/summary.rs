@@ -17,8 +17,11 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
-    /// Number of samples.
+    /// Number of finite samples (NaN/±inf inputs are excluded — see
+    /// [`Summary::nonfinite`]).
     pub count: usize,
+    /// Non-finite samples rejected from the statistics.
+    pub nonfinite: usize,
     /// Arithmetic mean (0 for empty samples).
     pub mean: f64,
     /// Population standard deviation (0 for empty samples).
@@ -31,27 +34,56 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Computes statistics over `values`.
+    /// Computes statistics over `values`. Non-finite inputs are counted in
+    /// [`Summary::nonfinite`] but excluded from every statistic — a single
+    /// NaN must not poison a whole run's mean/std/max.
     pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
-        let mut sorted: Vec<f64> = values.into_iter().collect();
+        let mut nonfinite = 0usize;
+        let mut sorted: Vec<f64> = values
+            .into_iter()
+            .filter(|v| {
+                let finite = v.is_finite();
+                nonfinite += usize::from(!finite);
+                finite
+            })
+            .collect();
         sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         if count == 0 {
-            return Summary { count: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0, sorted };
+            return Summary {
+                count: 0,
+                nonfinite,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                sorted,
+            };
         }
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
-        Summary { count, mean, std: var.sqrt(), min: sorted[0], max: sorted[count - 1], sorted }
+        Summary {
+            count,
+            nonfinite,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            sorted,
+        }
     }
 
-    /// Linear-interpolated percentile `p ∈ [0, 100]`.
+    /// Linear-interpolated percentile `p ∈ [0, 100]` (0 for empty samples,
+    /// matching the other statistics).
     ///
     /// # Panics
     ///
-    /// Panics if the sample is empty or `p` is out of range.
+    /// Panics if `p` is out of range.
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!(self.count > 0, "percentile of empty sample");
         assert!((0.0..=100.0).contains(&p), "percentile must be within [0, 100]");
+        if self.count == 0 {
+            return 0.0;
+        }
         if self.count == 1 {
             return self.sorted[0];
         }
@@ -99,9 +131,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_percentile_panics() {
-        Summary::of([]).percentile(50.0);
+    fn empty_percentile_is_zero() {
+        assert_eq!(Summary::of([]).percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn nonfinite_samples_are_excluded() {
+        let s = Summary::of([1.0, f64::NAN, 3.0, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.nonfinite, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(s.std.is_finite());
+        assert_eq!(s.percentile(100.0), 3.0);
+        // All non-finite collapses to the empty summary (plus the count).
+        let s = Summary::of([f64::NAN]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.nonfinite, 1);
+        assert_eq!(s.max, 0.0);
     }
 
     #[test]

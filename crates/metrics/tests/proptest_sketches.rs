@@ -1,0 +1,209 @@
+//! Property-based certification of the bounded-memory sketches: the
+//! [`Hll`] estimate stays within its advertised standard-error bound on
+//! adversarial (sequential / strided / clustered) ID sets, HLL merge is
+//! exactly the sketch of the union, and [`Histogram`] merge is
+//! commutative, associative, and bit-stable against single-pass
+//! recording — the properties the per-window report aggregation relies
+//! on.
+
+use p2p_metrics::{Histogram, Hll};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// An adversarial ID set: the patterns peer/request/edge IDs actually
+/// take in the emulator — dense sequential ranges, strided arithmetic
+/// progressions, and clustered blocks — rather than uniformly random
+/// keys, which would flatter the hash.
+#[derive(Debug, Clone)]
+enum IdSet {
+    /// `base, base+1, ..., base+n-1`.
+    Sequential { base: u64, n: usize },
+    /// `base, base+k, base+2k, ...` — bits only change in a few positions.
+    Strided { base: u64, stride: u64, n: usize },
+    /// Dense blocks of 16 at a handful of far-apart bases.
+    Clustered { bases: Vec<u64>, block: usize },
+}
+
+impl IdSet {
+    fn ids(&self) -> BTreeSet<u64> {
+        match self {
+            IdSet::Sequential { base, n } => (0..*n as u64).map(|i| base + i).collect(),
+            IdSet::Strided { base, stride, n } => {
+                (0..*n as u64).map(|i| base + i * stride).collect()
+            }
+            IdSet::Clustered { bases, block } => {
+                bases.iter().flat_map(|b| (0..*block as u64).map(move |i| b + i)).collect()
+            }
+        }
+    }
+}
+
+fn arb_id_set() -> impl Strategy<Value = IdSet> {
+    prop_oneof![
+        (0u64..1 << 40, 64usize..4096).prop_map(|(base, n)| IdSet::Sequential { base, n }),
+        (0u64..1 << 40, 1u64..1 << 20, 64usize..4096)
+            .prop_map(|(base, stride, n)| IdSet::Strided { base, stride, n }),
+        (prop::collection::vec(0u64..1 << 44, 8..128), 8usize..32)
+            .prop_map(|(bases, block)| IdSet::Clustered { bases, block }),
+    ]
+}
+
+/// Histogram samples shaped like the quantities the probes record:
+/// finite magnitudes across many octaves, plus the degenerate values
+/// (zeros, negatives, infinities, NaN) the sketch must reject or
+/// underflow-bucket without corrupting merge.
+fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => -30f64..30.0,
+            4 => (-60f64..60.0).prop_map(f64::exp2),
+            1 => Just(0.0),
+            1 => Just(-0.0),
+            1 => Just(f64::INFINITY),
+            1 => Just(f64::NEG_INFINITY),
+            1 => Just(f64::NAN),
+        ],
+        0..200,
+    )
+}
+
+fn recorded(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::for_prices();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The estimate error stays within 5 standard errors of the
+    /// advertised `relative_error()` (σ ≈ 1.04/√m) on adversarial sets,
+    /// at several precisions. A fixed hash makes each case
+    /// deterministic, so this is a regression bound, not a flaky
+    /// statistical test.
+    #[test]
+    fn hll_estimate_respects_the_precision_bound(
+        set in arb_id_set(),
+        precision in 10u8..=14,
+    ) {
+        let ids = set.ids();
+        let n = ids.len() as f64;
+        let mut hll = Hll::new(precision);
+        for &id in &ids {
+            hll.insert_u64(id);
+        }
+        let err = (hll.estimate() - n).abs();
+        let tol = (5.0 * hll.relative_error() * n).max(2.0);
+        prop_assert!(
+            err <= tol,
+            "precision {precision}: |{} - {n}| = {err} > {tol}",
+            hll.estimate()
+        );
+    }
+
+    /// Inserting an ID again never changes the registers, so the
+    /// estimate is exactly idempotent — the property that lets the
+    /// system feed every slot's edges into one run-level sketch.
+    #[test]
+    fn hll_insert_is_idempotent(set in arb_id_set()) {
+        let ids = set.ids();
+        let mut once = Hll::new(12);
+        let mut thrice = Hll::new(12);
+        for &id in &ids {
+            once.insert_u64(id);
+            for _ in 0..3 {
+                thrice.insert_u64(id);
+            }
+        }
+        prop_assert_eq!(once, thrice);
+    }
+
+    /// Merging two sketches is register-exact union: bit-identical to
+    /// sketching the union directly, and commutative.
+    #[test]
+    fn hll_merge_is_exactly_the_union_sketch(
+        a in arb_id_set(),
+        b in arb_id_set(),
+    ) {
+        let (ids_a, ids_b) = (a.ids(), b.ids());
+        let mut ha = Hll::new(12);
+        let mut hb = Hll::new(12);
+        let mut union = Hll::new(12);
+        for &id in &ids_a {
+            ha.insert_u64(id);
+            union.insert_u64(id);
+        }
+        for &id in &ids_b {
+            hb.insert_u64(id);
+            union.insert_u64(id);
+        }
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &union);
+        prop_assert_eq!(&ba, &union);
+    }
+
+    /// Histogram merge is commutative and bit-stable: merging two
+    /// sketches equals recording the concatenated stream in one pass,
+    /// regardless of order.
+    #[test]
+    fn histogram_merge_is_commutative_and_bit_stable(
+        xs in arb_samples(),
+        ys in arb_samples(),
+    ) {
+        let (hx, hy) = (recorded(&xs), recorded(&ys));
+        let mut xy = hx.clone();
+        xy.merge(&hy);
+        let mut yx = hy.clone();
+        yx.merge(&hx);
+        let mut concat = xs.clone();
+        concat.extend_from_slice(&ys);
+        prop_assert_eq!(&xy, &yx);
+        prop_assert_eq!(&xy, &recorded(&concat));
+    }
+
+    /// Histogram merge is associative — any per-shard / per-window
+    /// aggregation tree yields the same sketch.
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in arb_samples(),
+        ys in arb_samples(),
+        zs in arb_samples(),
+    ) {
+        let (hx, hy, hz) = (recorded(&xs), recorded(&ys), recorded(&zs));
+        let mut left = hx.clone();
+        left.merge(&hy);
+        left.merge(&hz);
+        let mut right = hy.clone();
+        right.merge(&hz);
+        let mut outer = hx.clone();
+        outer.merge(&right);
+        prop_assert_eq!(&left, &outer);
+    }
+
+    /// Merging an empty histogram is the identity, and the merged
+    /// totals are the sums of the parts (finite and non-finite counted
+    /// separately).
+    #[test]
+    fn histogram_merge_identity_and_conservation(
+        xs in arb_samples(),
+        ys in arb_samples(),
+    ) {
+        let (hx, hy) = (recorded(&xs), recorded(&ys));
+        let mut with_empty = hx.clone();
+        with_empty.merge(&Histogram::for_prices());
+        prop_assert_eq!(&with_empty, &hx);
+        let mut merged = hx.clone();
+        merged.merge(&hy);
+        prop_assert_eq!(merged.total(), hx.total() + hy.total());
+        prop_assert_eq!(merged.nonfinite(), hx.nonfinite() + hy.nonfinite());
+        prop_assert_eq!(
+            merged.counts().iter().sum::<u64>(),
+            hx.total() + hy.total()
+        );
+    }
+}

@@ -47,6 +47,10 @@ struct PoolInner {
     idle: Mutex<Vec<Sender<Job>>>,
     /// Threads ever spawned (monotone; flat across runs once warm).
     spawned: AtomicU64,
+    /// Jobs executed (monotone) — utilization telemetry for run reports.
+    jobs: AtomicU64,
+    /// Park events: a worker finished a job and went back idle (monotone).
+    parks: AtomicU64,
     /// Live [`WorkerPool`] handles. Tracked explicitly (not via
     /// `Arc::strong_count`, which is racy when two clones drop
     /// concurrently): the drop that brings this to zero is uniquely
@@ -101,6 +105,8 @@ impl WorkerPool {
             inner: Arc::new(PoolInner {
                 idle: Mutex::new(Vec::new()),
                 spawned: AtomicU64::new(0),
+                jobs: AtomicU64::new(0),
+                parks: AtomicU64::new(0),
                 handles: AtomicU64::new(1),
                 closing: AtomicBool::new(false),
             }),
@@ -136,6 +142,19 @@ impl WorkerPool {
         self.inner.spawned.load(Ordering::SeqCst)
     }
 
+    /// Total jobs executed by this pool (monotone across runs).
+    pub fn jobs_executed(&self) -> u64 {
+        self.inner.jobs.load(Ordering::SeqCst)
+    }
+
+    /// Total park events — a worker finished a job and re-registered idle.
+    /// `jobs_executed − parks` is the number of jobs that ended without a
+    /// re-park (pool shutting down), so the two together describe
+    /// utilization over a run.
+    pub fn parks(&self) -> u64 {
+        self.inner.parks.load(Ordering::SeqCst)
+    }
+
     /// Workers currently parked and ready for reuse.
     pub fn idle(&self) -> usize {
         self.inner.idle.lock().len()
@@ -156,11 +175,13 @@ impl WorkerPool {
                 let parked = match weak.upgrade() {
                     None => false,
                     Some(inner) => {
+                        inner.jobs.fetch_add(1, Ordering::SeqCst);
                         let mut idle = inner.idle.lock();
                         if inner.closing.load(Ordering::SeqCst) {
                             false
                         } else {
                             idle.push(tx.clone());
+                            inner.parks.fetch_add(1, Ordering::SeqCst);
                             true
                         }
                     }
@@ -347,6 +368,8 @@ mod tests {
         }
         assert_eq!(pool.spawned(), 1, "sequential jobs share one parked worker");
         assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.jobs_executed(), 5);
+        assert_eq!(pool.parks(), 5, "every job ended with a re-park");
     }
 
     #[test]

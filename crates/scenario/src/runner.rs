@@ -1,7 +1,7 @@
 //! Sweeps schedulers over a scenario and emits side-by-side metrics.
 
 use crate::timeline::{Scenario, TimedEvent};
-use p2p_metrics::SlotRecorder;
+use p2p_metrics::{RunReport, SlotRecorder};
 use p2p_sched::{
     AuctionScheduler, ChunkScheduler, ExactScheduler, FlatAuctionScheduler, GreedyScheduler,
     RandomScheduler, ShardedAuctionScheduler, SimpleLocalityScheduler, WorkerSpawner,
@@ -192,6 +192,11 @@ pub struct ScenarioRun {
     pub summary: RunSummary,
     /// Per-slot metrics (for CSV export and plots).
     pub recorder: SlotRecorder,
+    /// Structured run report with per-slot phase timings, engine probe
+    /// counters and event-window aggregates (`None` unless the run was
+    /// probed — see [`run_scenario_probed`]). The deterministic summary
+    /// tables never read from it: wall-clock timings live only here.
+    pub report: Option<RunReport>,
 }
 
 /// The outcome of sweeping several schedulers over one scenario.
@@ -254,10 +259,40 @@ enum WorkloadHandling<'a> {
     Replay(&'a WorkloadTrace),
 }
 
+/// Event-relative aggregation windows over `[0, slots)`: `before` /
+/// `during` / `after` the scenario's timeline, or a single `all` window
+/// when the scenario has no timed events. Empty ranges (e.g. `before` when
+/// the first event fires at slot 0) are dropped by the aggregation.
+pub fn event_windows(scenario: &Scenario) -> Vec<(String, u64, u64)> {
+    let last_slot = scenario.slots.saturating_sub(1);
+    let bounds = scenario
+        .events
+        .iter()
+        .map(|e| e.at_slot.min(last_slot))
+        .fold(None, |acc: Option<(u64, u64)>, s| {
+            Some(acc.map_or((s, s), |(lo, hi)| (lo.min(s), hi.max(s))))
+        });
+    match bounds {
+        None => vec![("all".into(), 0, last_slot)],
+        Some((first, last)) => {
+            let mut windows = Vec::new();
+            if first > 0 {
+                windows.push(("before".into(), 0, first - 1));
+            }
+            windows.push(("during".into(), first, last));
+            if last < last_slot {
+                windows.push(("after".into(), last + 1, last_slot));
+            }
+            windows
+        }
+    }
+}
+
 fn run_one_with(
     scenario: &Scenario,
     scheduler: Box<dyn ChunkScheduler>,
     workload: WorkloadHandling<'_>,
+    probes: bool,
 ) -> Result<(ScenarioRun, Option<WorkloadTrace>)> {
     scenario.validate()?;
     let mut events: Vec<&TimedEvent> = scenario.events.iter().collect();
@@ -267,6 +302,9 @@ fn run_one_with(
         WorkloadHandling::Generate => {}
         WorkloadHandling::Record => sys.record_workload(),
         WorkloadHandling::Replay(trace) => sys.replay_workload(trace.clone()),
+    }
+    if probes {
+        sys.enable_probes();
     }
     let name = sys.scheduler_name();
     if scenario.initial_peers > 0 {
@@ -281,7 +319,18 @@ fn run_one_with(
     }
     let trace = sys.take_workload_trace();
     let recorder = sys.recorder().clone();
-    Ok((ScenarioRun { summary: RunSummary::from_recorder(name, &recorder), recorder }, trace))
+    let report = sys.take_run_report().map(|mut report| {
+        report.scenario = scenario.name.clone();
+        let windows = event_windows(scenario);
+        let borrowed: Vec<(&str, u64, u64)> =
+            windows.iter().map(|(n, lo, hi)| (n.as_str(), *lo, *hi)).collect();
+        report.aggregate_windows(&borrowed);
+        report
+    });
+    Ok((
+        ScenarioRun { summary: RunSummary::from_recorder(name, &recorder), recorder, report },
+        trace,
+    ))
 }
 
 /// Runs one scheduler over the scenario, generating the workload live from
@@ -292,7 +341,7 @@ fn run_one_with(
 /// Propagates system-construction, event-application and scheduling
 /// errors.
 pub fn run_one(scenario: &Scenario, scheduler: Box<dyn ChunkScheduler>) -> Result<ScenarioRun> {
-    run_one_with(scenario, scheduler, WorkloadHandling::Generate).map(|(run, _)| run)
+    run_one_with(scenario, scheduler, WorkloadHandling::Generate, false).map(|(run, _)| run)
 }
 
 /// Sweeps every scheduler over the scenario, all facing the identical
@@ -325,6 +374,24 @@ pub fn run_scenario(
     scenario: &Scenario,
     schedulers: Vec<Box<dyn ChunkScheduler>>,
 ) -> Result<ScenarioReport> {
+    run_scenario_probed(scenario, schedulers, false)
+}
+
+/// [`run_scenario`] with optional run-report collection: with `probes` on,
+/// every run carries a [`RunReport`] (phase timings, engine probe counters,
+/// HLL uniques, event-window aggregates) in [`ScenarioRun::report`].
+/// Probes observe without perturbing — the summary tables and recorders
+/// stay byte-identical to an unprobed sweep.
+///
+/// # Errors
+///
+/// Returns [`P2pError::InvalidConfig`] for an empty scheduler list and
+/// propagates per-run errors.
+pub fn run_scenario_probed(
+    scenario: &Scenario,
+    schedulers: Vec<Box<dyn ChunkScheduler>>,
+    probes: bool,
+) -> Result<ScenarioReport> {
     if schedulers.is_empty() {
         return Err(P2pError::invalid_config("schedulers", "need at least one"));
     }
@@ -335,7 +402,7 @@ pub fn run_scenario(
             None => WorkloadHandling::Record,
             Some(t) => WorkloadHandling::Replay(t),
         };
-        let (run, recorded) = run_one_with(scenario, scheduler, handling)?;
+        let (run, recorded) = run_one_with(scenario, scheduler, handling, probes)?;
         if trace.is_none() {
             trace = recorded;
         }
@@ -514,6 +581,55 @@ mod tests {
             report.summary_table()
         };
         assert_eq!(table(), table());
+    }
+
+    /// Probed sweeps stitch a [`RunReport`] per run — with event-relative
+    /// windows — without perturbing the deterministic summary tables.
+    #[test]
+    fn probed_sweep_attaches_run_reports_with_event_windows() {
+        let scenario = builtin("flash_crowd").unwrap().quick(8);
+        let sweep = |probes: bool| {
+            run_scenario_probed(
+                &scenario,
+                vec![
+                    scheduler_by_name("auction_flat", scenario.seed).unwrap(),
+                    scheduler_by_name("locality", scenario.seed).unwrap(),
+                ],
+                probes,
+            )
+            .unwrap()
+        };
+        let bare = sweep(false);
+        let probed = sweep(true);
+        assert_eq!(bare.summary_table(), probed.summary_table(), "probes must not perturb");
+        assert!(bare.runs.iter().all(|r| r.report.is_none()));
+        for run in &probed.runs {
+            let report = run.report.as_ref().expect("probed runs carry a report");
+            assert_eq!(report.scenario, "flash_crowd");
+            assert_eq!(report.slots.len() as u64, scenario.slots);
+            assert!(!report.windows.is_empty(), "event windows are aggregated");
+            let json = report.to_json();
+            assert!(json.contains("\"windows\""));
+        }
+        // The auction run carries engine counters; the baseline does not.
+        let auction = probed.runs[0].report.as_ref().unwrap();
+        assert!(auction.slots.iter().any(|s| s.engine.is_some()));
+        let locality = probed.runs[1].report.as_ref().unwrap();
+        assert!(locality.slots.iter().all(|s| s.engine.is_none()));
+    }
+
+    #[test]
+    fn event_windows_partition_around_the_timeline() {
+        let scenario = builtin("flash_crowd").unwrap().quick(8);
+        let windows = event_windows(&scenario);
+        assert!(windows.iter().any(|(n, _, _)| n == "during"));
+        let covered: u64 = windows.iter().map(|(_, lo, hi)| hi - lo + 1).sum();
+        assert_eq!(covered, scenario.slots, "windows must partition the run");
+        // No events → one `all` window.
+        let plain = Scenario::new("x", "d");
+        let all = event_windows(&plain);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, "all");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use p2p_core::csr::WorkerSpawner;
 use p2p_core::{
     AuctionConfig, AuctionOutcome, FlatAuction, ShardCount, ShardedAuction, SyncAuction,
 };
+use p2p_metrics::{CountingProbe, EngineReport};
 use p2p_types::{PeerId, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -84,14 +85,22 @@ fn schedule_with_carry(
     problem: &SlotProblem,
     warm_start: bool,
     prior: &mut PriceCarry,
-    run_cold: impl FnOnce(&p2p_core::WelfareInstance) -> Result<AuctionOutcome>,
-    run_warm: impl FnOnce(&p2p_core::WelfareInstance, &[f64]) -> Result<AuctionOutcome>,
+    probe: &mut Option<CountingProbe>,
+    run_cold: impl FnOnce(
+        &p2p_core::WelfareInstance,
+        &mut Option<CountingProbe>,
+    ) -> Result<AuctionOutcome>,
+    run_warm: impl FnOnce(
+        &p2p_core::WelfareInstance,
+        &[f64],
+        &mut Option<CountingProbe>,
+    ) -> Result<AuctionOutcome>,
 ) -> Result<Schedule> {
     let instance = &problem.instance;
     let outcome = if warm_start && !prior.is_empty() {
-        run_warm(instance, &prior.seed(problem))?
+        run_warm(instance, &prior.seed(problem), probe)?
     } else {
-        run_cold(instance)?
+        run_cold(instance, probe)?
     };
     if warm_start {
         prior.absorb(problem, &outcome);
@@ -123,6 +132,7 @@ pub struct AuctionScheduler {
     engine: SyncAuction,
     warm_start: bool,
     prior: PriceCarry,
+    probe: Option<CountingProbe>,
 }
 
 impl AuctionScheduler {
@@ -132,6 +142,7 @@ impl AuctionScheduler {
             engine: SyncAuction::new(AuctionConfig::paper()),
             warm_start: false,
             prior: PriceCarry::default(),
+            probe: None,
         }
     }
 
@@ -176,9 +187,24 @@ impl ChunkScheduler for AuctionScheduler {
             problem,
             self.warm_start,
             &mut self.prior,
-            |inst| engine.run(inst),
-            |inst, prices| engine.run_warm(inst, prices),
+            &mut self.probe,
+            |inst, probe| match probe {
+                Some(p) => engine.run_probed(inst, p),
+                None => engine.run(inst),
+            },
+            |inst, prices, probe| match probe {
+                Some(p) => engine.run_warm_probed(inst, prices, p),
+                None => engine.run_warm(inst, prices),
+            },
         )
+    }
+
+    fn set_probes(&mut self, enabled: bool) {
+        self.probe = enabled.then(CountingProbe::new);
+    }
+
+    fn take_probe_report(&mut self) -> Option<EngineReport> {
+        self.probe.as_mut().map(CountingProbe::take_report)
     }
 }
 
@@ -200,6 +226,7 @@ pub struct ShardedAuctionScheduler {
     engine: ShardedAuction,
     warm_start: bool,
     prior: PriceCarry,
+    probe: Option<CountingProbe>,
 }
 
 impl ShardedAuctionScheduler {
@@ -209,6 +236,7 @@ impl ShardedAuctionScheduler {
             engine: ShardedAuction::new(AuctionConfig::paper(), shards),
             warm_start: false,
             prior: PriceCarry::default(),
+            probe: None,
         }
     }
 
@@ -253,9 +281,24 @@ impl ChunkScheduler for ShardedAuctionScheduler {
             problem,
             self.warm_start,
             &mut self.prior,
-            |inst| engine.run(inst),
-            |inst, prices| engine.run_warm(inst, prices),
+            &mut self.probe,
+            |inst, probe| match probe {
+                Some(p) => engine.run_probed(inst, p),
+                None => engine.run(inst),
+            },
+            |inst, prices, probe| match probe {
+                Some(p) => engine.run_warm_probed(inst, prices, p),
+                None => engine.run_warm(inst, prices),
+            },
         )
+    }
+
+    fn set_probes(&mut self, enabled: bool) {
+        self.probe = enabled.then(CountingProbe::new);
+    }
+
+    fn take_probe_report(&mut self) -> Option<EngineReport> {
+        self.probe.as_mut().map(CountingProbe::take_report)
     }
 }
 
@@ -283,6 +326,7 @@ pub struct FlatAuctionScheduler {
     /// `run_into`/`run_warm_into`, so the only per-slot engine allocation
     /// left is the schedule's own [`Assignment`].
     out: p2p_core::FlatOutcome,
+    probe: Option<CountingProbe>,
 }
 
 impl FlatAuctionScheduler {
@@ -293,6 +337,7 @@ impl FlatAuctionScheduler {
             warm_start: false,
             prior: PriceCarry::default(),
             out: p2p_core::FlatOutcome::default(),
+            probe: None,
         }
     }
 
@@ -370,10 +415,14 @@ impl ChunkScheduler for FlatAuctionScheduler {
 
     fn schedule(&mut self, problem: &SlotProblem) -> Result<Schedule> {
         let csr = problem.csr_instance();
-        if self.warm_start && !self.prior.is_empty() {
-            self.engine.run_warm_into(&csr, &self.prior.seed(problem), &mut self.out)?;
-        } else {
-            self.engine.run_into(&csr, &mut self.out)?;
+        let seed = (self.warm_start && !self.prior.is_empty()).then(|| self.prior.seed(problem));
+        match (&mut self.probe, seed) {
+            (Some(p), Some(seed)) => {
+                self.engine.run_warm_into_probed(&csr, &seed, &mut self.out, p)?;
+            }
+            (Some(p), None) => self.engine.run_into_probed(&csr, &mut self.out, p)?,
+            (None, Some(seed)) => self.engine.run_warm_into(&csr, &seed, &mut self.out)?,
+            (None, None) => self.engine.run_into(&csr, &mut self.out)?,
         }
         self.debug_verify(problem);
         if self.warm_start {
@@ -383,6 +432,14 @@ impl ChunkScheduler for FlatAuctionScheduler {
             assignment: self.out.to_assignment(),
             stats: ScheduleStats { rounds: self.out.rounds(), bids: self.out.bids_submitted() },
         })
+    }
+
+    fn set_probes(&mut self, enabled: bool) {
+        self.probe = enabled.then(CountingProbe::new);
+    }
+
+    fn take_probe_report(&mut self) -> Option<EngineReport> {
+        self.probe.as_mut().map(CountingProbe::take_report)
     }
 }
 
@@ -580,6 +637,41 @@ mod tests {
         let out = s.schedule(&slot2).unwrap();
         assert_eq!(out.assignment.assigned_count(), 1);
         assert_eq!(out.welfare(&slot2), slot2.instance.optimal_welfare());
+    }
+
+    /// Probes are an observer: enabling them changes no outcome, and the
+    /// taken report agrees with the schedule's own stats.
+    #[test]
+    fn probes_observe_without_perturbing_the_schedule() {
+        let p = problem();
+        for shards in [ShardCount::Fixed(1), ShardCount::Fixed(2)] {
+            let bare = FlatAuctionScheduler::with_epsilon(0.01, shards).schedule(&p).unwrap();
+            let mut probed = FlatAuctionScheduler::with_epsilon(0.01, shards);
+            probed.set_probes(true);
+            let out = probed.schedule(&p).unwrap();
+            assert_eq!(out.assignment, bare.assignment);
+            assert_eq!(out.stats, bare.stats);
+            let report = probed.take_probe_report().expect("probes are on");
+            assert_eq!(report.bids, out.stats.bids);
+            assert_eq!(report.rounds, out.stats.rounds);
+            assert_eq!(report.assigned, out.assignment.assigned_count() as u64);
+            assert!(report.slack.abs() <= 0.01 * (p.instance.request_count() as f64 + 1.0));
+            // Taking drained the accumulator.
+            assert!(probed.take_probe_report().expect("still on").is_empty());
+            probed.set_probes(false);
+            assert!(probed.take_probe_report().is_none());
+        }
+        // The nested schedulers expose the same observer contract.
+        let mut sync = AuctionScheduler::with_epsilon(0.01);
+        sync.set_probes(true);
+        let out = sync.schedule(&p).unwrap();
+        let report = sync.take_probe_report().expect("probes are on");
+        assert_eq!(report.bids, out.stats.bids);
+        let mut sharded = ShardedAuctionScheduler::with_epsilon(0.01, ShardCount::Fixed(2));
+        sharded.set_probes(true);
+        let out = sharded.schedule(&p).unwrap();
+        let report = sharded.take_probe_report().expect("probes are on");
+        assert_eq!(report.bids, out.stats.bids);
     }
 
     /// Warm flat and warm nested schedulers stay bit-identical across a

@@ -59,6 +59,7 @@ pub use p2p_core::csr::WorkerSpawner;
 pub use problem::{Schedule, ScheduleStats, SlotProblem};
 pub use random::RandomScheduler;
 
+use p2p_metrics::EngineReport;
 use p2p_types::Result;
 
 /// A per-slot chunk scheduling strategy.
@@ -76,4 +77,21 @@ pub trait ChunkScheduler {
     /// Implementations report divergence or malformed instances via
     /// [`p2p_types::P2pError`].
     fn schedule(&mut self, problem: &SlotProblem) -> Result<Schedule>;
+
+    /// Enables or disables engine probe collection for subsequent slots.
+    ///
+    /// The default is a no-op: schedulers without an instrumented engine
+    /// (locality, random, greedy, exact) simply never produce a report, and
+    /// probes stay off unless a caller opts in — the hot path monomorphizes
+    /// to the bare loop.
+    fn set_probes(&mut self, _enabled: bool) {}
+
+    /// Takes the [`EngineReport`] accumulated since the last call.
+    ///
+    /// Returns `None` when probes are off or the scheduler has no
+    /// instrumented engine. Taking resets the accumulator, so the streaming
+    /// system can collect one report per slot.
+    fn take_probe_report(&mut self) -> Option<EngineReport> {
+        None
+    }
 }

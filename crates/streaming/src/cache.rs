@@ -129,6 +129,12 @@ pub struct SlotProblemCache {
     /// Bumped by link repricing; blocks refresh costs lazily on mismatch.
     cost_epoch: u64,
     stats: CacheStats,
+    /// Cumulative delivery patches applied to cached blocks (request
+    /// removals + candidate-edge inserts) — unlike [`CacheStats`], never
+    /// reset by a build, so run reports can take per-slot deltas.
+    patched_total: u64,
+    /// Cumulative blocks pruned (departed or emptied watchers).
+    pruned_total: u64,
     /// Emits the slot's flat CSR compilation alongside the instance (its
     /// buffers are recycled slot to slot).
     csr: CsrBuilder,
@@ -149,6 +155,17 @@ impl SlotProblemCache {
     /// Counters from the most recent build.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Cumulative delivery patches applied to cached blocks over the
+    /// cache's lifetime (request removals plus candidate-edge inserts).
+    pub fn patched_total(&self) -> u64 {
+        self.patched_total
+    }
+
+    /// Cumulative watcher blocks pruned over the cache's lifetime.
+    pub fn pruned_total(&self) -> u64 {
+        self.pruned_total
     }
 
     /// The cache's current memory footprint (see [`CacheMemory`]).
@@ -184,6 +201,7 @@ impl SlotProblemCache {
 
     fn drop_block(&mut self, peer: PeerId) {
         if let Some(block) = self.blocks.remove(&peer) {
+            self.pruned_total += 1;
             for n in &block.neighbors {
                 // Remove emptied sets outright: on very long runs the
                 // reverse index would otherwise accumulate a key (with a
@@ -207,6 +225,7 @@ impl SlotProblemCache {
         if let Some(block) = self.blocks.get_mut(&receiver) {
             if let Ok(i) = block.chunks.binary_search_by(|c| c.k.cmp(&k)) {
                 block.chunks.remove(i);
+                self.patched_total += 1;
             }
         }
         let Some(watchers) = self.watchers_of.get(&receiver) else {
@@ -234,6 +253,7 @@ impl SlotProblemCache {
             let edges = &mut block.chunks[i].edges;
             if let Err(at) = edges.binary_search(&rank) {
                 edges.insert(at, rank);
+                self.patched_total += 1;
             }
         }
     }

@@ -42,6 +42,7 @@ pub use buffer::ChunkBuffer;
 pub use cache::{CacheMemory, CacheStats, SlotProblemCache};
 pub use config::{SeedPlacement, SlotBuild, SystemConfig};
 pub use p2p_core::ShardCount;
+pub use p2p_metrics::{RunReport, SlotReport};
 pub use peer::PeerState;
 pub use system::{System, WorkloadTrace};
 pub use tracker::Tracker;

@@ -5,7 +5,9 @@ use crate::config::{SeedPlacement, SlotBuild, SystemConfig};
 use crate::peer::PeerState;
 use crate::tracker::Tracker;
 use p2p_core::WelfareInstance;
-use p2p_metrics::{SlotMetrics, SlotRecorder};
+use p2p_metrics::{
+    CacheCounters, Hll, PhaseTimings, RunReport, SlotMetrics, SlotRecorder, SlotReport,
+};
 use p2p_sched::{ChunkScheduler, Schedule, SlotProblem};
 use p2p_topology::Topology;
 use p2p_types::{
@@ -45,6 +47,46 @@ pub struct System {
     /// Workload recording/replay state (scenario sweeps record the first
     /// run's arrival trace and replay it for every other scheduler).
     workload: WorkloadMode,
+    /// Run-report accumulation (`None` unless [`System::enable_probes`]
+    /// was called; the bare slot loop carries zero observability cost).
+    obs: Option<ObsState>,
+}
+
+/// Bounded-memory observability accumulation: one [`SlotReport`] per
+/// stepped slot plus three fixed-size HLL sketches and two counter
+/// snapshots — memory is O(slots + sketches), independent of swarm size.
+struct ObsState {
+    report: RunReport,
+    requesters: Hll,
+    providers: Hll,
+    edges: Hll,
+    /// Snapshot of the cache's cumulative patch counter at the previous
+    /// slot boundary (the per-slot delta goes into the slot report).
+    patched_seen: u64,
+    /// Snapshot of the cache's cumulative prune counter, likewise.
+    pruned_seen: u64,
+}
+
+impl ObsState {
+    fn new(scheduler: &str, slot_secs: f64) -> Self {
+        ObsState {
+            report: RunReport::new("", scheduler, slot_secs),
+            requesters: Hll::new(Hll::DEFAULT_PRECISION),
+            providers: Hll::new(Hll::DEFAULT_PRECISION),
+            edges: Hll::new(Hll::DEFAULT_PRECISION),
+            patched_seen: 0,
+            pruned_seen: 0,
+        }
+    }
+
+    /// Writes the sketch estimates into the report and returns it.
+    fn finish(mut self) -> RunReport {
+        self.report.uniques.precision = self.requesters.precision();
+        self.report.uniques.requesters = self.requesters.estimate();
+        self.report.uniques.providers = self.providers.estimate();
+        self.report.uniques.edges = self.edges.estimate();
+        self.report
+    }
 }
 
 struct ChurnState {
@@ -114,6 +156,7 @@ impl System {
             isp_throttles: HashMap::new(),
             cache: SlotProblemCache::new(),
             workload: WorkloadMode::Live,
+            obs: None,
             config,
         };
         sys.spawn_seeds()?;
@@ -883,15 +926,124 @@ impl System {
         Ok(metrics)
     }
 
+    /// Turns on run-report collection: engine probes on the scheduler,
+    /// wall-clock phase timings, HLL sketches of unique requesters /
+    /// providers / transfer edges, and per-slot cache counter deltas.
+    /// Memory stays bounded by O(stepped slots) plus three fixed-size
+    /// sketches; the slot loop without probes is untouched. Only slots
+    /// stepped through [`System::step_slot`] / [`System::run_slots`] while
+    /// probes are on appear in the report.
+    pub fn enable_probes(&mut self) {
+        self.scheduler.set_probes(true);
+        let mut obs = ObsState::new(self.scheduler.name(), self.config.slot_len.as_secs_f64());
+        // Start cumulative-counter deltas from this instant, not from the
+        // beginning of the run.
+        obs.patched_seen = self.cache.patched_total();
+        obs.pruned_seen = self.cache.pruned_total();
+        self.obs = Some(obs);
+    }
+
+    /// Whether run-report collection is on.
+    pub fn probes_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Finishes collection and returns the accumulated [`RunReport`]
+    /// (`None` unless [`System::enable_probes`] was called). Probes are
+    /// switched back off; the report's `scenario` field is left empty for
+    /// the caller to fill.
+    pub fn take_run_report(&mut self) -> Option<RunReport> {
+        let obs = self.obs.take()?;
+        self.scheduler.set_probes(false);
+        Some(obs.finish())
+    }
+
+    /// Folds one completed slot into the run report (probes on only).
+    fn observe_slot(
+        &mut self,
+        slot: u64,
+        problem: &SlotProblem,
+        metrics: &SlotMetrics,
+        phases: PhaseTimings,
+    ) {
+        let engine = self.scheduler.take_probe_report().filter(|r| !r.is_empty());
+        let cache = if self.incremental() {
+            let s = self.cache.stats();
+            Some(CacheCounters {
+                blocks_rebuilt: s.blocks_rebuilt,
+                blocks_reused: s.blocks_reused,
+                chunks_fresh: s.chunks_fresh,
+                chunks_reused: s.chunks_reused,
+                patched: 0, // deltas filled below, after `obs` is borrowed
+                pruned: 0,
+            })
+        } else {
+            None
+        };
+        let patched_total = self.cache.patched_total();
+        let pruned_total = self.cache.pruned_total();
+        let Some(obs) = self.obs.as_mut() else { return };
+        let cache = cache.map(|mut c| {
+            c.patched = patched_total - obs.patched_seen;
+            c.pruned = pruned_total - obs.pruned_seen;
+            c
+        });
+        obs.patched_seen = patched_total;
+        obs.pruned_seen = pruned_total;
+        let instance = &problem.instance;
+        for p in instance.providers() {
+            obs.providers.insert_u64(u64::from(p.peer.get()));
+        }
+        for req in instance.requests() {
+            let downstream = u64::from(req.id.downstream().get());
+            obs.requesters.insert_u64(downstream);
+            for e in &req.edges {
+                let upstream = u64::from(instance.provider(e.provider).peer.get());
+                obs.edges.insert_pair(upstream, downstream);
+            }
+        }
+        obs.report.push_slot(SlotReport {
+            slot,
+            phases,
+            requests: instance.request_count() as u64,
+            providers: instance.provider_count() as u64,
+            edges: instance.edge_count() as u64,
+            welfare: metrics.welfare,
+            transfers: metrics.transfers,
+            inter_isp: metrics.inter_isp_transfers,
+            missed: metrics.missed_chunks,
+            online: metrics.online_peers,
+            engine,
+            cache,
+        });
+    }
+
     /// Runs one full slot with the system's own scheduler.
     ///
     /// # Errors
     ///
     /// Propagates scheduler and accounting errors.
     pub fn step_slot(&mut self) -> Result<SlotMetrics> {
+        if self.obs.is_none() {
+            let problem = self.prepare_slot()?;
+            let schedule = self.scheduler.schedule(&problem)?;
+            return self.complete_slot(&problem, &schedule);
+        }
+        let slot = self.slot.get();
+        let t0 = std::time::Instant::now();
         let problem = self.prepare_slot()?;
+        let t1 = std::time::Instant::now();
         let schedule = self.scheduler.schedule(&problem)?;
-        self.complete_slot(&problem, &schedule)
+        let t2 = std::time::Instant::now();
+        let metrics = self.complete_slot(&problem, &schedule)?;
+        let t3 = std::time::Instant::now();
+        let phases = PhaseTimings {
+            prepare_s: (t1 - t0).as_secs_f64(),
+            schedule_s: (t2 - t1).as_secs_f64(),
+            complete_s: (t3 - t2).as_secs_f64(),
+        };
+        self.observe_slot(slot, &problem, &metrics, phases);
+        Ok(metrics)
     }
 
     /// Runs `n` consecutive slots.
@@ -1324,6 +1476,57 @@ mod tests {
         // A 50× repricing makes cross-ISP chunks unprofitable: the auction
         // must cut inter-ISP traffic (to zero on this small instance).
         assert!(inter_priced < inter_base, "{inter_priced} vs {inter_base}");
+    }
+
+    /// Probes are an observer: the recorder's figures are bit-identical
+    /// with probes on and off, and the report covers every stepped slot
+    /// with consistent counters.
+    #[test]
+    fn run_report_observes_without_perturbing_the_run() {
+        let fingerprint = |sys: &System| {
+            sys.recorder()
+                .slots()
+                .iter()
+                .map(|(_, m)| (m.welfare.to_bits(), m.transfers, m.missed_chunks))
+                .collect::<Vec<_>>()
+        };
+        let run = |probes: bool| {
+            let config = SystemConfig::small_test()
+                .with_seed(40)
+                .with_slot_build(crate::SlotBuild::Incremental);
+            let mut sys = System::new(config, Box::new(AuctionScheduler::paper())).unwrap();
+            sys.add_static_peers(8).unwrap();
+            if probes {
+                sys.enable_probes();
+                assert!(sys.probes_enabled());
+            }
+            sys.run_slots(6).unwrap();
+            let report = sys.take_run_report();
+            (fingerprint(&sys), report)
+        };
+        let (bare, none) = run(false);
+        assert!(none.is_none(), "no report without enable_probes");
+        let (probed, report) = run(true);
+        assert_eq!(bare, probed, "probes must not change outcomes");
+        let report = report.expect("probes were on");
+        assert_eq!(report.slots.len(), 6);
+        assert_eq!(report.scheduler, "auction");
+        for (slot, rec) in report.slots.iter().zip(bare) {
+            assert_eq!(slot.welfare.to_bits(), rec.0);
+            assert_eq!(slot.transfers, rec.1);
+            assert_eq!(slot.missed, rec.2);
+            assert!(slot.phases.total_s() >= 0.0);
+            assert!(slot.cache.is_some(), "incremental build reports cache counters");
+        }
+        // Engine reports appear once the swarm has requests to schedule.
+        let engine_bids: u64 =
+            report.slots.iter().filter_map(|s| s.engine.as_ref()).map(|e| e.bids).sum();
+        assert!(engine_bids > 0, "the auction must have submitted bids");
+        // Sketches saw the population: estimates are positive and within
+        // the precision's error bound of the true (small) cardinalities.
+        assert!(report.uniques.requesters > 0.0);
+        assert!(report.uniques.providers > 0.0);
+        assert!(report.uniques.edges >= report.uniques.requesters * 0.9);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //!
 //! Implements the subset of proptest's API this workspace uses: the
 //! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
-//! strategies, [`Just`], `prop::collection::vec`, `any::<bool>()`, the
-//! [`proptest!`] macro and the `prop_assert*`/`prop_assume!` macros.
+//! strategies, [`Just`], `prop::collection::vec`, the [`prop_oneof!`]
+//! weighted union, `any::<bool>()`, the [`proptest!`] macro and the
+//! `prop_assert*`/`prop_assume!` macros.
 //!
 //! Differences from upstream, chosen deliberately for an offline CI:
 //!
@@ -207,6 +208,66 @@ impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, F);
 
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        (**self).new_value(rng)
+    }
+}
+
+/// A weighted union over same-valued strategies. Built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// A union drawing each arm with probability `weight / Σ weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or any weight is zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().all(|(w, _)| *w > 0), "prop_oneof! weights must be positive");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight {
+                return arm.new_value(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick is always below the summed weights")
+    }
+}
+
+/// Draws from one of several same-valued strategies, uniformly
+/// (`prop_oneof![a, b]`) or by weight (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((
+                $weight as u32,
+                std::boxed::Box::new($strat) as std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+            )),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
 /// Types with a canonical strategy, for [`any`].
 pub trait Arbitrary {
     /// The canonical strategy type.
@@ -313,8 +374,8 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 /// Everything a proptest suite needs in scope.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        Just, ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -454,6 +515,23 @@ mod tests {
             prop_assume!(x != 5);
             prop_assert_ne!(x, 5);
         }
+    }
+
+    #[test]
+    fn oneof_draws_every_arm_and_respects_weights() {
+        let mut rng = crate::rng_for("t4");
+        let s = prop_oneof![9 => 0u32..1, 1 => (10u32..20).prop_map(|x| x)];
+        let (mut low, mut high) = (0u32, 0u32);
+        for _ in 0..2000 {
+            let v: u32 = s.new_value(&mut rng);
+            match v {
+                0 => low += 1,
+                10..=19 => high += 1,
+                other => panic!("value {other} outside every arm"),
+            }
+        }
+        assert!(low > high * 5, "9:1 weighting not respected: {low} vs {high}");
+        assert!(high > 0, "light arm never drawn");
     }
 
     #[test]
