@@ -8,6 +8,10 @@
 //!   `scenarios --scenario flash_crowd [--quick] [--seed S] [--schedulers auction_flat,locality]
 //!              [--slot-build cold|incremental] [--shards auto|N]`
 //!     run a built-in scenario;
+//!   `scenarios --scenario flash_crowd --backend sim [--net ideal|lan|lossy]`
+//!     run on the virtual-time swarm backend: the default comparison pair
+//!     becomes `auction_sim,auction_flat` (DES swarm vs in-process engine)
+//!     and `--net` picks the seeded fault-injection preset;
 //!   `scenarios --file scenarios/flash_crowd.toml`
 //!     run an external spec file (see `p2p_scenario::spec` for the format);
 //!   `scenarios --scenario isp_outage --show`
@@ -80,6 +84,16 @@ fn run(args: &Args) -> Result<()> {
     if let Some(shards) = args.get_opt_str("shards") {
         scenario = scenario.with_shards(p2p_streaming::ShardCount::from_name(&shards)?);
     }
+    let backend = args.get_str("backend", "process");
+    if !matches!(backend.as_str(), "process" | "sim") {
+        return Err(P2pError::invalid_config(
+            "backend",
+            format!("unknown backend `{backend}` (known: process, sim)"),
+        ));
+    }
+    if let Some(net) = args.get_opt_str("net") {
+        scenario = scenario.with_net(net);
+    }
     scenario.validate()?;
 
     // One worker pool for the whole sweep: every flat scheduler leases its
@@ -89,8 +103,13 @@ fn run(args: &Args) -> Result<()> {
     let pool: Arc<dyn WorkerSpawner> = worker_pool.clone();
     // The comparison everyone wants first: the registry's default auction
     // execution (`auction_flat` since ISSUE 6) against the locality
-    // heuristic baseline.
-    let default_pair = format!("{},locality", p2p_scenario::DEFAULT_SCHEDULER);
+    // heuristic baseline. On the sim backend the interesting pair is the
+    // virtual-time swarm against the in-process engine it must match.
+    let default_pair = if backend == "sim" {
+        format!("auction_sim,{}", p2p_scenario::DEFAULT_SCHEDULER)
+    } else {
+        format!("{},locality", p2p_scenario::DEFAULT_SCHEDULER)
+    };
     let names = args.get_str("schedulers", &default_pair);
     let schedulers: Vec<Box<dyn ChunkScheduler>> = names
         .split(',')
@@ -199,6 +218,7 @@ fn main() -> ExitCode {
             eprintln!("usage: scenarios [--list] [--show] [--scenario NAME | --file PATH]");
             eprintln!("                 [--quick] [--seed S] [--schedulers a,b,...]");
             eprintln!("                 [--slot-build cold|incremental] [--shards auto|N]");
+            eprintln!("                 [--backend process|sim] [--net ideal|lan|lossy]");
             eprintln!("                 [--metrics-out DIR]");
             ExitCode::FAILURE
         }

@@ -14,11 +14,10 @@
 //! mirroring the piggy-backed gossip a real implementation would use and
 //! keeping the event count tractable at the paper's 500-peer scale.
 
-use crate::auctioneer::{Auctioneer, BidOutcome};
-use crate::bidder::{decide_bid, BidDecision, EdgeView};
-use crate::engine::{edge_views, final_prices, AuctionConfig};
+use crate::engine::{edge_views, final_prices_from, AuctionConfig};
 use crate::instance::{ProviderIdx, RequestIdx, WelfareInstance};
 use crate::messages::AuctionMsg;
+use crate::protocol::{AuctioneerNode, BidderNode, LearnPolicy};
 use crate::solution::{Assignment, DualSolution};
 use p2p_sim::{Context, Simulation, World};
 use p2p_types::{P2pError, PeerId, SimDuration, SimTime};
@@ -114,17 +113,6 @@ impl From<&AuctionConfig> for DistConfig {
     }
 }
 
-/// Bidder protocol state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum BidderState {
-    /// Unassigned; free to bid when prices allow.
-    Idle,
-    /// A bid is in flight; wait for the outcome before bidding again.
-    Pending,
-    /// Holds a bandwidth unit at the provider.
-    Assigned(ProviderIdx),
-}
-
 /// Internal DES events.
 #[derive(Debug)]
 enum Ev {
@@ -140,24 +128,17 @@ enum Ev {
 
 struct DistWorld {
     // Static problem data.
-    views: Vec<Vec<EdgeView>>,
     bidder_peer: Vec<PeerId>,
     provider_peer: Vec<PeerId>,
     listeners: Vec<Vec<RequestIdx>>,
     latency: LatencyFn,
-    epsilon: f64,
     broadcast_window: SimDuration,
     record_trace: bool,
-    // Mutable protocol state.
-    auctioneers: Vec<Auctioneer>,
-    bidders: Vec<BidderState>,
-    /// Per request, per edge: the bidder's latest knowledge of the price.
-    known: Vec<Vec<f64>>,
+    // Protocol state machines (transport-agnostic; this world is just the
+    // latency-aware transport driving them).
+    auctioneers: Vec<AuctioneerNode>,
+    bidders: Vec<BidderNode>,
     broadcast_pending: Vec<bool>,
-    /// Providers that departed mid-auction.
-    offline: Vec<bool>,
-    /// Requests whose downstream peer departed mid-auction.
-    cancelled: Vec<bool>,
     // Outputs.
     assigned_edge: Vec<Option<usize>>,
     trace: Vec<PricePoint>,
@@ -166,43 +147,18 @@ struct DistWorld {
 }
 
 impl DistWorld {
-    fn learn_price(&mut self, request: RequestIdx, provider: ProviderIdx, price: f64) {
-        if let Some(k) = self.views[request].iter().position(|v| v.provider == provider) {
-            // Keep the latest observation. Prices normally only rise, but a
-            // bidder departure releases units and *resets* the price
-            // (Sec. IV-C), so decreases must be believed too; per-link FIFO
-            // delivery keeps observations ordered, and a stale low price
-            // merely costs one rejected re-bid.
-            self.known[request][k] = price;
+    /// Delivers a node-emitted bid to its auctioneer after link latency.
+    fn send_bid(&mut self, ctx: &mut Context<'_, Ev>, bid: AuctionMsg) {
+        if let AuctionMsg::Bid { request, provider, .. } = bid {
+            let delay = (self.latency)(self.bidder_peer[request], self.provider_peer[provider]);
+            ctx.schedule_in(delay, Ev::Deliver(bid));
         }
     }
 
     /// Lets an idle bidder reconsider; emits a bid message if one is due.
     fn maybe_bid(&mut self, ctx: &mut Context<'_, Ev>, request: RequestIdx) {
-        if self.cancelled[request] || self.bidders[request] != BidderState::Idle {
-            return;
-        }
-        let known = &self.known[request];
-        let views = &self.views[request];
-        let decision = decide_bid(
-            views,
-            |p| {
-                // Per-edge knowledge: find this request's view of provider p.
-                views
-                    .iter()
-                    .position(|v| v.provider == p)
-                    .map(|k| known[k])
-                    .unwrap_or(f64::INFINITY)
-            },
-            self.epsilon,
-        );
-        if let BidDecision::Bid { edge, provider, amount } = decision {
-            self.bidders[request] = BidderState::Pending;
-            let delay = (self.latency)(self.bidder_peer[request], self.provider_peer[provider]);
-            ctx.schedule_in(
-                delay,
-                Ev::Deliver(AuctionMsg::Bid { request, edge, provider, amount }),
-            );
+        if let Some(bid) = self.bidders[request].poll() {
+            self.send_bid(ctx, bid);
         }
     }
 
@@ -231,7 +187,7 @@ impl World for DistWorld {
             Ev::Depart(peer) => self.on_departure(ctx, peer),
             Ev::Broadcast(provider) => {
                 self.broadcast_pending[provider] = false;
-                if self.offline[provider] {
+                if self.auctioneers[provider].is_offline() {
                     return; // the departure already announced +∞
                 }
                 let price = self.auctioneers[provider].price();
@@ -261,22 +217,16 @@ impl DistWorld {
     fn on_departure(&mut self, ctx: &mut Context<'_, Ev>, peer: PeerId) {
         // Auctioneer role.
         for u in 0..self.provider_peer.len() {
-            if self.provider_peer[u] != peer || self.offline[u] {
+            if self.provider_peer[u] != peer || self.auctioneers[u].is_offline() {
                 continue;
             }
-            self.offline[u] = true;
             let up = self.provider_peer[u];
-            for r in self.auctioneers[u].take_all() {
-                self.assigned_edge[r] = None;
-                let delay = (self.latency)(up, self.bidder_peer[r]);
-                ctx.schedule_in(
-                    delay,
-                    Ev::Deliver(AuctionMsg::Evicted {
-                        request: r,
-                        provider: u,
-                        price: f64::INFINITY,
-                    }),
-                );
+            for notice in self.auctioneers[u].go_offline() {
+                if let AuctionMsg::Evicted { request, .. } = notice {
+                    self.assigned_edge[request] = None;
+                    let delay = (self.latency)(up, self.bidder_peer[request]);
+                    ctx.schedule_in(delay, Ev::Deliver(notice));
+                }
             }
             // Immediate (uncoalesced) farewell announcement: nobody should
             // target a dead provider.
@@ -295,13 +245,13 @@ impl DistWorld {
         }
         // Bidder role.
         for r in 0..self.bidder_peer.len() {
-            if self.bidder_peer[r] != peer || self.cancelled[r] {
+            if self.bidder_peer[r] != peer || self.bidders[r].is_cancelled() {
                 continue;
             }
-            self.cancelled[r] = true;
+            self.bidders[r].cancel();
             if let Some(edge) = self.assigned_edge[r].take() {
-                let u = self.views[r][edge].provider;
-                if !self.offline[u] {
+                let u = self.bidders[r].views()[edge].provider;
+                if !self.auctioneers[u].is_offline() {
                     if let Some(price) = self.auctioneers[u].release(r) {
                         self.record_price(ctx.now(), u, price);
                         self.schedule_broadcast(ctx, u);
@@ -314,87 +264,40 @@ impl DistWorld {
     fn on_message(&mut self, ctx: &mut Context<'_, Ev>, msg: AuctionMsg) {
         match msg {
             AuctionMsg::Bid { request, edge, provider, amount } => {
-                if self.cancelled[request] {
+                if self.bidders[request].is_cancelled() {
                     return; // bid from a peer that has since departed
                 }
                 let up = self.provider_peer[provider];
                 let down = self.bidder_peer[request];
-                if self.offline[provider] {
-                    // A dead auctioneer cannot sell; tell the bidder to
-                    // look elsewhere.
-                    let delay = (self.latency)(up, down);
-                    ctx.schedule_in(
-                        delay,
-                        Ev::Deliver(AuctionMsg::Rejected {
-                            request,
-                            provider,
-                            price: f64::INFINITY,
-                        }),
-                    );
-                    return;
+                let reply = self.auctioneers[provider].on_bid(request, amount);
+                if matches!(reply.reply, AuctionMsg::Accepted { .. }) {
+                    self.assigned_edge[request] = Some(edge);
                 }
-                match self.auctioneers[provider].handle_bid(request, amount) {
-                    BidOutcome::Rejected { price } => {
-                        let delay = (self.latency)(up, down);
-                        ctx.schedule_in(
-                            delay,
-                            Ev::Deliver(AuctionMsg::Rejected { request, provider, price }),
-                        );
-                    }
-                    BidOutcome::Accepted { evicted, new_price } => {
-                        self.assigned_edge[request] = Some(edge);
-                        let delay = (self.latency)(up, down);
-                        ctx.schedule_in(
-                            delay,
-                            Ev::Deliver(AuctionMsg::Accepted { request, provider }),
-                        );
-                        if let Some(loser) = evicted {
-                            self.assigned_edge[loser] = None;
-                            let price = self.auctioneers[provider].price();
-                            let delay = (self.latency)(up, self.bidder_peer[loser]);
-                            ctx.schedule_in(
-                                delay,
-                                Ev::Deliver(AuctionMsg::Evicted {
-                                    request: loser,
-                                    provider,
-                                    price,
-                                }),
-                            );
-                        }
-                        if let Some(price) = new_price {
-                            self.record_price(ctx.now(), provider, price);
-                            self.schedule_broadcast(ctx, provider);
-                        }
+                let delay = (self.latency)(up, down);
+                ctx.schedule_in(delay, Ev::Deliver(reply.reply));
+                if let Some(notice) = reply.evicted {
+                    if let AuctionMsg::Evicted { request: loser, .. } = notice {
+                        self.assigned_edge[loser] = None;
+                        let delay = (self.latency)(up, self.bidder_peer[loser]);
+                        ctx.schedule_in(delay, Ev::Deliver(notice));
                     }
                 }
-            }
-            AuctionMsg::Accepted { request, provider } => {
-                if self.cancelled[request] {
-                    return;
+                if let Some(price) = reply.price_changed {
+                    self.record_price(ctx.now(), provider, price);
+                    self.schedule_broadcast(ctx, provider);
                 }
-                self.bidders[request] = BidderState::Assigned(provider);
             }
-            AuctionMsg::Rejected { request, provider, price } => {
-                if self.cancelled[request] {
-                    return;
+            AuctionMsg::Accepted { request, .. }
+            | AuctionMsg::Rejected { request, .. }
+            | AuctionMsg::Evicted { request, .. } => {
+                if let Some(bid) = self.bidders[request].on_message(&msg) {
+                    self.send_bid(ctx, bid);
                 }
-                self.learn_price(request, provider, price);
-                self.bidders[request] = BidderState::Idle;
-                self.maybe_bid(ctx, request);
             }
-            AuctionMsg::Evicted { request, provider, price } => {
-                if self.cancelled[request] {
-                    return;
+            AuctionMsg::PriceUpdate { listener, .. } => {
+                if let Some(bid) = self.bidders[listener].on_message(&msg) {
+                    self.send_bid(ctx, bid);
                 }
-                self.learn_price(request, provider, price);
-                // The eviction may cross an Accepted message in flight; in
-                // either order the request must end up Idle and re-bid.
-                self.bidders[request] = BidderState::Idle;
-                self.maybe_bid(ctx, request);
-            }
-            AuctionMsg::PriceUpdate { listener, provider, price } => {
-                self.learn_price(listener, provider, price);
-                self.maybe_bid(ctx, listener);
             }
         }
     }
@@ -473,19 +376,22 @@ impl DistributedAuction {
         }
 
         // Bidders start knowing price 0 for live providers and +∞ for
-        // zero-capacity providers (which never sell).
-        let known: Vec<Vec<f64>> = views
-            .iter()
-            .map(|vs| {
-                vs.iter()
-                    .map(|v| {
-                        if instance.provider(v.provider).capacity.is_zero() {
-                            f64::INFINITY
-                        } else {
-                            0.0
-                        }
-                    })
-                    .collect()
+        // zero-capacity providers (which never sell). The learn policy is
+        // `Latest`: departures reset prices (Sec. IV-C), so decreases must
+        // be believed; per-link FIFO delivery keeps observations ordered,
+        // and a stale low price merely costs one rejected re-bid.
+        let epsilon = self.config.epsilon;
+        let bidders: Vec<BidderNode> = views
+            .into_iter()
+            .enumerate()
+            .map(|(r, vs)| {
+                BidderNode::new(r, vs, epsilon, LearnPolicy::Latest, |u| {
+                    if instance.provider(u).capacity.is_zero() {
+                        f64::INFINITY
+                    } else {
+                        0.0
+                    }
+                })
             })
             .collect();
 
@@ -494,24 +400,20 @@ impl DistributedAuction {
             provider_peer: instance.providers().iter().map(|p| p.peer).collect(),
             listeners,
             latency: self.latency,
-            epsilon: self.config.epsilon,
             broadcast_window: self.config.broadcast_window,
             record_trace: self.config.record_price_trace,
             auctioneers: instance
                 .providers()
                 .iter()
-                .map(|p| Auctioneer::new(p.capacity.chunks_per_slot()))
+                .enumerate()
+                .map(|(u, p)| AuctioneerNode::new(u, p.capacity.chunks_per_slot()))
                 .collect(),
-            bidders: vec![BidderState::Idle; request_count],
-            known,
+            bidders,
             broadcast_pending: vec![false; provider_count],
-            offline: vec![false; provider_count],
-            cancelled: vec![false; request_count],
             assigned_edge: vec![None; request_count],
             trace: Vec::new(),
             messages: 0,
             last_activity: SimTime::ZERO,
-            views,
         };
 
         let mut sim = Simulation::new(world).with_max_events(self.config.max_messages);
@@ -528,7 +430,10 @@ impl DistributedAuction {
             return Err(P2pError::AuctionDiverged { iterations: stats.events_processed });
         }
 
-        let lambda = final_prices(instance, &world.auctioneers);
+        let lambda = final_prices_from(
+            instance,
+            world.auctioneers.iter().map(AuctioneerNode::price).collect(),
+        );
         Ok(DistributedOutcome {
             assignment: Assignment::new(world.assigned_edge),
             duals: DualSolution::from_prices(instance, lambda),

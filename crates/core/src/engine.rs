@@ -581,7 +581,13 @@ pub(crate) fn edge_views(instance: &WelfareInstance) -> Vec<Vec<EdgeView>> {
 /// dual constraint (6)), the smallest feasible standalone price
 /// `max(0, max incident v−w)`.
 pub(crate) fn final_prices(instance: &WelfareInstance, auctioneers: &[Auctioneer]) -> Vec<f64> {
-    let mut lambda: Vec<f64> = auctioneers.iter().map(Auctioneer::price).collect();
+    final_prices_from(instance, auctioneers.iter().map(Auctioneer::price).collect())
+}
+
+/// [`final_prices`] over raw λ values — the entry point for transports
+/// whose auctioneers live inside protocol nodes rather than a bare
+/// `Vec<Auctioneer>`.
+pub(crate) fn final_prices_from(instance: &WelfareInstance, mut lambda: Vec<f64>) -> Vec<f64> {
     for (u, spec) in instance.providers().iter().enumerate() {
         if spec.capacity.is_zero() {
             let max_utility = instance

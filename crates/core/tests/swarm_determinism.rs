@@ -1,0 +1,101 @@
+//! Determinism regression tests for the virtual-time swarm simulator.
+//!
+//! The swarm backend's whole value is *replayability*: a run is a pure
+//! function of `(instance, network model, seed)`. These tests pin that
+//! down along every axis that has historically broken determinism in
+//! event-driven simulators — repeated runs, machine parallelism
+//! (`P2P_CORES` pins), and the seed itself (distinct seeds must produce
+//! genuinely distinct fault schedules, or "seeded" is a lie). They mutate
+//! `P2P_CORES`, so they live in their own integration-test binary behind a
+//! process-wide lock (same pattern as `cores_pin.rs`).
+
+use p2p_core::{NetworkModel, SwarmAuction, SwarmConfig, SwarmOutcome, WelfareInstance};
+use p2p_types::{ChunkId, Cost, PeerId, RequestId, Valuation, VideoId};
+use std::sync::Mutex;
+
+/// Serializes every env-mutating test in this binary.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with `P2P_CORES` set to `value` (or unset for `None`),
+/// restoring the previous state afterwards.
+fn with_pin<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let saved = std::env::var("P2P_CORES").ok();
+    match value {
+        Some(v) => std::env::set_var("P2P_CORES", v),
+        None => std::env::remove_var("P2P_CORES"),
+    }
+    let out = f();
+    match saved {
+        Some(v) => std::env::set_var("P2P_CORES", v),
+        None => std::env::remove_var("P2P_CORES"),
+    }
+    out
+}
+
+/// A contended instance big enough that faults actually reorder traffic:
+/// 8 providers × 60 requests with overlapping preferences.
+fn instance() -> WelfareInstance {
+    let mut b = WelfareInstance::builder();
+    let providers: Vec<_> = (0..8).map(|u| b.add_provider(PeerId::new(500 + u), 3)).collect();
+    for d in 0..60u32 {
+        let r = b.add_request(RequestId::new(PeerId::new(d), ChunkId::new(VideoId::new(0), d)));
+        for (i, &u) in
+            providers.iter().enumerate().filter(|(i, _)| !(d as usize + i).is_multiple_of(3))
+        {
+            let v = 2.0 + f64::from(d % 11) * 0.23 + i as f64 * 0.13;
+            b.add_edge(r, u, Valuation::new(v), Cost::new(0.3 + i as f64 * 0.07)).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+fn lossy_run(seed: u64) -> SwarmOutcome {
+    SwarmAuction::new(SwarmConfig::with_epsilon(0.05), NetworkModel::lossy())
+        .run(&instance(), seed)
+        .unwrap()
+}
+
+/// The event trace and every summary statistic replay byte-identically
+/// across repeated runs with the same seed.
+#[test]
+fn same_seed_replays_identically_across_runs() {
+    let a = lossy_run(42);
+    let b = lossy_run(42);
+    assert_eq!(a.trace_hash, b.trace_hash, "event traces diverged");
+    assert_eq!(a.faults, b.faults, "fault schedules diverged");
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.converged_at, b.converged_at);
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.duals, b.duals);
+}
+
+/// The simulator is single-threaded by construction, so the machine's
+/// core count — pinned or free — can never leak into the trace: runs
+/// under `P2P_CORES=1`, `P2P_CORES=8`, and no pin are bit-identical.
+#[test]
+fn swarm_outcomes_are_invariant_under_cores_pins() {
+    let baseline = with_pin(None, || lossy_run(7));
+    for pin in ["1", "2", "8", "32"] {
+        let pinned = with_pin(Some(pin), || lossy_run(7));
+        assert_eq!(pinned.trace_hash, baseline.trace_hash, "P2P_CORES={pin} changed the trace");
+        assert_eq!(pinned.faults, baseline.faults, "P2P_CORES={pin} changed the fault schedule");
+        assert_eq!(pinned.assignment, baseline.assignment);
+        assert_eq!(pinned.duals, baseline.duals);
+        assert_eq!(pinned.events, baseline.events);
+    }
+}
+
+/// Distinct seeds draw distinct fault schedules: over a handful of seeds
+/// every trace hash is unique and the drop counters are not all equal.
+#[test]
+fn distinct_seeds_draw_distinct_fault_schedules() {
+    let outs: Vec<SwarmOutcome> = (0..6).map(|s| lossy_run(s * 1291 + 17)).collect();
+    let hashes: std::collections::HashSet<u64> = outs.iter().map(|o| o.trace_hash).collect();
+    assert_eq!(hashes.len(), outs.len(), "seeds shared an event trace");
+    assert!(
+        outs.iter().any(|o| o.faults != outs[0].faults),
+        "every seed produced the same fault counters — the schedule is not seed-driven"
+    );
+}

@@ -18,10 +18,12 @@
 //! run until the wall timeout: the panic is caught, poisons the run, and is
 //! propagated as [`P2pError::WorkerPanicked`] with the panic message.
 //!
-//! The bidder and auctioneer logic is byte-for-byte the same as in the
-//! synchronous and discrete-event engines (`p2p_core::bidder`,
-//! `p2p_core::auctioneer`), which is the point: Theorem 1's optimality is
-//! preserved under real concurrency, and the integration tests assert it.
+//! The bidder and auctioneer logic lives in the transport-agnostic state
+//! machines of [`p2p_core::protocol`] (`BidderNode` / `AuctioneerNode`) —
+//! the very same step functions the synchronous, discrete-event and swarm
+//! engines drive — and this crate is a thin thread/mailbox shell over
+//! them, which is the point: Theorem 1's optimality is preserved under
+//! real concurrency, and the integration tests assert it.
 //!
 //! One caveat inherited from the paper's ε = 0 wait rule: a bid can raise a
 //! price to *exactly* another request's indifference point (a dynamically
@@ -61,9 +63,9 @@ pub mod router;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use p2p_core::auctioneer::{Auctioneer, BidOutcome};
-use p2p_core::bidder::{decide_bid, BidDecision, EdgeView};
+use p2p_core::bidder::EdgeView;
 use p2p_core::messages::AuctionMsg;
+use p2p_core::protocol::{AuctioneerNode, BidderNode, LearnPolicy};
 use p2p_core::solution::{Assignment, DualSolution};
 use p2p_core::WelfareInstance;
 use p2p_types::{P2pError, PeerId, Result};
@@ -289,7 +291,7 @@ impl ThreadedAuction {
             spawn_actor(
                 &mut handles,
                 Box::new(move || {
-                    let mut state = Auctioneer::new(capacity);
+                    let mut state = AuctioneerNode::new(u, capacity);
                     let payload = Bytes::from(vec![0u8; chunk_bytes]);
                     while let Ok(msg) = rx.recv() {
                         match msg {
@@ -297,47 +299,23 @@ impl ThreadedAuction {
                                 if inject_panic {
                                     panic!("injected fault: provider {u} died handling a bid");
                                 }
-                                match state.handle_bid(request, amount) {
-                                    BidOutcome::Rejected { price } => {
+                                let reply = state.on_bid(request, amount);
+                                out.send(bidder_node(owner[request]), RtMsg::Proto(reply.reply));
+                                if let Some(notice) = reply.evicted {
+                                    if let AuctionMsg::Evicted { request: loser, .. } = notice {
+                                        out.send(bidder_node(owner[loser]), RtMsg::Proto(notice));
+                                    }
+                                }
+                                if let Some(price) = reply.price_changed {
+                                    for &listener in &my_listeners {
                                         out.send(
-                                            bidder_node(owner[request]),
-                                            RtMsg::Proto(AuctionMsg::Rejected {
-                                                request,
+                                            bidder_node(owner[listener]),
+                                            RtMsg::Proto(AuctionMsg::PriceUpdate {
+                                                listener,
                                                 provider: u,
                                                 price,
                                             }),
                                         );
-                                    }
-                                    BidOutcome::Accepted { evicted, new_price } => {
-                                        out.send(
-                                            bidder_node(owner[request]),
-                                            RtMsg::Proto(AuctionMsg::Accepted {
-                                                request,
-                                                provider: u,
-                                            }),
-                                        );
-                                        if let Some(loser) = evicted {
-                                            out.send(
-                                                bidder_node(owner[loser]),
-                                                RtMsg::Proto(AuctionMsg::Evicted {
-                                                    request: loser,
-                                                    provider: u,
-                                                    price: state.price(),
-                                                }),
-                                            );
-                                        }
-                                        if let Some(price) = new_price {
-                                            for &listener in &my_listeners {
-                                                out.send(
-                                                    bidder_node(owner[listener]),
-                                                    RtMsg::Proto(AuctionMsg::PriceUpdate {
-                                                        listener,
-                                                        provider: u,
-                                                        price,
-                                                    }),
-                                                );
-                                            }
-                                        }
                                     }
                                 }
                                 pending.done();
@@ -365,12 +343,6 @@ impl ThreadedAuction {
         }
 
         // --- Bidder actors ---
-        #[derive(Clone, Copy, PartialEq)]
-        enum BState {
-            Idle,
-            Pending,
-            Assigned,
-        }
         let (bid_result_tx, bid_result_rx) = unbounded();
         for bn in 0..bidder_count {
             let rx = receivers[provider_count + bn].clone();
@@ -378,9 +350,11 @@ impl ThreadedAuction {
             let result_tx = bid_result_tx.clone();
             let pending = pending.clone();
             let epsilon = self.config.epsilon;
-            // This bidder's requests: (global request idx, edge views,
-            // known prices).
-            let mut mine: Vec<(usize, Vec<EdgeView>, Vec<f64>)> = Vec::new();
+            // This bidder's protocol state machines, one per owned request.
+            // Monotone learning matches the old actor's behavior: under racy
+            // delivery a stale lower price must never overwrite a fresher
+            // higher one.
+            let mut nodes: Vec<BidderNode> = Vec::new();
             let mut local_of_request = std::collections::HashMap::new();
             for (r, req) in instance.requests().iter().enumerate() {
                 if bidder_of_request[r] == bn {
@@ -389,98 +363,54 @@ impl ThreadedAuction {
                         .iter()
                         .map(|e| EdgeView { provider: e.provider, utility: e.utility().get() })
                         .collect();
-                    let known: Vec<f64> = req
-                        .edges
-                        .iter()
-                        .map(|e| {
-                            if instance.provider(e.provider).capacity.is_zero() {
-                                f64::INFINITY
-                            } else {
-                                0.0
-                            }
-                        })
-                        .collect();
-                    local_of_request.insert(r, mine.len());
-                    mine.push((r, views, known));
+                    local_of_request.insert(r, nodes.len());
+                    nodes.push(BidderNode::new(r, views, epsilon, LearnPolicy::Monotone, |p| {
+                        if instance.provider(p).capacity.is_zero() {
+                            f64::INFINITY
+                        } else {
+                            0.0
+                        }
+                    }));
                 }
             }
             spawn_actor(
                 &mut handles,
                 Box::new(move || {
-                    let mut states = vec![BState::Idle; mine.len()];
+                    let mut nodes = nodes;
                     let mut bytes_received = 0u64;
 
-                    let try_bid = |local: usize,
-                                   states: &mut Vec<BState>,
-                                   mine: &Vec<(usize, Vec<EdgeView>, Vec<f64>)>,
-                                   out: &router::Handle<RtMsg>| {
-                        if states[local] != BState::Idle {
-                            return;
-                        }
-                        let (request, views, known) = &mine[local];
-                        let decision = decide_bid(
-                            views,
-                            |p| {
-                                views
-                                    .iter()
-                                    .position(|v| v.provider == p)
-                                    .map(|k| known[k])
-                                    .unwrap_or(f64::INFINITY)
-                            },
-                            epsilon,
-                        );
-                        if let BidDecision::Bid { edge, provider, amount } = decision {
-                            states[local] = BState::Pending;
-                            out.send(
-                                NodeId(provider),
-                                RtMsg::Proto(AuctionMsg::Bid {
-                                    request: *request,
-                                    edge,
-                                    provider,
-                                    amount,
-                                }),
-                            );
-                        }
-                    };
-
-                    let learn = |mine: &mut Vec<(usize, Vec<EdgeView>, Vec<f64>)>,
-                                 local: usize,
-                                 provider: usize,
-                                 price: f64| {
-                        let (_, views, known) = &mut mine[local];
-                        if let Some(k) = views.iter().position(|v| v.provider == provider) {
-                            if price > known[k] {
-                                known[k] = price;
-                            }
+                    let send_bid = |out: &router::Handle<RtMsg>, bid: AuctionMsg| {
+                        if let AuctionMsg::Bid { provider, .. } = bid {
+                            out.send(NodeId(provider), RtMsg::Proto(bid));
                         }
                     };
 
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             RtMsg::Start(local) => {
-                                try_bid(local, &mut states, &mine, &out);
+                                if let Some(bid) = nodes[local].poll() {
+                                    send_bid(&out, bid);
+                                }
                                 pending.done();
                             }
                             RtMsg::Proto(proto) => {
-                                match proto {
-                                    AuctionMsg::Accepted { request, .. } => {
-                                        let local = local_of_request[&request];
-                                        states[local] = BState::Assigned;
+                                let local = match proto {
+                                    AuctionMsg::Accepted { request, .. }
+                                    | AuctionMsg::Rejected { request, .. }
+                                    | AuctionMsg::Evicted { request, .. } => {
+                                        Some(local_of_request[&request])
                                     }
-                                    AuctionMsg::Rejected { request, provider, price }
-                                    | AuctionMsg::Evicted { request, provider, price } => {
-                                        let local = local_of_request[&request];
-                                        learn(&mut mine, local, provider, price);
-                                        states[local] = BState::Idle;
-                                        try_bid(local, &mut states, &mine, &out);
-                                    }
-                                    AuctionMsg::PriceUpdate { listener, provider, price } => {
-                                        let local = local_of_request[&listener];
-                                        learn(&mut mine, local, provider, price);
-                                        try_bid(local, &mut states, &mine, &out);
+                                    AuctionMsg::PriceUpdate { listener, .. } => {
+                                        Some(local_of_request[&listener])
                                     }
                                     AuctionMsg::Bid { .. } => {
                                         debug_assert!(false, "bidders never receive bids");
+                                        None
+                                    }
+                                };
+                                if let Some(local) = local {
+                                    if let Some(bid) = nodes[local].on_message(&proto) {
+                                        send_bid(&out, bid);
                                     }
                                 }
                                 pending.done();

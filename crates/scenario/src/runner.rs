@@ -4,20 +4,23 @@ use crate::timeline::{Scenario, TimedEvent};
 use p2p_metrics::{RunReport, SlotRecorder};
 use p2p_sched::{
     AuctionScheduler, ChunkScheduler, ExactScheduler, FlatAuctionScheduler, GreedyScheduler,
-    RandomScheduler, ShardedAuctionScheduler, SimpleLocalityScheduler, WorkerSpawner,
+    NetworkModel, RandomScheduler, ShardedAuctionScheduler, SimAuctionScheduler,
+    SimpleLocalityScheduler, WorkerSpawner,
 };
-use p2p_streaming::{ShardCount, System, WorkloadTrace};
+use p2p_streaming::{ClockMode, ShardCount, System, WorkloadTrace};
 use p2p_types::{P2pError, Result};
 use std::sync::Arc;
 
 /// Scheduler names accepted by [`scheduler_by_name`].
-pub const SCHEDULER_NAMES: [&str; 10] = [
+pub const SCHEDULER_NAMES: [&str; 12] = [
     "auction",
     "auction_warm",
     "auction_sharded",
     "auction_sharded_warm",
     "auction_flat",
     "auction_flat_warm",
+    "auction_sim",
+    "auction_sim_warm",
     "locality",
     "random",
     "greedy",
@@ -31,6 +34,14 @@ pub const SCHEDULER_NAMES: [&str; 10] = [
 /// measured slot size, and its outcomes are bit-identical to the
 /// sequential engine's, so the flip changes latency only.
 pub const DEFAULT_SCHEDULER: &str = "auction_flat";
+
+/// Minimum bid increment the registry gives the sim schedulers on faulty
+/// network presets. Under an ideal network they run the paper's ε = 0 rule
+/// (and are bit-identical to the in-process engines); with drops and
+/// reordering in play, a positive ε bounds the number of rebids a stale
+/// price can provoke, keeping lossy runs finite. The resulting welfare
+/// carries the usual Theorem 1 `n·ε` certificate.
+pub const SIM_FAULTY_EPSILON: f64 = 0.01;
 
 /// Builds a scheduler from its CLI name (`seed` parameterizes the
 /// stochastic ones; the sharded auctions follow the machine's cores —
@@ -75,6 +86,25 @@ pub fn scheduler_with_runtime(
     shards: ShardCount,
     spawner: Option<Arc<dyn WorkerSpawner>>,
 ) -> Result<Box<dyn ChunkScheduler>> {
+    scheduler_with_net(name, seed, shards, spawner, NetworkModel::ideal())
+}
+
+/// [`scheduler_with_runtime`] with an explicit network model for the
+/// virtual-time sim schedulers (`auction_sim`): every message between the
+/// simulated peers draws its latency and fault fate from the model, seeded
+/// per slot from `seed`. The in-process schedulers ignore it.
+///
+/// # Errors
+///
+/// Returns [`P2pError::InvalidConfig`] for unknown names or an invalid
+/// shard count.
+pub fn scheduler_with_net(
+    name: &str,
+    seed: u64,
+    shards: ShardCount,
+    spawner: Option<Arc<dyn WorkerSpawner>>,
+    net: NetworkModel,
+) -> Result<Box<dyn ChunkScheduler>> {
     shards.validate()?;
     // `default` is a stable alias: callers that don't care which execution
     // of the auction they get follow the registry's promotion decisions.
@@ -89,6 +119,18 @@ pub fn scheduler_with_runtime(
         }
         s
     };
+    let sim = |warm: bool| {
+        let mut s = if net.is_ideal() {
+            SimAuctionScheduler::paper(net.clone())
+        } else {
+            SimAuctionScheduler::with_epsilon(SIM_FAULTY_EPSILON, net.clone())
+        }
+        .with_seed(seed);
+        if warm {
+            s = s.warm_start();
+        }
+        s
+    };
     match name {
         "auction" => Ok(Box::new(AuctionScheduler::paper())),
         "auction_warm" => Ok(Box::new(AuctionScheduler::paper().warm_start())),
@@ -96,6 +138,8 @@ pub fn scheduler_with_runtime(
         "auction_sharded_warm" => Ok(Box::new(ShardedAuctionScheduler::paper(shards).warm_start())),
         "auction_flat" => Ok(Box::new(flat(false))),
         "auction_flat_warm" => Ok(Box::new(flat(true))),
+        "auction_sim" => Ok(Box::new(sim(false))),
+        "auction_sim_warm" => Ok(Box::new(sim(true))),
         "locality" | "simple_locality" => Ok(Box::new(SimpleLocalityScheduler::new())),
         "random" => Ok(Box::new(RandomScheduler::new(seed ^ 0x5EED))),
         "greedy" => Ok(Box::new(GreedyScheduler::new())),
@@ -114,7 +158,21 @@ pub fn scheduler_with_runtime(
 ///
 /// Returns [`P2pError::InvalidConfig`] for unknown names.
 pub fn scheduler_for(scenario: &Scenario, name: &str) -> Result<Box<dyn ChunkScheduler>> {
-    scheduler_with_shards(name, scenario.seed, scenario.shards)
+    scheduler_for_runtime(scenario, name, None)
+}
+
+/// Resolves a scenario's `net` preset name into a [`NetworkModel`].
+///
+/// # Errors
+///
+/// Returns [`P2pError::InvalidConfig`] for unknown preset names.
+pub fn scenario_net(scenario: &Scenario) -> Result<NetworkModel> {
+    NetworkModel::preset(&scenario.net).ok_or_else(|| {
+        P2pError::invalid_config(
+            "net",
+            format!("unknown network preset `{}` (known: ideal, lan, lossy)", scenario.net),
+        )
+    })
 }
 
 /// [`scheduler_for`] with a shared worker source (see
@@ -128,7 +186,7 @@ pub fn scheduler_for_runtime(
     name: &str,
     spawner: Option<Arc<dyn WorkerSpawner>>,
 ) -> Result<Box<dyn ChunkScheduler>> {
-    scheduler_with_runtime(name, scenario.seed, scenario.shards, spawner)
+    scheduler_with_net(name, scenario.seed, scenario.shards, spawner, scenario_net(scenario)?)
 }
 
 /// Whole-run aggregates of one scheduler's pass over a scenario.
@@ -297,7 +355,14 @@ fn run_one_with(
     scenario.validate()?;
     let mut events: Vec<&TimedEvent> = scenario.events.iter().collect();
     events.sort_by_key(|e| e.at_slot);
-    let mut sys = System::new(scenario.base_config(), scheduler)?;
+    let mut config = scenario.base_config();
+    // Sim schedulers live on a virtual clock: report their simulated
+    // convergence times as the schedule phase instead of sampling
+    // `Instant`, so probed reports stay byte-for-byte reproducible.
+    if scheduler.name().starts_with("auction_sim") {
+        config.clock = ClockMode::Virtual;
+    }
+    let mut sys = System::new(config, scheduler)?;
     match workload {
         WorkloadHandling::Generate => {}
         WorkloadHandling::Record => sys.record_workload(),
@@ -494,6 +559,89 @@ mod tests {
                 "{flat} vs {nested} at shards {shards:?}"
             );
         }
+    }
+
+    /// The engine-equivalence harness: under a zero-fault network the
+    /// virtual-time swarm is the *same auction* as the in-process flat
+    /// engine — full scenario sweeps (assignments, welfare, transfers,
+    /// misses, per-slot metrics) must be bit-identical at one shard, warm
+    /// variants included.
+    #[test]
+    fn sim_scheduler_sweeps_are_bit_identical_to_flat_at_one_shard() {
+        for (sim, flat) in
+            [("auction_sim", "auction_flat"), ("auction_sim_warm", "auction_flat_warm")]
+        {
+            let scenario =
+                builtin("flash_crowd").unwrap().with_shards(ShardCount::Fixed(1)).quick(6);
+            let report = run_scenario(
+                &scenario,
+                vec![
+                    scheduler_for(&scenario, flat).unwrap(),
+                    scheduler_for(&scenario, sim).unwrap(),
+                ],
+            )
+            .unwrap();
+            assert_eq!(
+                report.runs[0].recorder.slots(),
+                report.runs[1].recorder.slots(),
+                "{sim} vs {flat}"
+            );
+        }
+    }
+
+    /// Faulty presets run the same scenario to completion and still fill
+    /// slots; the summary stays deterministic across repeats.
+    #[test]
+    fn sim_scheduler_handles_faulty_presets_deterministically() {
+        let sweep = || {
+            let scenario = builtin("flash_crowd").unwrap().with_net("lossy").quick(6);
+            let report =
+                run_scenario(&scenario, vec![scheduler_for(&scenario, "auction_sim").unwrap()])
+                    .unwrap();
+            assert!(report.runs[0].summary.transfers > 0);
+            report.summary_table()
+        };
+        assert_eq!(sweep(), sweep());
+    }
+
+    /// Probed sim runs report *virtual* phase timings: byte-identical
+    /// RunReport JSON across repeats (wall-clock reports never are).
+    #[test]
+    fn probed_sim_reports_are_byte_identical_across_repeats() {
+        let json = || {
+            let scenario = builtin("flash_crowd").unwrap().quick(6);
+            let report = run_scenario_probed(
+                &scenario,
+                vec![scheduler_for(&scenario, "auction_sim").unwrap()],
+                true,
+            )
+            .unwrap();
+            let run_report = report.runs[0].report.as_ref().unwrap();
+            assert!(
+                run_report
+                    .slots
+                    .iter()
+                    .all(|s| s.phases.prepare_s == 0.0 && s.phases.complete_s == 0.0),
+                "virtual clock: the wall-clock phases report zero"
+            );
+            assert!(
+                run_report.slots.iter().any(|s| s.phases.schedule_s > 0.0),
+                "virtual clock: busy slots carry simulated convergence time"
+            );
+            run_report.to_json()
+        };
+        assert_eq!(json(), json());
+    }
+
+    #[test]
+    fn net_presets_resolve_and_reject_unknown_names() {
+        let scenario = builtin("flash_crowd").unwrap();
+        assert!(scenario_net(&scenario).unwrap().is_ideal());
+        assert!(!scenario_net(&scenario.clone().with_net("lossy")).unwrap().is_ideal());
+        let bad = scenario.with_net("subspace");
+        assert!(scenario_net(&bad).is_err());
+        assert!(bad.validate().is_err());
+        assert!(scheduler_for(&bad, "auction_sim").is_err());
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! * top-level `key = value` lines describe the base workload (`name`,
 //!   `description`, `profile`, `seed`, `slots`, `peers`, `churn`,
 //!   `arrival_rate`, `seeds_per_video`, `slot_build`, `shards` —
-//!   `"auto"` or a positive shard count for `auction_sharded`);
+//!   `"auto"` or a positive shard count for `auction_sharded` — and
+//!   `net` — `"ideal"`, `"lan"` or `"lossy"`, the fault-injection
+//!   preset for the virtual-time `auction_sim` schedulers);
 //! * each `[[event]]` table adds one timed event;
 //! * values are quoted strings, integers, floats or `true`/`false`;
 //! * `#` starts a comment (outside quotes); blank lines are ignored.
@@ -376,6 +378,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario> {
             "seeds_per_video",
             "slot_build",
             "shards",
+            "net",
         ],
         "scenario",
     )?;
@@ -400,6 +403,9 @@ pub fn parse_scenario(text: &str) -> Result<Scenario> {
     scenario.seeds_per_video = top.u32("seeds_per_video")?;
     if let Some(mode) = top.str("slot_build")? {
         scenario.slot_build = p2p_streaming::SlotBuild::from_name(&mode)?;
+    }
+    if let Some(net) = top.str("net")? {
+        scenario.net = net;
     }
     // `shards` accepts both spellings: `shards = "auto"` and `shards = 8`.
     match top.get("shards") {

@@ -93,6 +93,10 @@ pub struct Scenario {
     /// Shard count for sharded auction schedulers (`auction_sharded`):
     /// `auto` follows the machine's cores, a fixed `N` pins the partition.
     pub shards: ShardCount,
+    /// Network-model preset for the virtual-time sim schedulers
+    /// (`auction_sim`): `"ideal"`, `"lan"` or `"lossy"` (spec key `net`,
+    /// CLI `--net`). The in-process schedulers ignore it.
+    pub net: String,
     /// The event timeline (kept in spec order; the runner fires events
     /// stably sorted by slot).
     pub events: Vec<TimedEvent>,
@@ -114,6 +118,7 @@ impl Scenario {
             seeds_per_video: None,
             slot_build: SlotBuild::Cold,
             shards: ShardCount::Auto,
+            net: "ideal".into(),
             events: Vec::new(),
         }
     }
@@ -136,6 +141,13 @@ impl Scenario {
     #[must_use]
     pub fn with_shards(mut self, shards: ShardCount) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Replaces the sim-scheduler network preset (builder-style).
+    #[must_use]
+    pub fn with_net(mut self, net: impl Into<String>) -> Self {
+        self.net = net.into();
         self
     }
 
@@ -197,6 +209,12 @@ impl Scenario {
                     ),
                 ));
             }
+        }
+        if p2p_sched::NetworkModel::preset(&self.net).is_none() {
+            return Err(P2pError::invalid_config(
+                "net",
+                format!("unknown network preset `{}` (known: ideal, lan, lossy)", self.net),
+            ));
         }
         self.base_config().validate()
     }

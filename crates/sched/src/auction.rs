@@ -35,13 +35,13 @@ pub(crate) struct PriceCarry {
 
 impl PriceCarry {
     /// Whether any prices were carried from a previous slot.
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.by_peer.is_empty()
     }
 
     /// The carried price vector for this slot's provider order (unknown
     /// peers start at 0).
-    fn seed(&self, problem: &SlotProblem) -> Vec<f64> {
+    pub(crate) fn seed(&self, problem: &SlotProblem) -> Vec<f64> {
         problem
             .instance
             .providers()
@@ -58,7 +58,7 @@ impl PriceCarry {
 
     /// [`PriceCarry::absorb`] from a bare price vector (what the flat
     /// scheduler's reusable outcome exposes).
-    fn absorb_prices(&mut self, problem: &SlotProblem, lambda: &[f64]) {
+    pub(crate) fn absorb_prices(&mut self, problem: &SlotProblem, lambda: &[f64]) {
         self.by_peer =
             problem.instance.providers().iter().zip(lambda).map(|(p, &l)| (p.peer, l)).collect();
     }
@@ -81,7 +81,7 @@ impl PriceCarry {
 /// prices otherwise, and absorb the slot's final prices back into the
 /// carry — keeping the two schedulers' slot-to-slot semantics identical by
 /// construction.
-fn schedule_with_carry(
+pub(crate) fn schedule_with_carry(
     problem: &SlotProblem,
     warm_start: bool,
     prior: &mut PriceCarry,
@@ -444,12 +444,12 @@ impl ChunkScheduler for FlatAuctionScheduler {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use p2p_core::WelfareInstance;
     use p2p_types::{ChunkId, Cost, PeerId, RequestId, SimDuration, Valuation, VideoId};
 
-    fn problem() -> SlotProblem {
+    pub(crate) fn problem() -> SlotProblem {
         let mut b = WelfareInstance::builder();
         let u0 = b.add_provider(PeerId::new(10), 1);
         let u1 = b.add_provider(PeerId::new(11), 1);
@@ -520,7 +520,7 @@ mod tests {
 
     /// A slot problem with a single provider `peer` at index 0 and one
     /// request from `downstream` worth `v` at cost 0.5.
-    fn single_provider_problem(peer: u32, downstream: u32, v: f64) -> SlotProblem {
+    pub(crate) fn single_provider_problem(peer: u32, downstream: u32, v: f64) -> SlotProblem {
         let mut b = WelfareInstance::builder();
         let u = b.add_provider(PeerId::new(peer), 1);
         let chunk = ChunkId::new(VideoId::new(0), downstream);

@@ -12,6 +12,11 @@
 //!   (`p2p_core::csr::FlatAuction`): zero-allocation hot path over the
 //!   cache-emitted CSR compilation, bit-identical outcomes to the two
 //!   schedulers above at every shard count;
+//! * [`SimAuctionScheduler`] — the same auction executed as a virtual-time
+//!   discrete-event simulation of the peer swarm (`p2p_core::SwarmAuction`):
+//!   bit-identical to the engines above under an ideal network, and the
+//!   only scheduler that exercises seeded message faults (drop / delay /
+//!   reorder / duplicate / partition);
 //! * [`SimpleLocalityScheduler`] — the paper's comparison baseline: "each
 //!   downstream peer requests chunks from upstream neighbors with the
 //!   lowest network costs in between as much as possible; for bandwidth
@@ -50,14 +55,17 @@ pub mod greedy;
 pub mod locality;
 pub mod problem;
 pub mod random;
+pub mod sim;
 
 pub use auction::{AuctionScheduler, FlatAuctionScheduler, ShardedAuctionScheduler};
 pub use exact::ExactScheduler;
 pub use greedy::GreedyScheduler;
 pub use locality::SimpleLocalityScheduler;
 pub use p2p_core::csr::WorkerSpawner;
+pub use p2p_core::NetworkModel;
 pub use problem::{Schedule, ScheduleStats, SlotProblem};
 pub use random::RandomScheduler;
+pub use sim::SimAuctionScheduler;
 
 use p2p_metrics::EngineReport;
 use p2p_types::Result;
@@ -92,6 +100,15 @@ pub trait ChunkScheduler {
     /// instrumented engine. Taking resets the accumulator, so the streaming
     /// system can collect one report per slot.
     fn take_probe_report(&mut self) -> Option<EngineReport> {
+        None
+    }
+
+    /// Takes the virtual seconds the last scheduled slot consumed, if this
+    /// scheduler runs on virtual time ([`SimAuctionScheduler`]); `None`
+    /// for wall-clock schedulers. The streaming system uses this as the
+    /// clock seam: virtual-time runs report virtual phase durations in
+    /// their `RunReport` instead of wall-clock `Instant` deltas.
+    fn take_virtual_elapsed(&mut self) -> Option<f64> {
         None
     }
 }

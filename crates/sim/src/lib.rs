@@ -129,6 +129,17 @@ impl<W: World> Simulation<W> {
         self
     }
 
+    /// Preallocates queue space for `capacity` pending events (see
+    /// [`EventQueue::with_capacity`]). Only meaningful before the first
+    /// schedule call.
+    #[must_use]
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        if self.queue.is_empty() {
+            self.queue = EventQueue::with_capacity(capacity);
+        }
+        self
+    }
+
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now

@@ -64,6 +64,13 @@ impl<E> EventQueue<E> {
         EventQueue { heap: BinaryHeap::new(), seq: 0 }
     }
 
+    /// Creates an empty queue with space for `capacity` events — swarm
+    /// runs schedule one poll per peer up front, and preallocating avoids
+    /// the doubling-regrowth churn at 10⁵ peers.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), seq: 0 }
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

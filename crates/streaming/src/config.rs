@@ -97,6 +97,51 @@ impl SlotBuild {
     }
 }
 
+/// Which clock the per-slot phase timings in a
+/// [`RunReport`](p2p_metrics::RunReport) are measured on.
+///
+/// [`ClockMode::Wall`] samples `std::time::Instant` around each phase —
+/// right for benchmarking real engines. [`ClockMode::Virtual`] is for
+/// schedulers that simulate the swarm in virtual time (`auction_sim`):
+/// the schedule phase reports the simulated convergence time taken from
+/// [`ChunkScheduler::take_virtual_elapsed`](p2p_sched::ChunkScheduler::take_virtual_elapsed)
+/// and the prepare/complete phases report zero, so reports are
+/// byte-identical across runs and machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ClockMode {
+    /// Wall-clock phase timings via `Instant` (default).
+    #[default]
+    Wall,
+    /// Virtual phase timings from the scheduler's simulated clock.
+    Virtual,
+}
+
+impl ClockMode {
+    /// The CLI/spec name of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockMode::Wall => "wall",
+            ClockMode::Virtual => "virtual",
+        }
+    }
+
+    /// Parses a CLI/spec mode name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::InvalidConfig`] for unknown names.
+    pub fn from_name(name: &str) -> Result<Self, P2pError> {
+        match name {
+            "wall" => Ok(ClockMode::Wall),
+            "virtual" => Ok(ClockMode::Virtual),
+            other => Err(P2pError::invalid_config(
+                "clock",
+                format!("unknown mode `{other}` (known: wall, virtual)"),
+            )),
+        }
+    }
+}
+
 /// Full configuration of the streaming system.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -151,6 +196,10 @@ pub struct SystemConfig {
     /// mirrors its own `shards` knob into this field via `base_config()`.
     /// The sequential schedulers ignore it.
     pub shards: ShardCount,
+    /// Which clock the slot-phase timings are measured on (see
+    /// [`ClockMode`]). The scenario runner flips this to `Virtual` for the
+    /// `auction_sim` schedulers.
+    pub clock: ClockMode,
     /// Master seed for all randomness.
     pub seed: u64,
 }
@@ -179,6 +228,7 @@ impl SystemConfig {
             topology: TopologyConfig::paper_defaults(5),
             slot_build: SlotBuild::Cold,
             shards: ShardCount::Auto,
+            clock: ClockMode::Wall,
             seed: 42,
         }
     }
@@ -207,6 +257,7 @@ impl SystemConfig {
             topology: TopologyConfig::paper_defaults(2),
             slot_build: SlotBuild::Cold,
             shards: ShardCount::Auto,
+            clock: ClockMode::Wall,
             seed: 42,
         }
     }
@@ -230,6 +281,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_shards(mut self, shards: ShardCount) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Replaces the phase-timing clock mode (builder-style).
+    #[must_use]
+    pub fn with_clock(mut self, clock: ClockMode) -> Self {
+        self.clock = clock;
         self
     }
 

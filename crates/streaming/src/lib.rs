@@ -40,7 +40,7 @@ pub mod tracker;
 
 pub use buffer::ChunkBuffer;
 pub use cache::{CacheMemory, CacheStats, SlotProblemCache};
-pub use config::{SeedPlacement, SlotBuild, SystemConfig};
+pub use config::{ClockMode, SeedPlacement, SlotBuild, SystemConfig};
 pub use p2p_core::ShardCount;
 pub use p2p_metrics::{RunReport, SlotReport};
 pub use peer::PeerState;

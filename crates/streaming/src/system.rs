@@ -1,7 +1,7 @@
 //! The slot-driven streaming system.
 
 use crate::cache::{throttled_capacity, CacheStats, SlotProblemCache};
-use crate::config::{SeedPlacement, SlotBuild, SystemConfig};
+use crate::config::{ClockMode, SeedPlacement, SlotBuild, SystemConfig};
 use crate::peer::PeerState;
 use crate::tracker::Tracker;
 use p2p_core::WelfareInstance;
@@ -1030,17 +1030,37 @@ impl System {
             return self.complete_slot(&problem, &schedule);
         }
         let slot = self.slot.get();
-        let t0 = std::time::Instant::now();
-        let problem = self.prepare_slot()?;
-        let t1 = std::time::Instant::now();
-        let schedule = self.scheduler.schedule(&problem)?;
-        let t2 = std::time::Instant::now();
-        let metrics = self.complete_slot(&problem, &schedule)?;
-        let t3 = std::time::Instant::now();
-        let phases = PhaseTimings {
-            prepare_s: (t1 - t0).as_secs_f64(),
-            schedule_s: (t2 - t1).as_secs_f64(),
-            complete_s: (t3 - t2).as_secs_f64(),
+        let (problem, metrics, phases) = match self.config.clock {
+            ClockMode::Wall => {
+                let t0 = std::time::Instant::now();
+                let problem = self.prepare_slot()?;
+                let t1 = std::time::Instant::now();
+                let schedule = self.scheduler.schedule(&problem)?;
+                let t2 = std::time::Instant::now();
+                let metrics = self.complete_slot(&problem, &schedule)?;
+                let t3 = std::time::Instant::now();
+                let phases = PhaseTimings {
+                    prepare_s: (t1 - t0).as_secs_f64(),
+                    schedule_s: (t2 - t1).as_secs_f64(),
+                    complete_s: (t3 - t2).as_secs_f64(),
+                };
+                (problem, metrics, phases)
+            }
+            // Virtual time: the schedule phase is the simulated swarm's
+            // convergence time and the bookkeeping phases don't exist on
+            // that clock — no `Instant` is sampled anywhere, so probed
+            // reports are byte-identical across runs and machines.
+            ClockMode::Virtual => {
+                let problem = self.prepare_slot()?;
+                let schedule = self.scheduler.schedule(&problem)?;
+                let metrics = self.complete_slot(&problem, &schedule)?;
+                let phases = PhaseTimings {
+                    prepare_s: 0.0,
+                    schedule_s: self.scheduler.take_virtual_elapsed().unwrap_or(0.0),
+                    complete_s: 0.0,
+                };
+                (problem, metrics, phases)
+            }
         };
         self.observe_slot(slot, &problem, &metrics, phases);
         Ok(metrics)
