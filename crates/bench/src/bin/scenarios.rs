@@ -12,8 +12,13 @@
 //!     run on the virtual-time swarm backend: the default comparison pair
 //!     becomes `auction_sim,auction_flat` (DES swarm vs in-process engine)
 //!     and `--net` picks the seeded fault-injection preset;
+//!   `scenarios --scenario flash_crowd --backend net`
+//!     run on the networked runtime (tracker + peer actors over loopback
+//!     TCP): the default pair becomes `auction_net,auction_flat`, whose
+//!     summaries must be bit-identical;
 //!   `scenarios --file scenarios/flash_crowd.toml`
-//!     run an external spec file (see `p2p_scenario::spec` for the format);
+//!     run an external spec file (see `p2p_scenario::spec` for the format,
+//!     including `include = "base.toml"` composition);
 //!   `scenarios --scenario isp_outage --show`
 //!     print a built-in's spec text (a ready-made template for `--file`);
 //!   `scenarios --scenario flash_crowd --metrics-out DIR`
@@ -28,8 +33,8 @@
 use p2p_bench::{save_csv, Args};
 use p2p_metrics::{ascii_plot, PoolCounters};
 use p2p_scenario::{
-    builtin, builtin_spec, builtins, event_windows, parse_scenario, run_scenario_probed,
-    scheduler_for_runtime, Scenario, ScenarioReport,
+    builtin, builtin_spec, builtins, event_windows, parse_scenario_file, run_scenario_probed,
+    scheduler_for_runtime, Scenario, ScenarioReport, SCHEDULER_NAMES,
 };
 use p2p_sched::{ChunkScheduler, WorkerSpawner};
 use p2p_types::{P2pError, Result};
@@ -39,10 +44,9 @@ use std::sync::Arc;
 
 fn load_scenario(args: &Args) -> Result<Scenario> {
     if let Some(path) = args.get_opt_str("file") {
-        let text = std::fs::read_to_string(&path).map_err(|e| {
-            p2p_types::P2pError::invalid_config("file", format!("cannot read `{path}`: {e}"))
-        })?;
-        return parse_scenario(&text);
+        // File loading resolves `include = "base.toml"` chains relative to
+        // the spec's own directory.
+        return parse_scenario_file(&path);
     }
     builtin(&args.get_str("scenario", "flash_crowd"))
 }
@@ -52,6 +56,15 @@ fn run(args: &Args) -> Result<()> {
         println!("built-in scenarios:");
         for s in builtins() {
             println!("  {:<16} {:>3} slots  {}", s.name, s.slots, s.description);
+        }
+        println!("\nbackends (--backend):");
+        println!("  flat     in-process engines (default; alias: process)");
+        println!("  sim      virtual-time DES swarm; --net picks the fault preset");
+        println!("  net      tracker + peer actors over loopback TCP sockets");
+        println!("\nnetwork presets for --backend sim (--net): ideal, lan, lossy");
+        println!("\nschedulers (--schedulers, comma-separated):");
+        for name in SCHEDULER_NAMES {
+            println!("  {name}");
         }
         println!("\nrun one with `--scenario <name>`, dump its spec with `--show`,");
         println!("or load your own file with `--file <path>`.");
@@ -85,10 +98,13 @@ fn run(args: &Args) -> Result<()> {
         scenario = scenario.with_shards(p2p_streaming::ShardCount::from_name(&shards)?);
     }
     let backend = args.get_str("backend", "process");
-    if !matches!(backend.as_str(), "process" | "sim") {
+    // `flat` is the honest name for the in-process default; `process` stays
+    // accepted for compatibility with existing invocations.
+    let backend = if backend == "flat" { "process".to_string() } else { backend };
+    if !matches!(backend.as_str(), "process" | "sim" | "net") {
         return Err(P2pError::invalid_config(
             "backend",
-            format!("unknown backend `{backend}` (known: process, sim)"),
+            format!("unknown backend `{backend}` (known: flat, sim, net)"),
         ));
     }
     if let Some(net) = args.get_opt_str("net") {
@@ -105,10 +121,10 @@ fn run(args: &Args) -> Result<()> {
     // execution (`auction_flat` since ISSUE 6) against the locality
     // heuristic baseline. On the sim backend the interesting pair is the
     // virtual-time swarm against the in-process engine it must match.
-    let default_pair = if backend == "sim" {
-        format!("auction_sim,{}", p2p_scenario::DEFAULT_SCHEDULER)
-    } else {
-        format!("{},locality", p2p_scenario::DEFAULT_SCHEDULER)
+    let default_pair = match backend.as_str() {
+        "sim" => format!("auction_sim,{}", p2p_scenario::DEFAULT_SCHEDULER),
+        "net" => format!("auction_net,{}", p2p_scenario::DEFAULT_SCHEDULER),
+        _ => format!("{},locality", p2p_scenario::DEFAULT_SCHEDULER),
     };
     let names = args.get_str("schedulers", &default_pair);
     let schedulers: Vec<Box<dyn ChunkScheduler>> = names
@@ -218,7 +234,7 @@ fn main() -> ExitCode {
             eprintln!("usage: scenarios [--list] [--show] [--scenario NAME | --file PATH]");
             eprintln!("                 [--quick] [--seed S] [--schedulers a,b,...]");
             eprintln!("                 [--slot-build cold|incremental] [--shards auto|N]");
-            eprintln!("                 [--backend process|sim] [--net ideal|lan|lossy]");
+            eprintln!("                 [--backend flat|sim|net] [--net ideal|lan|lossy]");
             eprintln!("                 [--metrics-out DIR]");
             ExitCode::FAILURE
         }

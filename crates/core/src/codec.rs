@@ -1,0 +1,373 @@
+//! Compact, versioned binary codec for the [`messages`](crate::messages)
+//! bid/price protocol.
+//!
+//! Wire layout: every frame is a `u32` little-endian length prefix followed
+//! by exactly that many payload bytes; a payload is
+//! `[WIRE_VERSION, tag, fields...]`. Indices travel as `u64` LE (encoding
+//! is therefore infallible on every platform) and prices as the raw
+//! [`f64::to_bits`] LE image, so the roundtrip is bit-exact — including
+//! `+∞` (the zero-capacity pin the engines use) and NaN payloads.
+//!
+//! Decoding is strict and total: truncated input yields
+//! [`P2pError::WireTruncated`], a foreign version byte
+//! [`P2pError::WireVersion`], and unknown tags, oversized frames or
+//! trailing bytes [`P2pError::WireMalformed`]. No input panics, and a
+//! successful decode implies the bytes were canonical: re-encoding the
+//! decoded message reproduces the input exactly (property-tested in
+//! `proptest_wire`).
+//!
+//! # Examples
+//!
+//! ```
+//! use p2p_core::codec::{decode_msg, encode_msg};
+//! use p2p_core::messages::AuctionMsg;
+//!
+//! let msg = AuctionMsg::Bid { request: 3, edge: 1, provider: 7, amount: 2.5 };
+//! let bytes = encode_msg(&msg);
+//! assert_eq!(decode_msg(&bytes).unwrap(), msg);
+//! assert!(decode_msg(&bytes[..bytes.len() - 1]).is_err());
+//! ```
+
+use crate::messages::AuctionMsg;
+use p2p_types::{P2pError, Result};
+
+/// The wire protocol version this build encodes and accepts.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame's payload length (16 MiB). A length prefix above
+/// this is rejected before any allocation, so a corrupt or hostile peer
+/// cannot make a reader balloon its memory.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+const TAG_BID: u8 = 1;
+const TAG_ACCEPTED: u8 = 2;
+const TAG_REJECTED: u8 = 3;
+const TAG_EVICTED: u8 = 4;
+const TAG_PRICE_UPDATE: u8 = 5;
+
+/// Append-only byte sink with the codec's primitive encodings.
+///
+/// Encoding never fails: indices are widened to `u64` and floats are
+/// written as their bit image, so there is no lossy or fallible step.
+#[derive(Debug, Default, Clone)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        WireWriter { buf: Vec::new() }
+    }
+
+    /// Empty writer with `capacity` bytes pre-reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        WireWriter { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Appends a raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` widened to `u64` little-endian.
+    pub fn put_index(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its exact bit image, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over received bytes with the codec's primitive decodings.
+///
+/// Every read is bounds-checked and returns
+/// [`P2pError::WireTruncated`] instead of panicking when the input runs
+/// out. Call [`finish`](WireReader::finish) after the last field to reject
+/// trailing garbage, which is what makes a successful decode canonical.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(P2pError::WireTruncated { expected: n, actual: self.remaining() });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32` little-endian.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64` little-endian.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a `u64` little-endian and narrows it to `usize`.
+    pub fn index(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| P2pError::WireMalformed { reason: format!("index {v} exceeds usize") })
+    }
+
+    /// Reads an `f64` from its exact bit image, little-endian.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Asserts the input was fully consumed.
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(P2pError::WireMalformed {
+                reason: format!("{} trailing bytes after a complete payload", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Encodes one protocol message as a versioned payload (no length prefix).
+pub fn encode_msg(msg: &AuctionMsg) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(2 + 4 * 8);
+    w.put_u8(WIRE_VERSION);
+    match *msg {
+        AuctionMsg::Bid { request, edge, provider, amount } => {
+            w.put_u8(TAG_BID);
+            w.put_index(request);
+            w.put_index(edge);
+            w.put_index(provider);
+            w.put_f64(amount);
+        }
+        AuctionMsg::Accepted { request, provider } => {
+            w.put_u8(TAG_ACCEPTED);
+            w.put_index(request);
+            w.put_index(provider);
+        }
+        AuctionMsg::Rejected { request, provider, price } => {
+            w.put_u8(TAG_REJECTED);
+            w.put_index(request);
+            w.put_index(provider);
+            w.put_f64(price);
+        }
+        AuctionMsg::Evicted { request, provider, price } => {
+            w.put_u8(TAG_EVICTED);
+            w.put_index(request);
+            w.put_index(provider);
+            w.put_f64(price);
+        }
+        AuctionMsg::PriceUpdate { listener, provider, price } => {
+            w.put_u8(TAG_PRICE_UPDATE);
+            w.put_index(listener);
+            w.put_index(provider);
+            w.put_f64(price);
+        }
+    }
+    w.into_vec()
+}
+
+/// Decodes one protocol message from a versioned payload.
+///
+/// Strict: the payload must be exactly one message with no trailing bytes.
+pub fn decode_msg(bytes: &[u8]) -> Result<AuctionMsg> {
+    let mut r = WireReader::new(bytes);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(P2pError::WireVersion { found: version, supported: WIRE_VERSION });
+    }
+    let tag = r.u8()?;
+    let msg = match tag {
+        TAG_BID => AuctionMsg::Bid {
+            request: r.index()?,
+            edge: r.index()?,
+            provider: r.index()?,
+            amount: r.f64()?,
+        },
+        TAG_ACCEPTED => AuctionMsg::Accepted { request: r.index()?, provider: r.index()? },
+        TAG_REJECTED => {
+            AuctionMsg::Rejected { request: r.index()?, provider: r.index()?, price: r.f64()? }
+        }
+        TAG_EVICTED => {
+            AuctionMsg::Evicted { request: r.index()?, provider: r.index()?, price: r.f64()? }
+        }
+        TAG_PRICE_UPDATE => {
+            AuctionMsg::PriceUpdate { listener: r.index()?, provider: r.index()?, price: r.f64()? }
+        }
+        other => {
+            return Err(P2pError::WireMalformed { reason: format!("unknown message tag {other}") })
+        }
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Wraps a payload in a `u32`-LE length-prefixed frame.
+///
+/// Empty and oversized payloads are rejected: a zero-length frame is
+/// meaningless in this protocol (every payload starts with a version byte)
+/// and anything above [`MAX_FRAME_LEN`] must not be emitted, mirroring the
+/// reader-side guard in [`frame_len`].
+pub fn frame(payload: &[u8]) -> Result<Vec<u8>> {
+    frame_len_ok(payload.len())?;
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Validates a frame header and returns the payload length it announces.
+///
+/// Readers call this on the 4 prefix bytes before allocating, so a corrupt
+/// length cannot trigger a giant read.
+pub fn frame_len(header: [u8; 4]) -> Result<usize> {
+    let len = u32::from_le_bytes(header) as usize;
+    frame_len_ok(len)?;
+    Ok(len)
+}
+
+fn frame_len_ok(len: usize) -> Result<()> {
+    if len == 0 {
+        return Err(P2pError::WireMalformed { reason: "zero-length frame".into() });
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(P2pError::WireMalformed {
+            reason: format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<AuctionMsg> {
+        vec![
+            AuctionMsg::Bid { request: 0, edge: 2, provider: 5, amount: 3.25 },
+            AuctionMsg::Bid { request: usize::MAX, edge: 0, provider: 1, amount: f64::INFINITY },
+            AuctionMsg::Accepted { request: 7, provider: 0 },
+            AuctionMsg::Rejected { request: 1, provider: 2, price: 0.1 + 0.2 },
+            AuctionMsg::Evicted { request: 3, provider: 4, price: f64::MIN_POSITIVE },
+            AuctionMsg::PriceUpdate { listener: 9, provider: 9, price: -0.0 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_exact_for_every_variant() {
+        for msg in samples() {
+            let bytes = encode_msg(&msg);
+            assert_eq!(decode_msg(&bytes).unwrap(), msg);
+            // Canonical: re-encoding reproduces the input bytes.
+            assert_eq!(encode_msg(&decode_msg(&bytes).unwrap()), bytes);
+        }
+    }
+
+    #[test]
+    fn nan_amounts_roundtrip_bit_exactly() {
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        let msg = AuctionMsg::Bid { request: 1, edge: 0, provider: 2, amount: nan };
+        let bytes = encode_msg(&msg);
+        match decode_msg(&bytes).unwrap() {
+            AuctionMsg::Bid { amount, .. } => assert_eq!(amount.to_bits(), nan.to_bits()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_is_truncated() {
+        for msg in samples() {
+            let bytes = encode_msg(&msg);
+            for cut in 0..bytes.len() {
+                assert!(decode_msg(&bytes[..cut]).is_err(), "prefix of length {cut} decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_version_is_rejected_with_its_number() {
+        let mut bytes = encode_msg(&AuctionMsg::Accepted { request: 0, provider: 0 });
+        bytes[0] = 9;
+        assert_eq!(
+            decode_msg(&bytes),
+            Err(P2pError::WireVersion { found: 9, supported: WIRE_VERSION })
+        );
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_malformed() {
+        let mut bad_tag = encode_msg(&AuctionMsg::Accepted { request: 0, provider: 0 });
+        bad_tag[1] = 77;
+        assert!(matches!(decode_msg(&bad_tag), Err(P2pError::WireMalformed { .. })));
+
+        let mut trailing = encode_msg(&AuctionMsg::Accepted { request: 0, provider: 0 });
+        trailing.push(0);
+        assert!(matches!(decode_msg(&trailing), Err(P2pError::WireMalformed { .. })));
+    }
+
+    #[test]
+    fn frame_guards_zero_and_oversize_lengths() {
+        assert!(frame(&[]).is_err());
+        assert!(frame_len(0u32.to_le_bytes()).is_err());
+        assert!(frame_len(u32::MAX.to_le_bytes()).is_err());
+        let framed = frame(&[1, 2, 3]).unwrap();
+        assert_eq!(frame_len([framed[0], framed[1], framed[2], framed[3]]).unwrap(), 3);
+        assert_eq!(&framed[4..], &[1, 2, 3]);
+    }
+}

@@ -477,9 +477,9 @@ impl SyncAuction {
 /// then repeatedly runs `run_from` until no unsupported warm price is left
 /// (the CS 1 repair loop documented on [`SyncAuction::run_warm`]). Each
 /// pass permanently clears at least one provider, so at most
-/// `provider_count` extra runs occur. Used by both the synchronous and the
-/// sharded engine so their warm-start semantics cannot drift apart.
-pub(crate) fn run_warm_with(
+/// `provider_count` extra runs occur. Used by the synchronous, sharded and
+/// networked engines so their warm-start semantics cannot drift apart.
+pub fn run_warm_with(
     instance: &WelfareInstance,
     prior_prices: &[f64],
     epsilon: f64,
@@ -563,7 +563,7 @@ fn zero_unsupported_prices(
 }
 
 /// Precomputes the bidder-visible edge views of every request.
-pub(crate) fn edge_views(instance: &WelfareInstance) -> Vec<Vec<EdgeView>> {
+pub fn edge_views(instance: &WelfareInstance) -> Vec<Vec<EdgeView>> {
     instance
         .requests()
         .iter()
@@ -587,7 +587,7 @@ pub(crate) fn final_prices(instance: &WelfareInstance, auctioneers: &[Auctioneer
 /// [`final_prices`] over raw λ values — the entry point for transports
 /// whose auctioneers live inside protocol nodes rather than a bare
 /// `Vec<Auctioneer>`.
-pub(crate) fn final_prices_from(instance: &WelfareInstance, mut lambda: Vec<f64>) -> Vec<f64> {
+pub fn final_prices_from(instance: &WelfareInstance, mut lambda: Vec<f64>) -> Vec<f64> {
     for (u, spec) in instance.providers().iter().enumerate() {
         if spec.capacity.is_zero() {
             let max_utility = instance

@@ -74,6 +74,7 @@
 pub mod auctioneer;
 pub mod bertsekas;
 pub mod bidder;
+pub mod codec;
 pub mod csr;
 pub mod diff;
 pub mod dist;
@@ -90,6 +91,7 @@ pub mod verify;
 mod ordf64;
 
 pub use bidder::{BidDecision, EdgeView};
+pub use codec::{decode_msg, encode_msg, MAX_FRAME_LEN, WIRE_VERSION};
 pub use csr::{BidKernel, CsrBuilder, CsrInstance, FlatAuction, FlatOutcome, WorkerSpawner};
 pub use diff::{InstanceDiff, InstancePatch};
 pub use engine::{AuctionConfig, AuctionOutcome, EpsilonScaling, SyncAuction};

@@ -1,0 +1,116 @@
+//! Fuzz-shaped certification of the wire codec: encode/decode is a
+//! bit-exact roundtrip for *arbitrary* protocol messages — including NaN,
+//! ±∞ and subnormal prices, whose bit images must survive the trip — and
+//! the decoder fails gracefully (typed error, no panic) on arbitrary byte
+//! junk, every strict prefix of a valid encoding, and foreign versions.
+
+use p2p_core::codec::{decode_msg, encode_msg, frame, frame_len, MAX_FRAME_LEN, WIRE_VERSION};
+use p2p_core::messages::AuctionMsg;
+use p2p_types::P2pError;
+use proptest::prelude::*;
+
+/// Any `f64` bit pattern: covers NaNs (quiet and signaling payloads), both
+/// infinities, subnormals and -0.0 — the codec promises all of them travel
+/// bit-exactly.
+fn arb_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn arb_index() -> impl Strategy<Value = usize> {
+    any::<u64>().prop_map(|v| v as usize)
+}
+
+fn arb_msg() -> impl Strategy<Value = AuctionMsg> {
+    prop_oneof![
+        (arb_index(), arb_index(), arb_index(), arb_f64()).prop_map(
+            |(request, edge, provider, amount)| AuctionMsg::Bid { request, edge, provider, amount }
+        ),
+        (arb_index(), arb_index())
+            .prop_map(|(request, provider)| AuctionMsg::Accepted { request, provider }),
+        (arb_index(), arb_index(), arb_f64()).prop_map(|(request, provider, price)| {
+            AuctionMsg::Rejected { request, provider, price }
+        }),
+        (arb_index(), arb_index(), arb_f64()).prop_map(|(request, provider, price)| {
+            AuctionMsg::Evicted { request, provider, price }
+        }),
+        (arb_index(), arb_index(), arb_f64()).prop_map(|(listener, provider, price)| {
+            AuctionMsg::PriceUpdate { listener, provider, price }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256)))]
+
+    /// Encode → decode → encode reproduces the original bytes exactly, for
+    /// every message including non-finite float payloads. (Byte-level
+    /// comparison is NaN-safe where `PartialEq` on the message is not.)
+    #[test]
+    fn roundtrip_is_bit_exact(msg in arb_msg()) {
+        let bytes = encode_msg(&msg);
+        let decoded = decode_msg(&bytes).expect("valid encoding must decode");
+        prop_assert_eq!(encode_msg(&decoded), bytes);
+    }
+
+    /// Arbitrary byte junk never panics the decoder, and when it *does*
+    /// decode, the bytes were canonical: re-encoding reproduces them.
+    #[test]
+    fn junk_decodes_gracefully_or_canonically(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        match decode_msg(&bytes) {
+            Ok(msg) => prop_assert_eq!(encode_msg(&msg), bytes),
+            Err(
+                P2pError::WireTruncated { .. }
+                | P2pError::WireVersion { .. }
+                | P2pError::WireMalformed { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+        }
+    }
+
+    /// Every strict prefix of a valid encoding is rejected — a short read
+    /// can never be mistaken for a complete message.
+    #[test]
+    fn strict_prefixes_never_decode(msg in arb_msg(), frac in 0.0f64..1.0) {
+        let bytes = encode_msg(&msg);
+        let cut = ((bytes.len() as f64) * frac) as usize; // always < len
+        prop_assert!(decode_msg(&bytes[..cut]).is_err());
+    }
+
+    /// A foreign version byte is rejected with the version numbers, no
+    /// matter what follows it.
+    #[test]
+    fn foreign_versions_are_rejected(version in 0u8..=255, msg in arb_msg()) {
+        prop_assume!(version != WIRE_VERSION);
+        let mut bytes = encode_msg(&msg);
+        bytes[0] = version;
+        prop_assert_eq!(
+            decode_msg(&bytes),
+            Err(P2pError::WireVersion { found: version, supported: WIRE_VERSION })
+        );
+    }
+
+    /// Frame headers outside (0, MAX_FRAME_LEN] are rejected before any
+    /// allocation; in-range ones roundtrip through `frame`.
+    #[test]
+    fn frame_headers_are_guarded(len in 0u32..=u32::MAX) {
+        let announced = len as usize;
+        let ok = frame_len(len.to_le_bytes());
+        if announced == 0 || announced > MAX_FRAME_LEN {
+            prop_assert!(ok.is_err());
+        } else {
+            prop_assert_eq!(ok.unwrap(), announced);
+        }
+    }
+
+    /// Framing a payload prepends exactly its length and nothing else.
+    #[test]
+    fn framed_payloads_roundtrip(payload in prop::collection::vec(any::<u8>(), 1..128)) {
+        let framed = frame(&payload).unwrap();
+        let header = [framed[0], framed[1], framed[2], framed[3]];
+        prop_assert_eq!(frame_len(header).unwrap(), payload.len());
+        prop_assert_eq!(&framed[4..], payload.as_slice());
+    }
+}

@@ -1,0 +1,63 @@
+//! The peer process: dials the tracker with retry/backoff and serves its
+//! partition of bidders until the tracker shuts the swarm down.
+//!
+//! stdout protocol (consumed by the multi-process harness): nothing on
+//! success (exit 0), `PEER_ERR <token> <message>` with a nonzero exit code
+//! on failure.
+
+use p2p_net::harness::error_token;
+use p2p_net::{Peer, PeerConfig};
+use p2p_types::{P2pError, Result};
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.0.iter().position(|a| a == flag).and_then(|i| self.0.get(i + 1)).map(String::as_str)
+    }
+
+    fn require(&self, flag: &str) -> Result<&str> {
+        self.get(flag).ok_or_else(|| P2pError::invalid_config("args", format!("missing {flag}")))
+    }
+
+    fn parse<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                P2pError::invalid_config("args", format!("cannot parse {flag} value {raw:?}"))
+            }),
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<()> {
+    let tracker = args.require("--tracker")?;
+    let config = PeerConfig {
+        io_timeout: Duration::from_millis(args.parse("--io-timeout-ms", 5_000)?),
+        connect_attempts: args.parse("--attempts", 10)?,
+        connect_backoff: Duration::from_millis(args.parse("--backoff-ms", 50)?),
+        fail_after_polls: args
+            .get("--fail-after-polls")
+            .map(|raw| raw.parse())
+            .transpose()
+            .map_err(|_| {
+                P2pError::invalid_config("args", "cannot parse --fail-after-polls".to_string())
+            })?,
+    };
+    Peer::connect(tracker, std::process::id() as u64, config)?.run()
+}
+
+fn main() -> ExitCode {
+    let args = Args(std::env::args().skip(1).collect());
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            println!("PEER_ERR {} {e}", error_token(&e));
+            std::io::stdout().flush().ok();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! The tracker: swarm membership, heartbeats, and the coordinator that
+//! replays the synchronous Gauss–Seidel sweep over TCP.
+//!
+//! The tracker hosts the [`AuctioneerNode`]s and owns the sweep schedule;
+//! peers host the [`BidderNode`](p2p_core::BidderNode)s. Each round the
+//! tracker polls every unassigned request *in index order* with the exact
+//! current prices, exactly as [`p2p_core::SyncAuction`]'s sweep reads its
+//! live price vector — so the networked outcome (assignment, duals,
+//! rounds, bids) is bit-identical to the in-process engines' by the same
+//! argument that makes the sharded, flat and ideal-swarm engines agree.
+//! Per-connection FIFO delivery guarantees an `Accepted`/`Evicted` notice
+//! reaches a peer before that peer's next `Poll`, so bidder phase and the
+//! tracker's assignment view never disagree.
+
+use crate::frame::FrameConn;
+use crate::proto::{encode_net, NetMsg, WireBidder};
+use p2p_core::engine::{edge_views, final_prices_from, run_warm_with};
+use p2p_core::messages::AuctionMsg;
+use p2p_core::protocol::AuctioneerNode;
+use p2p_core::{
+    Assignment, AuctionOutcome, AuctionProbe, BidDecision, DualSolution, WelfareInstance,
+};
+use p2p_types::{P2pError, Result};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Configuration of the networked runtime (both ends).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bid increment ε (0 is the paper-faithful rule; deterministic replay
+    /// makes it safe on the wire, unlike on lossy simulated networks).
+    pub epsilon: f64,
+    /// Safety cap on sweep rounds before declaring divergence.
+    pub max_rounds: u64,
+    /// Permanently retire priced-out requests (same trick, and same
+    /// outcome-neutrality, as `AuctionConfig::retire_priced_out`).
+    pub retire_priced_out: bool,
+    /// Per-reply deadline: how long the coordinator waits for one peer's
+    /// bid decision (and how long a peer waits for tracker traffic) before
+    /// returning a typed [`P2pError::Timeout`].
+    pub io_timeout: Duration,
+    /// How long the tracker waits for the full swarm to connect.
+    pub handshake_timeout: Duration,
+    /// Tracker → peer keep-alive interval; must be comfortably below
+    /// `io_timeout` so idle peers never trip their read deadline.
+    pub heartbeat_every: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            epsilon: 0.0,
+            max_rounds: 1_000_000,
+            retire_priced_out: false,
+            io_timeout: Duration::from_secs(5),
+            handshake_timeout: Duration::from_secs(10),
+            heartbeat_every: Duration::from_secs(1),
+        }
+    }
+}
+
+/// One connected peer: the shared writer (coordinator + heartbeat thread)
+/// and its reader thread.
+struct PeerLink {
+    writer: Arc<Mutex<FrameConn>>,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// The tracker process: binds, hands out swarm membership, then runs
+/// auction slots against the connected peers.
+pub struct Tracker {
+    listener: Option<TcpListener>,
+    local_addr: SocketAddr,
+    links: Vec<PeerLink>,
+    rx: Option<Receiver<(usize, Result<NetMsg>)>>,
+    peer_count: usize,
+    config: NetConfig,
+    heartbeat_stop: Arc<AtomicBool>,
+    heartbeat: Option<JoinHandle<()>>,
+    shut: bool,
+}
+
+impl Tracker {
+    /// Binds the listening socket. Peers are accepted lazily by the first
+    /// [`run`](Tracker::run) (or eagerly via
+    /// [`accept_peers`](Tracker::accept_peers), which the binary does so it
+    /// can separate "listening" from "swarm complete").
+    pub fn bind(addr: impl ToSocketAddrs, peer_count: usize, config: NetConfig) -> Result<Self> {
+        if peer_count == 0 {
+            return Err(P2pError::invalid_config("peer_count", "must be at least 1"));
+        }
+        let listener = TcpListener::bind(addr).map_err(|e| P2pError::Disconnected {
+            context: format!("binding the tracker socket: {e}"),
+        })?;
+        let local_addr = listener.local_addr().map_err(|e| P2pError::Disconnected {
+            context: format!("reading the bound address: {e}"),
+        })?;
+        Ok(Tracker {
+            listener: Some(listener),
+            local_addr,
+            links: Vec::new(),
+            rx: None,
+            peer_count,
+            config,
+            heartbeat_stop: Arc::new(AtomicBool::new(false)),
+            heartbeat: None,
+            shut: false,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Accepts and handshakes the full swarm, then starts the reader and
+    /// heartbeat threads. Returns [`P2pError::Timeout`] if the swarm is
+    /// incomplete when `handshake_timeout` expires.
+    pub fn accept_peers(&mut self) -> Result<()> {
+        let listener = match self.listener.take() {
+            Some(l) => l,
+            None => return Ok(()), // already accepted
+        };
+        listener.set_nonblocking(true).map_err(|e| P2pError::Disconnected {
+            context: format!("configuring the accept loop: {e}"),
+        })?;
+        let started = Instant::now();
+        let (tx, rx) = channel();
+        while self.links.len() < self.peer_count {
+            if started.elapsed() > self.config.handshake_timeout {
+                return Err(P2pError::Timeout {
+                    elapsed: started.elapsed(),
+                    messages: self.links.len() as u64,
+                });
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).map_err(|e| P2pError::Disconnected {
+                        context: format!("unblocking an accepted socket: {e}"),
+                    })?;
+                    let index = self.links.len();
+                    let mut conn = FrameConn::new(stream, Some(self.config.io_timeout))?;
+                    match crate::proto::decode_net(&conn.recv()?)? {
+                        NetMsg::Hello { .. } => {}
+                        other => {
+                            return Err(P2pError::WireMalformed {
+                                reason: format!("expected a hello, got {other:?}"),
+                            })
+                        }
+                    }
+                    conn.send(&encode_net(&NetMsg::Welcome {
+                        peer_index: index as u64,
+                        peer_count: self.peer_count as u64,
+                    }))?;
+                    let reader_conn = conn.try_clone()?;
+                    reader_conn.set_read_timeout(None)?;
+                    let reader = spawn_reader(index, reader_conn, tx.clone());
+                    self.links.push(PeerLink {
+                        writer: Arc::new(Mutex::new(conn)),
+                        reader: Some(reader),
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    return Err(P2pError::Disconnected {
+                        context: format!("accepting a peer connection: {e}"),
+                    })
+                }
+            }
+        }
+        self.rx = Some(rx);
+        self.heartbeat = Some(spawn_heartbeat(
+            self.links.iter().map(|l| Arc::clone(&l.writer)).collect(),
+            self.config.heartbeat_every,
+            Arc::clone(&self.heartbeat_stop),
+        ));
+        Ok(())
+    }
+
+    /// Runs one cold auction slot across the swarm.
+    pub fn run<P: AuctionProbe>(
+        &mut self,
+        instance: &WelfareInstance,
+        probe: &mut P,
+    ) -> Result<AuctionOutcome> {
+        self.accept_peers()?;
+        self.run_pass(instance, None, probe)
+    }
+
+    /// Runs one warm-started slot, repairing carried prices with the same
+    /// CS 1 loop as the in-process engines (each repair pass re-`Init`s the
+    /// swarm's bidders with the repaired prices).
+    pub fn run_warm<P: AuctionProbe>(
+        &mut self,
+        instance: &WelfareInstance,
+        prior_prices: &[f64],
+        probe: &mut P,
+    ) -> Result<AuctionOutcome> {
+        self.accept_peers()?;
+        let epsilon = self.config.epsilon;
+        run_warm_with(instance, prior_prices, epsilon, |prices| {
+            self.run_pass(instance, prices, probe)
+        })
+    }
+
+    /// Sends `Shutdown` to every peer and stops the heartbeat thread.
+    /// Idempotent; also invoked on drop.
+    pub fn shutdown(&mut self) {
+        if self.shut {
+            return;
+        }
+        self.shut = true;
+        for link in &self.links {
+            if let Ok(mut w) = link.writer.lock() {
+                let _ = w.send(&encode_net(&NetMsg::Shutdown));
+            }
+        }
+        self.heartbeat_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
+        // Reader threads exit when their peer closes the socket in
+        // response to the shutdown (or already died).
+        for link in &mut self.links {
+            if let Some(r) = link.reader.take() {
+                let _ = r.join();
+            }
+        }
+    }
+
+    /// One full sweep to quiescence — the networked image of
+    /// `SyncAuction::run_from`, counter for counter.
+    fn run_pass<P: AuctionProbe>(
+        &mut self,
+        instance: &WelfareInstance,
+        initial_prices: Option<&[f64]>,
+        probe: &mut P,
+    ) -> Result<AuctionOutcome> {
+        let views = edge_views(instance);
+        let mut auctioneers: Vec<AuctioneerNode> = instance
+            .providers()
+            .iter()
+            .enumerate()
+            .map(|(u, p)| {
+                let warm = initial_prices
+                    .and_then(|ps| ps.get(u).copied())
+                    .filter(|w| w.is_finite() && *w >= 0.0)
+                    .unwrap_or(0.0);
+                if p.capacity.is_zero() {
+                    AuctioneerNode::new(u, 0)
+                } else {
+                    AuctioneerNode::with_price(u, p.capacity.chunks_per_slot(), warm)
+                }
+            })
+            .collect();
+        let mut eff_price: Vec<f64> = instance
+            .providers()
+            .iter()
+            .enumerate()
+            .map(|(u, p)| if p.capacity.is_zero() { f64::INFINITY } else { auctioneers[u].price() })
+            .collect();
+
+        // Hand out this pass's bidders: request r lives on peer r mod N.
+        let n = instance.request_count();
+        for (idx, link) in self.links.iter().enumerate() {
+            let bidders: Vec<WireBidder> = (idx..n)
+                .step_by(self.peer_count)
+                .map(|r| WireBidder {
+                    request: r,
+                    edges: views[r]
+                        .iter()
+                        .map(|v| (v.provider, v.utility, eff_price[v.provider]))
+                        .collect(),
+                })
+                .collect();
+            send_to(link, &NetMsg::Init { epsilon: self.config.epsilon, bidders })?;
+        }
+
+        let mut assigned: Vec<Option<usize>> = vec![None; n];
+        let retire = self.config.retire_priced_out;
+        let mut retired: Vec<bool> = vec![false; if retire { n } else { 0 }];
+        let mut rounds = 0u64;
+        let mut bids_submitted = 0u64;
+
+        loop {
+            rounds += 1;
+            if rounds > self.config.max_rounds {
+                return Err(P2pError::AuctionDiverged { iterations: rounds - 1 });
+            }
+            let mut bids_this_round = 0u64;
+            let mut conflicts_this_round = 0u64;
+            let mut retired_this_round = 0u64;
+            for r in 0..n {
+                if assigned[r].is_some() {
+                    continue;
+                }
+                if retire && retired[r] {
+                    continue;
+                }
+                let owner = r % self.peer_count;
+                let prices: Vec<f64> = views[r].iter().map(|v| eff_price[v.provider]).collect();
+                send_to(&self.links[owner], &NetMsg::Poll { request: r, prices })?;
+                match self.await_reply(owner, r)? {
+                    BidDecision::Abstain { reason } => {
+                        if retire
+                            && matches!(
+                                reason,
+                                p2p_core::bidder::AbstainReason::Unprofitable
+                                    | p2p_core::bidder::AbstainReason::NoCandidates
+                            )
+                        {
+                            retired[r] = true;
+                            retired_this_round += 1;
+                        }
+                    }
+                    BidDecision::Bid { edge, provider, amount } => {
+                        if views[r].get(edge).map(|v| v.provider) != Some(provider) {
+                            return Err(P2pError::WireMalformed {
+                                reason: format!(
+                                    "request {r} bid on edge {edge} which does not point at \
+                                     provider {provider}"
+                                ),
+                            });
+                        }
+                        bids_this_round += 1;
+                        let reply = auctioneers[provider].on_bid(r, amount);
+                        match reply.reply {
+                            AuctionMsg::Accepted { .. } => {
+                                assigned[r] = Some(edge);
+                            }
+                            _ => {
+                                // Unreachable with exact polled prices: the
+                                // bidder only bids strictly above λ. Mirror
+                                // the sync engine (count the bid, continue)
+                                // but still notify so the bidder re-idles.
+                                debug_assert!(false, "networked bid rejected");
+                            }
+                        }
+                        send_to(&self.links[owner], &NetMsg::Notice(reply.reply))?;
+                        if let Some(ev) = reply.evicted {
+                            if let AuctionMsg::Evicted { request: loser, .. } = ev {
+                                assigned[loser] = None;
+                                conflicts_this_round += 1;
+                                send_to(&self.links[loser % self.peer_count], &NetMsg::Notice(ev))?;
+                            }
+                        }
+                        if let Some(p) = reply.price_changed {
+                            probe.price_change(provider, p - eff_price[provider]);
+                            eff_price[provider] = p;
+                        }
+                    }
+                }
+            }
+            bids_submitted += bids_this_round;
+            probe.round(rounds, bids_this_round, conflicts_this_round, 0, retired_this_round);
+            if bids_this_round == 0 {
+                break;
+            }
+        }
+
+        let lambda =
+            final_prices_from(instance, auctioneers.iter().map(AuctioneerNode::price).collect());
+        let outcome = AuctionOutcome {
+            assignment: Assignment::new(assigned),
+            duals: DualSolution::from_prices(instance, lambda),
+            rounds,
+            bids_submitted,
+            converged: true,
+            price_trace: Vec::new(),
+        };
+        if probe.enabled() {
+            let slack =
+                outcome.duals.objective(instance) - outcome.assignment.welfare(instance).get();
+            probe.run_complete(
+                outcome.rounds,
+                outcome.bids_submitted,
+                outcome.assignment.assigned_count() as u64,
+                slack,
+            );
+        }
+        Ok(outcome)
+    }
+
+    /// Waits for `peer`'s decision about `request`, with the per-reply
+    /// deadline. A reader-thread error (peer died) or a deadline expiry
+    /// (peer silent) surfaces as the corresponding typed error.
+    fn await_reply(&self, peer: usize, request: usize) -> Result<BidDecision> {
+        let rx = self.rx.as_ref().expect("accept_peers ran before the sweep");
+        match rx.recv_timeout(self.config.io_timeout) {
+            Ok((idx, Ok(NetMsg::Reply { request: got, decision })))
+                if idx == peer && got == request =>
+            {
+                Ok(decision)
+            }
+            Ok((idx, Ok(other))) => Err(P2pError::WireMalformed {
+                reason: format!(
+                    "peer {idx} sent {other:?} while peer {peer} owed a reply for \
+                     request {request}"
+                ),
+            }),
+            Ok((_, Err(e))) => Err(e),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(P2pError::Timeout { elapsed: self.config.io_timeout, messages: 0 })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(P2pError::Disconnected { context: "every connection reader exited".into() })
+            }
+        }
+    }
+}
+
+impl Drop for Tracker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Tracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracker")
+            .field("local_addr", &self.local_addr)
+            .field("peer_count", &self.peer_count)
+            .field("connected", &self.links.len())
+            .finish()
+    }
+}
+
+fn send_to(link: &PeerLink, msg: &NetMsg) -> Result<()> {
+    let mut w = link
+        .writer
+        .lock()
+        .map_err(|_| P2pError::WorkerPanicked { message: "a writer lock was poisoned".into() })?;
+    w.send(&encode_net(msg))
+}
+
+fn spawn_reader(
+    index: usize,
+    mut conn: FrameConn,
+    tx: Sender<(usize, Result<NetMsg>)>,
+) -> JoinHandle<()> {
+    thread::spawn(move || loop {
+        let msg = conn.recv().and_then(|bytes| crate::proto::decode_net(&bytes));
+        let failed = msg.is_err();
+        if tx.send((index, msg)).is_err() || failed {
+            return;
+        }
+    })
+}
+
+fn spawn_heartbeat(
+    writers: Vec<Arc<Mutex<FrameConn>>>,
+    every: Duration,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    let beat = encode_net(&NetMsg::Heartbeat);
+    thread::spawn(move || {
+        let tick = Duration::from_millis(20).min(every);
+        let mut since_beat = Duration::ZERO;
+        while !stop.load(Ordering::Relaxed) {
+            thread::sleep(tick);
+            since_beat += tick;
+            if since_beat >= every {
+                since_beat = Duration::ZERO;
+                for w in &writers {
+                    if let Ok(mut conn) = w.lock() {
+                        // Send errors are the sweep's to report; the
+                        // heartbeat just stops bothering a dead socket.
+                        let _ = conn.send(&beat);
+                    }
+                }
+            }
+        }
+    })
+}

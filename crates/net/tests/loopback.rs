@@ -1,0 +1,257 @@
+//! In-process loopback certification of the networked runtime: the full
+//! wire stack (framing, control protocol, tracker coordinator, peer
+//! actors) over real 127.0.0.1 TCP sockets, with the tracker and peers as
+//! threads of this test process. Multi-OS-process certification lives in
+//! the root `net_loopback` integration test; this file covers the
+//! equivalence chain and every failure path at thread speed.
+
+use p2p_core::{
+    verify_optimality, AuctionConfig, CountingProbe, NoProbe, ShardCount, SyncAuction,
+    WelfareInstance,
+};
+use p2p_net::{run_slot_local, NetConfig, Peer, PeerConfig, Tracker};
+use p2p_types::{ChunkId, Cost, P2pError, PeerId, RequestId, Valuation, VideoId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Random tie-free instance shaped like a slot problem (same bands as the
+/// bench generators: valuations `[0.8, 8)`, costs `[0, 10)`).
+fn random_instance(seed: u64, providers: usize, requests: usize) -> WelfareInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = WelfareInstance::builder();
+    let ps: Vec<usize> = (0..providers)
+        .map(|i| b.add_provider(PeerId::new(100_000 + i as u32), rng.gen_range(1..=4)))
+        .collect();
+    for d in 0..requests {
+        let r = b.add_request(RequestId::new(
+            PeerId::new(d as u32),
+            ChunkId::new(VideoId::new(0), d as u32),
+        ));
+        let k = rng.gen_range(1..=3.min(providers));
+        let mut picked = std::collections::HashSet::new();
+        for _ in 0..k {
+            let u = ps[rng.gen_range(0..providers)];
+            if picked.insert(u) {
+                let v = Valuation::new(rng.gen_range(0.8..8.0));
+                let w = Cost::new(rng.gen_range(0.0..10.0));
+                b.add_edge(r, u, v, w).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+fn quick_config() -> NetConfig {
+    NetConfig {
+        io_timeout: Duration::from_secs(5),
+        handshake_timeout: Duration::from_secs(5),
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn networked_slot_is_bit_identical_to_the_sync_engine() {
+    for seed in 0..6 {
+        let instance = random_instance(seed, 5, 24);
+        let sync = SyncAuction::new(AuctionConfig::paper()).run(&instance).unwrap();
+        for peers in [1, 3, 5] {
+            let net =
+                run_slot_local(&instance, peers, &quick_config(), None, &mut NoProbe).unwrap();
+            assert_eq!(net.assignment, sync.assignment, "seed {seed}, {peers} peers");
+            assert_eq!(net.duals, sync.duals, "seed {seed}, {peers} peers");
+            assert_eq!(net.rounds, sync.rounds, "seed {seed}, {peers} peers");
+            assert_eq!(net.bids_submitted, sync.bids_submitted, "seed {seed}, {peers} peers");
+        }
+    }
+}
+
+#[test]
+fn networked_slot_is_bit_identical_to_the_flat_engine() {
+    use p2p_core::{CsrInstance, FlatAuction};
+    let instance = random_instance(42, 6, 32);
+    let csr = CsrInstance::compile(&instance);
+    let flat = FlatAuction::new(AuctionConfig::paper(), ShardCount::Fixed(1)).run(&csr).unwrap();
+    let net = run_slot_local(&instance, 3, &quick_config(), None, &mut NoProbe).unwrap();
+    assert_eq!(net.assignment.choices(), flat.assignment.choices());
+    assert_eq!(net.duals.lambda, flat.duals.lambda);
+    assert_eq!(net.rounds, flat.rounds);
+    assert_eq!(net.bids_submitted, flat.bids_submitted);
+}
+
+#[test]
+fn networked_outcome_carries_the_optimality_certificate() {
+    let instance = random_instance(7, 4, 20);
+    let outcome = run_slot_local(&instance, 3, &quick_config(), None, &mut NoProbe).unwrap();
+    let n = instance.request_count() as f64;
+    let report =
+        verify_optimality(&instance, &outcome.assignment, &outcome.duals, 1e-9 * (n + 1.0));
+    assert!(report.is_optimal(), "{report:?}");
+}
+
+#[test]
+fn warm_start_repair_matches_the_sync_engine() {
+    let epsilon = 0.01;
+    let instance = random_instance(11, 4, 18);
+    let shrunk = random_instance(12, 4, 10);
+    let sync = SyncAuction::new(AuctionConfig::with_epsilon(epsilon));
+    let first = sync.run(&instance).unwrap();
+    let expect = sync.run_warm(&shrunk, &first.duals.lambda).unwrap();
+
+    let config = NetConfig { epsilon, ..quick_config() };
+    let net_first = run_slot_local(&instance, 3, &config, None, &mut NoProbe).unwrap();
+    assert_eq!(net_first.duals, first.duals);
+    let net_warm =
+        run_slot_local(&shrunk, 3, &config, Some(&net_first.duals.lambda), &mut NoProbe).unwrap();
+    assert_eq!(net_warm.assignment, expect.assignment);
+    assert_eq!(net_warm.duals, expect.duals);
+    assert_eq!(net_warm.rounds, expect.rounds);
+    assert_eq!(net_warm.bids_submitted, expect.bids_submitted);
+}
+
+#[test]
+fn probe_counters_match_the_sync_engine() {
+    let instance = random_instance(3, 4, 16);
+    let mut sync_probe = CountingProbe::new();
+    SyncAuction::new(AuctionConfig::paper()).run_probed(&instance, &mut sync_probe).unwrap();
+    let mut net_probe = CountingProbe::new();
+    run_slot_local(&instance, 2, &quick_config(), None, &mut net_probe).unwrap();
+    let sync_report = sync_probe.take_report();
+    let net_report = net_probe.take_report();
+    assert_eq!(net_report.rounds, sync_report.rounds);
+    assert_eq!(net_report.bids, sync_report.bids);
+    assert_eq!(net_report.conflicts, sync_report.conflicts);
+}
+
+#[test]
+fn peer_drop_mid_round_is_a_typed_error_within_budget() {
+    let instance = random_instance(5, 4, 20);
+    let config = NetConfig { io_timeout: Duration::from_millis(500), ..quick_config() };
+    let mut tracker = Tracker::bind("127.0.0.1:0", 2, config.clone()).unwrap();
+    let addr = tracker.local_addr().to_string();
+    let spawn_peer = |fail_after: Option<u64>| {
+        let addr = addr.clone();
+        let cfg = PeerConfig {
+            io_timeout: config.io_timeout,
+            fail_after_polls: fail_after,
+            ..PeerConfig::default()
+        };
+        std::thread::spawn(move || {
+            let result = Peer::connect(&addr, 0, cfg).and_then(|mut p| p.run());
+            drop(result); // the tracker-side error is what this test asserts
+        })
+    };
+    let healthy = spawn_peer(None);
+    let doomed = spawn_peer(Some(3));
+    let started = Instant::now();
+    let err = tracker.run(&instance, &mut NoProbe).unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(err, P2pError::Disconnected { .. } | P2pError::Timeout { .. }),
+        "expected a typed drop error, got {err:?}"
+    );
+    assert!(elapsed < Duration::from_secs(5), "drop detection took {elapsed:?}");
+    tracker.shutdown();
+    healthy.join().unwrap();
+    doomed.join().unwrap();
+}
+
+/// A hand-rolled tracker impostor that completes the handshake and then
+/// dies the way a killed process does — no shutdown courtesy message.
+/// (A real [`Tracker`] sends `Shutdown` even from its drop handler, so
+/// rude death has to be staged manually.)
+fn dead_tracker_after_handshake(wedge: bool) -> (P2pError, Duration) {
+    use p2p_net::{decode_net, encode_net, FrameConn, NetMsg};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let peer_cfg = PeerConfig { io_timeout: Duration::from_millis(300), ..PeerConfig::default() };
+    let handle = std::thread::spawn(move || {
+        let started = Instant::now();
+        let err = Peer::connect(&addr, 0, peer_cfg)
+            .and_then(|mut p| p.run())
+            .expect_err("a dead tracker must error the peer out");
+        (err, started.elapsed())
+    });
+    let (stream, _) = listener.accept().unwrap();
+    let mut conn = FrameConn::new(stream, Some(Duration::from_secs(5))).unwrap();
+    assert!(matches!(decode_net(&conn.recv().unwrap()).unwrap(), NetMsg::Hello { .. }));
+    conn.send(&encode_net(&NetMsg::Welcome { peer_index: 0, peer_count: 1 })).unwrap();
+    if wedge {
+        // Wedged: socket open, no traffic, no heartbeats. Hold the
+        // connection until the peer gives up on its read deadline.
+        let result = handle.join().unwrap();
+        drop(conn);
+        result
+    } else {
+        // Killed: the kernel resets the connection.
+        drop(conn);
+        handle.join().unwrap()
+    }
+}
+
+#[test]
+fn tracker_death_is_a_typed_error_on_the_peer_within_budget() {
+    let (err, elapsed) = dead_tracker_after_handshake(false);
+    assert!(
+        matches!(err, P2pError::Disconnected { .. } | P2pError::Timeout { .. }),
+        "expected a typed tracker-death error, got {err:?}"
+    );
+    assert!(elapsed < Duration::from_secs(5), "tracker-death detection took {elapsed:?}");
+}
+
+#[test]
+fn wedged_tracker_is_a_typed_timeout_on_the_peer_within_budget() {
+    let (err, elapsed) = dead_tracker_after_handshake(true);
+    assert!(matches!(err, P2pError::Timeout { .. }), "expected a typed timeout, got {err:?}");
+    assert!(elapsed < Duration::from_secs(5), "wedge detection took {elapsed:?}");
+}
+
+#[test]
+fn unreachable_tracker_fails_typed_within_the_backoff_budget() {
+    // Bind then drop, so the port is (momentarily) known-dead.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let cfg = PeerConfig {
+        connect_attempts: 3,
+        connect_backoff: Duration::from_millis(10),
+        ..PeerConfig::default()
+    };
+    let started = Instant::now();
+    let err = Peer::connect(&dead, 0, cfg).expect_err("nothing is listening");
+    let elapsed = started.elapsed();
+    match err {
+        P2pError::ConnectFailed { addr, attempts, .. } => {
+            assert_eq!(addr, dead);
+            assert_eq!(attempts, 3);
+        }
+        other => panic!("expected ConnectFailed, got {other:?}"),
+    }
+    // 3 attempts with 10 ms + 20 ms backoff: well under a second.
+    assert!(elapsed < Duration::from_secs(2), "retry budget overrun: {elapsed:?}");
+}
+
+#[test]
+fn incomplete_swarm_times_out_the_handshake() {
+    let config = NetConfig { handshake_timeout: Duration::from_millis(200), ..quick_config() };
+    let mut tracker = Tracker::bind("127.0.0.1:0", 2, config).unwrap();
+    let err = tracker.accept_peers().unwrap_err();
+    assert!(matches!(err, P2pError::Timeout { .. }), "{err:?}");
+}
+
+#[test]
+fn zero_capacity_providers_survive_the_wire() {
+    let mut b = WelfareInstance::builder();
+    let dead = b.add_provider(PeerId::new(1), 0);
+    let live = b.add_provider(PeerId::new(2), 1);
+    let r = b.add_request(RequestId::new(PeerId::new(0), ChunkId::new(VideoId::new(0), 0)));
+    b.add_edge(r, dead, Valuation::new(9.0), Cost::new(0.0)).unwrap();
+    b.add_edge(r, live, Valuation::new(5.0), Cost::new(1.0)).unwrap();
+    let instance = b.build().unwrap();
+    let sync = SyncAuction::new(AuctionConfig::paper()).run(&instance).unwrap();
+    let net = run_slot_local(&instance, 2, &quick_config(), None, &mut NoProbe).unwrap();
+    assert_eq!(net.assignment, sync.assignment);
+    assert_eq!(net.duals, sync.duals);
+    assert_eq!(net.assignment.provider_of(&instance, r), Some(live));
+}

@@ -53,7 +53,7 @@ pub use runner::{
     event_windows, run_one, run_scenario, run_scenario_probed, scenario_net, scheduler_by_name,
     scheduler_for, scheduler_for_runtime, scheduler_with_net, scheduler_with_runtime,
     scheduler_with_shards, RunSummary, ScenarioReport, ScenarioRun, DEFAULT_SCHEDULER,
-    SCHEDULER_NAMES, SIM_FAULTY_EPSILON,
+    NET_DEFAULT_PEERS, SCHEDULER_NAMES, SIM_FAULTY_EPSILON,
 };
-pub use spec::parse_scenario;
+pub use spec::{parse_scenario, parse_scenario_file};
 pub use timeline::{Profile, Scenario, TimedEvent};

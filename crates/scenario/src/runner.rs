@@ -4,15 +4,15 @@ use crate::timeline::{Scenario, TimedEvent};
 use p2p_metrics::{RunReport, SlotRecorder};
 use p2p_sched::{
     AuctionScheduler, ChunkScheduler, ExactScheduler, FlatAuctionScheduler, GreedyScheduler,
-    NetworkModel, RandomScheduler, ShardedAuctionScheduler, SimAuctionScheduler,
-    SimpleLocalityScheduler, WorkerSpawner,
+    NetAuctionScheduler, NetworkModel, RandomScheduler, ShardedAuctionScheduler,
+    SimAuctionScheduler, SimpleLocalityScheduler, WorkerSpawner,
 };
 use p2p_streaming::{ClockMode, ShardCount, System, WorkloadTrace};
 use p2p_types::{P2pError, Result};
 use std::sync::Arc;
 
 /// Scheduler names accepted by [`scheduler_by_name`].
-pub const SCHEDULER_NAMES: [&str; 12] = [
+pub const SCHEDULER_NAMES: [&str; 14] = [
     "auction",
     "auction_warm",
     "auction_sharded",
@@ -21,6 +21,8 @@ pub const SCHEDULER_NAMES: [&str; 12] = [
     "auction_flat_warm",
     "auction_sim",
     "auction_sim_warm",
+    "auction_net",
+    "auction_net_warm",
     "locality",
     "random",
     "greedy",
@@ -42,6 +44,11 @@ pub const DEFAULT_SCHEDULER: &str = "auction_flat";
 /// price can provoke, keeping lossy runs finite. The resulting welfare
 /// carries the usual Theorem 1 `n·ε` certificate.
 pub const SIM_FAULTY_EPSILON: f64 = 0.01;
+
+/// Peer-actor count the registry gives the networked schedulers
+/// (`auction_net`): enough to exercise the bidder partition without the
+/// per-slot socket setup dominating small scenario runs.
+pub const NET_DEFAULT_PEERS: usize = 3;
 
 /// Builds a scheduler from its CLI name (`seed` parameterizes the
 /// stochastic ones; the sharded auctions follow the machine's cores —
@@ -140,6 +147,10 @@ pub fn scheduler_with_net(
         "auction_flat_warm" => Ok(Box::new(flat(true))),
         "auction_sim" => Ok(Box::new(sim(false))),
         "auction_sim_warm" => Ok(Box::new(sim(true))),
+        "auction_net" => Ok(Box::new(NetAuctionScheduler::paper(NET_DEFAULT_PEERS))),
+        "auction_net_warm" => {
+            Ok(Box::new(NetAuctionScheduler::paper(NET_DEFAULT_PEERS).warm_start()))
+        }
         "locality" | "simple_locality" => Ok(Box::new(SimpleLocalityScheduler::new())),
         "random" => Ok(Box::new(RandomScheduler::new(seed ^ 0x5EED))),
         "greedy" => Ok(Box::new(GreedyScheduler::new())),
@@ -585,6 +596,32 @@ mod tests {
                 report.runs[0].recorder.slots(),
                 report.runs[1].recorder.slots(),
                 "{sim} vs {flat}"
+            );
+        }
+    }
+
+    /// The networked runtime is the *same auction* over TCP: full scenario
+    /// sweeps are bit-identical to the in-process flat engine at one
+    /// shard, warm variants included.
+    #[test]
+    fn net_scheduler_sweeps_are_bit_identical_to_flat_at_one_shard() {
+        for (net, flat) in
+            [("auction_net", "auction_flat"), ("auction_net_warm", "auction_flat_warm")]
+        {
+            let scenario =
+                builtin("flash_crowd").unwrap().with_shards(ShardCount::Fixed(1)).quick(4);
+            let report = run_scenario(
+                &scenario,
+                vec![
+                    scheduler_for(&scenario, flat).unwrap(),
+                    scheduler_for(&scenario, net).unwrap(),
+                ],
+            )
+            .unwrap();
+            assert_eq!(
+                report.runs[0].recorder.slots(),
+                report.runs[1].recorder.slots(),
+                "{net} vs {flat}"
             );
         }
     }

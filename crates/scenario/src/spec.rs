@@ -36,6 +36,13 @@
 //! `seed_failure` (`count`, optional `video`), `late_seed` (`video`,
 //! `isp`, optional `count` = 1), `churn_burst` (`rate`),
 //! `popularity_shift` (`alpha`, `q`), `isp_throttle` (`isp`, `factor`).
+//!
+//! Specs loaded from disk ([`parse_scenario_file`]) may additionally start
+//! from a base spec with `include = "base.toml"` (path relative to the
+//! including file): the derived file's top-level keys override the base's
+//! key-by-key, and its `[[event]]` tables are appended after the base's.
+//! Chains nest (a base may itself include) up to eight files; cycles are
+//! rejected.
 
 use crate::event::ScenarioEvent;
 use crate::timeline::{Profile, Scenario, TimedEvent};
@@ -365,6 +372,89 @@ fn parse_event(table: &Table) -> Result<TimedEvent> {
 /// ```
 pub fn parse_scenario(text: &str) -> Result<Scenario> {
     let (top, event_tables) = tokenize(text)?;
+    if let Some(b) = top.get("include") {
+        return Err(err(
+            b.line,
+            "`include` needs a base directory to resolve against — \
+             load this spec with `parse_scenario_file`",
+        ));
+    }
+    scenario_from_tables(top, event_tables)
+}
+
+/// How deep `include` chains may nest before the loader assumes a mistake.
+const MAX_INCLUDE_DEPTH: usize = 8;
+
+/// Loads a spec file, resolving `include = "base.toml"` chains relative to
+/// each including file's directory. The including file's top-level keys
+/// override the base's key-by-key; its `[[event]]` tables are appended
+/// after the base's (events never override each other — a derived scenario
+/// adds to the timeline, it does not edit it).
+///
+/// # Errors
+///
+/// Everything [`parse_scenario`] rejects, plus unreadable files, include
+/// cycles, and chains deeper than eight files.
+///
+/// # Examples
+///
+/// ```no_run
+/// let s = p2p_scenario::parse_scenario_file("scenarios/flash_crowd_net.toml").unwrap();
+/// assert!(!s.name.is_empty());
+/// ```
+pub fn parse_scenario_file(path: impl AsRef<std::path::Path>) -> Result<Scenario> {
+    let mut visited = Vec::new();
+    let (top, events) = load_tables(path.as_ref(), &mut visited)?;
+    scenario_from_tables(top, events)
+}
+
+/// Recursive worker for [`parse_scenario_file`]: returns the file's tables
+/// with any `include` chain already merged in (and the `include` binding
+/// consumed). `visited` doubles as the cycle detector and depth meter.
+fn load_tables(
+    path: &std::path::Path,
+    visited: &mut Vec<std::path::PathBuf>,
+) -> Result<(Table, Vec<Table>)> {
+    let file_err = |reason: String| P2pError::invalid_config("scenario_spec", reason);
+    let canonical = path.canonicalize().unwrap_or_else(|_| path.to_path_buf());
+    if visited.contains(&canonical) {
+        return Err(file_err(format!("include cycle through `{}`", path.display())));
+    }
+    if visited.len() >= MAX_INCLUDE_DEPTH {
+        return Err(file_err(format!(
+            "include chain deeper than {MAX_INCLUDE_DEPTH} files at `{}`",
+            path.display()
+        )));
+    }
+    visited.push(canonical);
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| file_err(format!("cannot read `{}`: {e}", path.display())))?;
+    let (mut top, mut events) =
+        tokenize(&text).map_err(|e| file_err(format!("{}: {e}", path.display())))?;
+    let include = top.str("include").map_err(|e| file_err(format!("{}: {e}", path.display())))?;
+    if let Some(rel) = include {
+        top.bindings.retain(|b| b.key != "include");
+        let base_path = path.parent().unwrap_or(std::path::Path::new(".")).join(rel);
+        let (base_top, base_events) = load_tables(&base_path, visited)?;
+        // Base first, then this file's overrides win key-by-key.
+        let mut merged = base_top;
+        for b in top.bindings {
+            match merged.bindings.iter().position(|m| m.key == b.key) {
+                Some(i) => merged.bindings[i] = b,
+                None => merged.bindings.push(b),
+            }
+        }
+        top = merged;
+        let mut all_events = base_events;
+        all_events.append(&mut events);
+        events = all_events;
+    }
+    Ok((top, events))
+}
+
+/// Builds and validates a [`Scenario`] from tokenized (and possibly
+/// include-merged) tables.
+fn scenario_from_tables(top: Table, event_tables: Vec<Table>) -> Result<Scenario> {
     top.check_known(
         &[
             "name",
@@ -597,6 +687,83 @@ factor = 2.0
     fn comments_and_quotes_interact_correctly() {
         let s = parse_scenario("name = \"has # hash\" # real comment\n").unwrap();
         assert_eq!(s.name, "has # hash");
+    }
+
+    /// A throwaway spec directory for the include tests; removed on drop.
+    struct SpecDir(std::path::PathBuf);
+
+    impl SpecDir {
+        fn new(label: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!("p2p-spec-{label}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            SpecDir(dir)
+        }
+
+        fn write(&self, name: &str, text: &str) -> std::path::PathBuf {
+            let path = self.0.join(name);
+            std::fs::write(&path, text).unwrap();
+            path
+        }
+    }
+
+    impl Drop for SpecDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn include_merges_base_with_child_overrides_winning() {
+        let dir = SpecDir::new("merge");
+        dir.write(
+            "base.toml",
+            "name = \"base\"\nslots = 30\npeers = 8\nseed = 7\n\n\
+             [[event]]\nat_slot = 3\nkind = \"flash_crowd\"\npeers = 15\n",
+        );
+        let child = dir.write(
+            "derived.toml",
+            "include = \"base.toml\"\nname = \"derived\"\npeers = 20\n\n\
+             [[event]]\nat_slot = 5\nkind = \"link_reprice\"\nfactor = 2.0\n",
+        );
+        let s = parse_scenario_file(&child).unwrap();
+        // Child keys override, untouched base keys survive.
+        assert_eq!(s.name, "derived");
+        assert_eq!(s.initial_peers, 20);
+        assert_eq!(s.slots, 30);
+        assert_eq!(s.seed, 7);
+        // Events concatenate base-first.
+        assert_eq!(s.events.len(), 2);
+        assert!(matches!(s.events[0].event, ScenarioEvent::FlashCrowd { .. }));
+        assert!(matches!(s.events[1].event, ScenarioEvent::LinkReprice { .. }));
+    }
+
+    #[test]
+    fn include_chains_nest_and_closest_override_wins() {
+        let dir = SpecDir::new("chain");
+        dir.write("a.toml", "name = \"a\"\nslots = 10\npeers = 4\nseed = 1\n");
+        dir.write("b.toml", "include = \"a.toml\"\nslots = 20\nseed = 2\n");
+        let c = dir.write("c.toml", "include = \"b.toml\"\nseed = 3\n");
+        let s = parse_scenario_file(&c).unwrap();
+        assert_eq!(s.name, "a");
+        assert_eq!(s.slots, 20);
+        assert_eq!(s.seed, 3);
+        assert_eq!(s.initial_peers, 4);
+    }
+
+    #[test]
+    fn include_rejects_cycles_missing_files_and_string_parsing() {
+        let dir = SpecDir::new("bad");
+        dir.write("x.toml", "include = \"y.toml\"\nname = \"x\"\n");
+        let y = dir.write("y.toml", "include = \"x.toml\"\nname = \"y\"\n");
+        let e = parse_scenario_file(&y).unwrap_err().to_string();
+        assert!(e.contains("cycle"), "{e}");
+
+        let gone = dir.write("gone.toml", "include = \"nope.toml\"\nname = \"g\"\n");
+        let e = parse_scenario_file(&gone).unwrap_err().to_string();
+        assert!(e.contains("cannot read"), "{e}");
+
+        // The string-only entry point has no directory to resolve against.
+        expect_err("include = \"base.toml\"\nname = \"x\"\n", "parse_scenario_file");
     }
 
     #[test]

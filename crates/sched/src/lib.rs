@@ -17,6 +17,10 @@
 //!   bit-identical to the engines above under an ideal network, and the
 //!   only scheduler that exercises seeded message faults (drop / delay /
 //!   reorder / duplicate / partition);
+//! * [`NetAuctionScheduler`] — the same auction executed over real
+//!   loopback TCP sockets (`p2p_net`): a tracker coordinator plus peer
+//!   actors speaking the versioned wire protocol, bit-identical to the
+//!   in-process engines;
 //! * [`SimpleLocalityScheduler`] — the paper's comparison baseline: "each
 //!   downstream peer requests chunks from upstream neighbors with the
 //!   lowest network costs in between as much as possible; for bandwidth
@@ -53,6 +57,7 @@ pub mod auction;
 pub mod exact;
 pub mod greedy;
 pub mod locality;
+pub mod net;
 pub mod problem;
 pub mod random;
 pub mod sim;
@@ -61,6 +66,7 @@ pub use auction::{AuctionScheduler, FlatAuctionScheduler, ShardedAuctionSchedule
 pub use exact::ExactScheduler;
 pub use greedy::GreedyScheduler;
 pub use locality::SimpleLocalityScheduler;
+pub use net::NetAuctionScheduler;
 pub use p2p_core::csr::WorkerSpawner;
 pub use p2p_core::NetworkModel;
 pub use problem::{Schedule, ScheduleStats, SlotProblem};

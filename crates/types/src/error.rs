@@ -68,6 +68,48 @@ pub enum P2pError {
         /// The panic message (payload rendered to text).
         message: String,
     },
+    /// A wire frame or payload ended before its declared contents did
+    /// (truncated read, short frame, or a length prefix pointing past the
+    /// available bytes). Decoders return this instead of panicking so a
+    /// malicious or corrupted peer cannot crash the process.
+    WireTruncated {
+        /// Bytes the decoder needed to make progress.
+        expected: usize,
+        /// Bytes actually available.
+        actual: usize,
+    },
+    /// A wire frame announced a protocol version this build does not speak.
+    WireVersion {
+        /// The version byte found on the wire.
+        found: u8,
+        /// The version this build encodes and accepts.
+        supported: u8,
+    },
+    /// A wire frame was structurally invalid beyond truncation: unknown
+    /// message tag, oversized length prefix, trailing garbage after a
+    /// complete payload, or a field value outside its domain.
+    WireMalformed {
+        /// What exactly was wrong with the bytes.
+        reason: String,
+    },
+    /// The remote end of a connection went away mid-protocol (EOF or a
+    /// reset while a reply was still owed) — the networked runtime's
+    /// peer-crash signal, distinct from [`P2pError::Timeout`] which covers
+    /// a silent peer whose socket is still open.
+    Disconnected {
+        /// What the connection was doing when it died.
+        context: String,
+    },
+    /// Every connection attempt within the configured retry/backoff budget
+    /// failed — the networked runtime's tracker-unavailable signal.
+    ConnectFailed {
+        /// The address dialed.
+        addr: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last attempt's error, rendered to text.
+        last_error: String,
+    },
 }
 
 impl fmt::Display for P2pError {
@@ -99,6 +141,19 @@ impl fmt::Display for P2pError {
             }
             P2pError::WorkerPanicked { message } => {
                 write!(f, "worker thread panicked: {message}")
+            }
+            P2pError::WireTruncated { expected, actual } => {
+                write!(f, "truncated wire data: needed {expected} bytes, got {actual}")
+            }
+            P2pError::WireVersion { found, supported } => {
+                write!(f, "unsupported wire version {found} (this build speaks {supported})")
+            }
+            P2pError::WireMalformed { reason } => write!(f, "malformed wire data: {reason}"),
+            P2pError::Disconnected { context } => {
+                write!(f, "connection lost: {context}")
+            }
+            P2pError::ConnectFailed { addr, attempts, last_error } => {
+                write!(f, "failed to connect to {addr} after {attempts} attempts: {last_error}")
             }
         }
     }
@@ -134,6 +189,16 @@ mod tests {
             P2pError::Timeout { elapsed: std::time::Duration::from_millis(1500), messages: 12 }
                 .to_string(),
             P2pError::WorkerPanicked { message: "boom".into() }.to_string(),
+            P2pError::WireTruncated { expected: 8, actual: 3 }.to_string(),
+            P2pError::WireVersion { found: 9, supported: 1 }.to_string(),
+            P2pError::WireMalformed { reason: "unknown tag 77".into() }.to_string(),
+            P2pError::Disconnected { context: "awaiting a bid reply".into() }.to_string(),
+            P2pError::ConnectFailed {
+                addr: "127.0.0.1:9".into(),
+                attempts: 4,
+                last_error: "connection refused".into(),
+            }
+            .to_string(),
         ];
         for s in samples {
             assert!(!s.ends_with('.'), "{s}");

@@ -17,6 +17,7 @@
 //! | [`netflow`] | `p2p-netflow` | exact min-cost-flow ground truth |
 //! | [`core`] | `p2p-core` | **the paper's auction**: bidder/auctioneer logic, sync + distributed engines, Bertsekas expansion, Theorem 1 verifier |
 //! | [`sched`] | `p2p-sched` | auction scheduler + locality/random/greedy/exact baselines |
+//! | [`net`] | `p2p-net` | networked runtime: tracker + peer processes over a TCP wire protocol |
 //! | [`streaming`] | `p2p-streaming` | the P2P VoD system emulator |
 //! | [`scenario`] | `p2p-scenario` | declarative scenarios: mid-run event timelines, spec parser, runner |
 //! | [`runtime`] | `p2p-runtime` | threaded process-per-peer execution |
@@ -49,6 +50,7 @@
 
 pub use p2p_core as core;
 pub use p2p_metrics as metrics;
+pub use p2p_net as net;
 pub use p2p_netflow as netflow;
 pub use p2p_runtime as runtime;
 pub use p2p_scenario as scenario;
