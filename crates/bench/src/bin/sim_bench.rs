@@ -13,14 +13,21 @@
 //!   conservation and the Theorem 1 `n·ε` optimality certificate.
 //! * **Is it fast enough to be useful?** The full run hard-fails unless
 //!   the 10⁵-peer ideal scenario completes within the wall-clock budget
-//!   (10 s) — "run 10⁵-peer scenarios in seconds" is a gate, not a hope.
+//!   (10 s) *and* holds the pre-coalescing events/s floor, and unless the
+//!   10⁶-peer flash-crowd row lands inside its own 60 s budget —
+//!   "million-peer scenarios in under a minute" is a gate, not a hope.
+//! * **Does coalescing move anything?** Every lossy row runs twice —
+//!   event coalescing on (the default) and off — and hard-fails unless
+//!   the two outcomes are byte-identical: same `trace_hash`, same fault
+//!   counters, same assignment/duals/bids/virtual time.
 //!
 //! Results land in `BENCH_sim.json` (events/sec throughput, wall and
-//! virtual time per row). Usage:
+//! virtual time, coalesced-event and peak-queue counters per row). Usage:
 //!   `sim_bench [--quick] [--out PATH]`
 //!
-//! `--quick` shrinks sizes for CI smoke runs (the equivalence and
-//! certificate gates still apply; only the 10⁵ wall gate is skipped).
+//! `--quick` shrinks sizes for CI smoke runs (the equivalence,
+//! certificate and coalescing-divergence gates still apply; only the
+//! wall/throughput gates are skipped).
 
 use p2p_bench::Args;
 use p2p_core::csr::{CsrInstance, FlatAuction};
@@ -42,6 +49,17 @@ const WALL_BUDGET_S: f64 = 10.0;
 
 /// The request count the wall-clock gate applies to.
 const GATE_REQUESTS: usize = 100_000;
+
+/// Events/s floor for the 10⁵-peer ideal row: the throughput that row
+/// recorded *before* the arena-mailbox/coalescing work landed. The
+/// optimization must never cost throughput at the gated size.
+const BASELINE_EVENTS_PER_SEC: f64 = 3_259_818.0;
+
+/// The flash-crowd scale the 60 s budget applies to.
+const FLASH_REQUESTS: usize = 1_000_000;
+
+/// Wall-clock budget for the 10⁶-peer flash-crowd row (release build).
+const FLASH_BUDGET_S: f64 = 60.0;
 
 /// A flash-crowd-shaped slot at swarm scale: one provider per ~20
 /// requesters (10⁵ requests ⇒ 5·10³ providers) and 4–8 candidate edges
@@ -79,6 +97,8 @@ struct Row {
     bids: u64,
     welfare: f64,
     dropped: u64,
+    coalesced: u64,
+    peak_queue: u64,
     bit_identical: Option<bool>,
 }
 
@@ -90,15 +110,25 @@ impl Row {
 
 fn run(args: &Args) -> Result<()> {
     let quick = args.has("quick");
-    let ideal_sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
+    let ideal_sizes: &[usize] =
+        if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000, FLASH_REQUESTS] };
     let lossy_sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 10_000] };
     let out_path = args.get_str("out", "BENCH_sim.json");
 
     let mut rows: Vec<Row> = Vec::new();
     println!("virtual-time swarm auction, ε = {EPSILON} (DES: one actor per peer):");
     println!(
-        "{:<10} {:<8} {:>12} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "requests", "net", "wall", "virtual", "events", "events/s", "messages", "rounds", "flat=="
+        "{:<10} {:<13} {:>12} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "requests",
+        "net",
+        "wall",
+        "virtual",
+        "events",
+        "events/s",
+        "coalesced",
+        "peak_q",
+        "rounds",
+        "flat=="
     );
 
     for &requests in ideal_sizes {
@@ -134,7 +164,13 @@ fn run(args: &Args) -> Result<()> {
                  {WALL_BUDGET_S} s budget"
             )));
         }
-        rows.push(Row {
+        if !quick && requests == FLASH_REQUESTS && wall_s > FLASH_BUDGET_S {
+            return Err(p2p_types::P2pError::MalformedInstance(format!(
+                "the {FLASH_REQUESTS}-peer flash-crowd scenario took {wall_s:.2} s — over \
+                 the {FLASH_BUDGET_S} s budget"
+            )));
+        }
+        let row = Row {
             requests,
             providers: instance.provider_count(),
             mode: "ideal",
@@ -146,15 +182,27 @@ fn run(args: &Args) -> Result<()> {
             bids: out.bids_submitted,
             welfare: out.assignment.welfare(&instance).get(),
             dropped: 0,
+            coalesced: out.coalesced_events,
+            peak_queue: out.peak_queue,
             bit_identical: Some(true),
-        });
+        };
+        if !quick && requests == GATE_REQUESTS && row.events_per_sec() < BASELINE_EVENTS_PER_SEC {
+            return Err(p2p_types::P2pError::MalformedInstance(format!(
+                "the {GATE_REQUESTS}-peer ideal scenario ran at {:.0} events/s — under \
+                 the pre-optimization floor of {BASELINE_EVENTS_PER_SEC:.0}",
+                row.events_per_sec()
+            )));
+        }
+        rows.push(row);
     }
 
     for &requests in lossy_sizes {
         let instance = swarm_instance(0x51B3 ^ requests as u64, requests);
-        let engine = SwarmAuction::new(SwarmConfig::with_epsilon(EPSILON), NetworkModel::lossy());
+        let seed = 0xCAFE ^ requests as u64;
+        let coalescing =
+            SwarmAuction::new(SwarmConfig::with_epsilon(EPSILON), NetworkModel::lossy());
         let t0 = Instant::now();
-        let out = engine.run(&instance, 0xCAFE ^ requests as u64)?;
+        let out = coalescing.run(&instance, seed)?;
         let wall_ns = t0.elapsed().as_nanos();
         certify(&instance, &out, "lossy")?;
         if out.faults.dropped == 0 {
@@ -163,33 +211,65 @@ fn run(args: &Args) -> Result<()> {
                  the fault path is not being exercised"
             )));
         }
-        rows.push(Row {
-            requests,
-            providers: instance.provider_count(),
-            mode: "lossy",
-            wall_ns,
-            virtual_s: out.converged_at.as_secs_f64(),
-            events: out.events,
-            messages: out.messages,
-            rounds: out.rounds,
-            bids: out.bids_submitted,
-            welfare: out.assignment.welfare(&instance).get(),
-            dropped: out.faults.dropped,
-            bit_identical: None,
-        });
+
+        // The coalescing-divergence gate: the same row with coalescing
+        // off must reproduce the exact same simulation — trace hash,
+        // fault counters, outcome, virtual time — or the fast path is
+        // changing delivery order somewhere.
+        let mut uncoal_cfg = SwarmConfig::with_epsilon(EPSILON);
+        uncoal_cfg.coalesce = false;
+        let uncoalescing = SwarmAuction::new(uncoal_cfg, NetworkModel::lossy());
+        let t1 = Instant::now();
+        let off = uncoalescing.run(&instance, seed)?;
+        let uncoal_wall_ns = t1.elapsed().as_nanos();
+        let identical = out.trace_hash == off.trace_hash
+            && out.faults == off.faults
+            && out.messages == off.messages
+            && out.assignment == off.assignment
+            && out.duals.lambda == off.duals.lambda
+            && out.bids_submitted == off.bids_submitted
+            && out.converged_at == off.converged_at
+            && out.converged == off.converged;
+        if !identical || off.coalesced_events != 0 {
+            return Err(p2p_types::P2pError::MalformedInstance(format!(
+                "event coalescing diverged on the {requests}-request lossy instance: \
+                 trace {:#x} vs {:#x}, coalesced {} vs {}",
+                out.trace_hash, off.trace_hash, out.coalesced_events, off.coalesced_events
+            )));
+        }
+
+        for (mode, o, ns) in [("lossy", &out, wall_ns), ("lossy-uncoal", &off, uncoal_wall_ns)] {
+            rows.push(Row {
+                requests,
+                providers: instance.provider_count(),
+                mode,
+                wall_ns: ns,
+                virtual_s: o.converged_at.as_secs_f64(),
+                events: o.events,
+                messages: o.messages,
+                rounds: o.rounds,
+                bids: o.bids_submitted,
+                welfare: o.assignment.welfare(&instance).get(),
+                dropped: o.faults.dropped,
+                coalesced: o.coalesced_events,
+                peak_queue: o.peak_queue,
+                bit_identical: None,
+            });
+        }
     }
 
     let mut json_rows = Vec::new();
     for r in &rows {
         println!(
-            "{:<10} {:<8} {:>10}µs {:>9.3}s {:>12} {:>12.0} {:>10} {:>10} {:>10}",
+            "{:<10} {:<13} {:>10}µs {:>9.3}s {:>12} {:>12.0} {:>10} {:>10} {:>10} {:>10}",
             r.requests,
             r.mode,
             r.wall_ns / 1_000,
             r.virtual_s,
             r.events,
             r.events_per_sec(),
-            r.messages,
+            r.coalesced,
+            r.peak_queue,
             r.rounds,
             r.bit_identical.map_or("-".to_string(), |b| b.to_string()),
         );
@@ -197,6 +277,7 @@ fn run(args: &Args) -> Result<()> {
             "    {{\n      \"requests\": {},\n      \"providers\": {},\n      \
              \"net\": \"{}\",\n      \"wall_ns\": {},\n      \"virtual_s\": {:.6},\n      \
              \"events\": {},\n      \"events_per_sec\": {:.0},\n      \
+             \"coalesced_events\": {},\n      \"peak_queue\": {},\n      \
              \"messages\": {},\n      \"rounds\": {},\n      \"bids\": {},\n      \
              \"welfare\": {:.3},\n      \"dropped\": {},\n      \
              \"bit_identical_to_flat\": {},\n      \"certified\": true\n    }}",
@@ -207,6 +288,8 @@ fn run(args: &Args) -> Result<()> {
             r.virtual_s,
             r.events,
             r.events_per_sec(),
+            r.coalesced,
+            r.peak_queue,
             r.messages,
             r.rounds,
             r.bids,
@@ -217,23 +300,32 @@ fn run(args: &Args) -> Result<()> {
     }
 
     let json = format!(
-        "{{\n  \"note\": \"The virtual-time swarm simulator (ISSUE 8): every peer a \
+        "{{\n  \"note\": \"The virtual-time swarm simulator (ISSUE 8, scaled to 10^6 \
+         peers by ISSUE 10's arena mailboxes + event coalescing): every peer a \
          logical actor on the DES event queue, per-message latencies and faults drawn \
          from a seeded NetworkModel, timeouts firing through virtual-time fast-forward. \
          ideal rows are hard-gated bit-identical (assignment, duals, rounds, bids) to \
          the flat CSR engine at one shard — the swarm backend runs the *same* auction, \
          just on a simulated network. lossy rows inject seeded drop/delay/reorder/\
-         duplicate faults with eventual delivery and must still pass conservation and \
-         the Theorem 1 n*eps certificate. The full run hard-fails if the 100000-peer \
-         ideal row exceeds {WALL_BUDGET_S} s wall. Regenerate with `cargo run --release \
+         duplicate faults with eventual delivery, must still pass conservation and \
+         the Theorem 1 n*eps certificate, and are each re-run with coalescing off \
+         (the lossy-uncoal rows) under a hard byte-identity gate: same trace_hash, \
+         fault counters, assignment, duals, bids and virtual time either way. The \
+         full run hard-fails if the 100000-peer ideal row exceeds {WALL_BUDGET_S} s \
+         wall or drops under {BASELINE_EVENTS_PER_SEC:.0} events/s (its \
+         pre-optimization throughput), or if the 1000000-peer flash-crowd row \
+         exceeds {FLASH_BUDGET_S} s wall. Regenerate with `cargo run --release \
          -p p2p-bench --bin sim_bench` (add --quick for CI sizes); expect run-to-run \
          timing noise, the certified/welfare/bit-identity fields are exact.\",\n  \
          \"command\": \"cargo run --release -p p2p-bench --bin sim_bench{}\",\n  \
-         \"epsilon\": {},\n  \"wall_budget_s\": {},\n  \"machine_cores\": {},\n  \
+         \"epsilon\": {},\n  \"wall_budget_s\": {},\n  \"flash_budget_s\": {},\n  \
+         \"events_per_sec_floor\": {:.0},\n  \"machine_cores\": {},\n  \
          \"runs\": [\n{}\n  ]\n}}\n",
         if quick { " -- --quick" } else { "" },
         EPSILON,
         WALL_BUDGET_S,
+        FLASH_BUDGET_S,
+        BASELINE_EVENTS_PER_SEC,
         p2p_core::available_cores(),
         json_rows.join(",\n"),
     );

@@ -32,7 +32,13 @@ use crate::messages::AuctionMsg;
 use p2p_types::{P2pError, Result};
 
 /// The wire protocol version this build encodes and accepts.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// History: version 1 was the original per-request protocol; version 2
+/// added the batched `PollBatch`/`ReplyBatch` control frames (one frame
+/// per peer per sweep round). Decoding is strict-equality on the version
+/// byte, so a version-2 tracker refuses version-1 peers (and vice versa)
+/// with a typed [`P2pError::WireVersion`] instead of misparsing.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a frame's payload length (16 MiB). A length prefix above
 /// this is rejected before any allocation, so a corrupt or hostile peer
@@ -347,6 +353,20 @@ mod tests {
         assert_eq!(
             decode_msg(&bytes),
             Err(P2pError::WireVersion { found: 9, supported: WIRE_VERSION })
+        );
+    }
+
+    /// The version-1 (pre-batching) protocol must be refused outright:
+    /// a frame stamped with the old version decodes to a typed error
+    /// naming both sides, never to a misparsed message.
+    #[test]
+    fn version_one_frames_are_rejected_after_the_batching_bump() {
+        const { assert!(WIRE_VERSION > 1, "the batching release bumped the wire version") };
+        let mut bytes = encode_msg(&AuctionMsg::Accepted { request: 0, provider: 0 });
+        bytes[0] = 1;
+        assert_eq!(
+            decode_msg(&bytes),
+            Err(P2pError::WireVersion { found: 1, supported: WIRE_VERSION })
         );
     }
 

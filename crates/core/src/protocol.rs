@@ -151,6 +151,24 @@ impl BidderNode {
         }
     }
 
+    /// [`refresh_prices`](Self::refresh_prices) from a price slice aligned
+    /// with the edge order (`prices[k]` belongs to `views()[k]`) — the
+    /// layout polls travel in on the wire, so transports can refresh
+    /// without building a provider-keyed map first. Live entries are
+    /// overwritten; `+∞` zero-capacity pins stay pinned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prices.len()` differs from the number of edges.
+    pub fn refresh_prices_aligned(&mut self, prices: &[f64]) {
+        assert_eq!(prices.len(), self.views.len(), "one price per candidate edge");
+        for (k, p) in prices.iter().enumerate() {
+            if self.known[k].is_finite() {
+                self.known[k] = *p;
+            }
+        }
+    }
+
     /// Updates state from a delivered message **without** emitting a
     /// counter-bid. Cancelled nodes ignore everything.
     pub fn absorb(&mut self, msg: &AuctionMsg) {
@@ -410,6 +428,25 @@ mod tests {
         b.refresh_prices(|_| 2.5);
         assert_eq!(b.known[0], 2.5);
         assert_eq!(b.known[1], f64::INFINITY, "zero-capacity entries stay pinned");
+    }
+
+    #[test]
+    fn aligned_refresh_matches_the_oracle_refresh() {
+        let price_of = |p: ProviderIdx| if p == 1 { f64::INFINITY } else { 0.0 };
+        let mut by_oracle = BidderNode::new(0, views(), 0.0, LearnPolicy::Monotone, price_of);
+        let mut by_slice = by_oracle.clone();
+        by_oracle.refresh_prices(|p| if p == 0 { 4.5 } else { 1.25 });
+        by_slice.refresh_prices_aligned(&[4.5, 1.25]);
+        assert_eq!(by_oracle.known, by_slice.known);
+        assert_eq!(by_slice.known[1], f64::INFINITY, "pins survive the aligned path too");
+        assert_eq!(by_oracle.decide(), by_slice.decide());
+    }
+
+    #[test]
+    #[should_panic(expected = "one price per candidate edge")]
+    fn aligned_refresh_rejects_mismatched_lengths() {
+        let mut b = BidderNode::new(0, views(), 0.0, LearnPolicy::Monotone, |_| 0.0);
+        b.refresh_prices_aligned(&[1.0]);
     }
 
     #[test]

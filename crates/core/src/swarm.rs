@@ -27,6 +27,21 @@
 //! Every delivered protocol message folds into an order-sensitive FNV-1a
 //! trace hash, the determinism regression anchor: same seed → same hash,
 //! distinct seeds → distinct fault schedules.
+//!
+//! Reactive deliveries ride **arena-backed mailboxes**
+//! ([`p2p_sim::MailboxArena`]): the event queue carries an 8-byte
+//! generation-checked key instead of a fat message payload, and the
+//! payload buffers are recycled rather than freed, so steady-state
+//! dispatch allocates nothing. On top of that sits **event coalescing**
+//! ([`SwarmConfig::coalesce`]): while a scheduled mailbox wake-up remains
+//! the most recent queue entry at its timestamp, further deliveries to
+//! the same peer at that timestamp append to the open batch instead of
+//! pushing new events. Because same-time events pop in push order, an
+//! appended message is processed at exactly the position it would have
+//! popped on its own — delivery order, `trace_hash`, fault counters and
+//! outcomes are byte-identical to the uncoalesced run (a proptest and
+//! bench gate), while flash-crowd fan-in shrinks the queue by the
+//! fan-out factor.
 
 use crate::bidder::{AbstainReason, BidDecision};
 use crate::engine::{edge_views, final_prices_from, run_warm_with, AuctionOutcome};
@@ -35,7 +50,7 @@ use crate::messages::AuctionMsg;
 use crate::protocol::{AuctioneerNode, BidderNode, BidderPhase, LearnPolicy};
 use crate::solution::{Assignment, DualSolution};
 use p2p_metrics::{AuctionProbe, NoProbe};
-use p2p_sim::{derive_seed, Context, Simulation, World};
+use p2p_sim::{derive_seed, Context, MailKey, MailboxArena, Simulation, World};
 use p2p_types::{P2pError, PeerId, SimDuration, SimTime};
 
 /// One microsecond per sweep position: round `k` polls request `r` at
@@ -210,6 +225,12 @@ pub struct SwarmConfig {
     /// Permanently retire priced-out requests in the ideal sweep (must
     /// match the synchronous engine's flag for bit-identity).
     pub retire_priced_out: bool,
+    /// Coalesce same-timestamp deliveries to one peer into a single
+    /// batched mailbox wake-up (reactive mode). Delivery order — and with
+    /// it the trace hash and every outcome bit — is unchanged; only the
+    /// event count and queue depth shrink. Disable to run the one event
+    /// per message baseline the equivalence gates compare against.
+    pub coalesce: bool,
 }
 
 impl SwarmConfig {
@@ -220,6 +241,7 @@ impl SwarmConfig {
             max_rounds: 1_000_000,
             max_events: 200_000_000,
             retire_priced_out: false,
+            coalesce: true,
         }
     }
 
@@ -260,6 +282,12 @@ pub struct SwarmOutcome {
     /// Order-sensitive FNV-1a hash over every delivered protocol message
     /// `(time, kind, fields)` — the determinism anchor.
     pub trace_hash: u64,
+    /// Deliveries that rode an already-scheduled same-peer, same-time
+    /// mailbox wake-up instead of their own queue event (reactive mode
+    /// with [`SwarmConfig::coalesce`]; 0 otherwise).
+    pub coalesced_events: u64,
+    /// High-water mark of the pending-event queue across all passes.
+    pub peak_queue: u64,
 }
 
 impl SwarmOutcome {
@@ -356,6 +384,8 @@ struct SideStats {
     faults: FaultStats,
     hash: TraceHash,
     passes: u64,
+    coalesced: u64,
+    peak_queue: u64,
 }
 
 impl SideStats {
@@ -367,6 +397,8 @@ impl SideStats {
             faults: FaultStats::default(),
             hash: TraceHash::new(),
             passes: 0,
+            coalesced: 0,
+            peak_queue: 0,
         }
     }
 }
@@ -541,6 +573,7 @@ impl SwarmAuction {
         side.messages += world.messages;
         side.events += stats.events_processed;
         side.converged_at = side.converged_at.max(world.converged_at);
+        side.peak_queue = side.peak_queue.max(stats.peak_pending as u64);
         side.hash.word(world.hash.finish());
 
         let lambda = final_prices_from(
@@ -614,6 +647,10 @@ impl SwarmAuction {
             faults: FaultStats::default(),
             hash: TraceHash::new(),
             last_activity: SimTime::ZERO,
+            arena: MailboxArena::with_capacity(64),
+            open: None,
+            coalesce: self.config.coalesce,
+            coalesced: 0,
         };
         let mut sim =
             Simulation::new(world).with_max_events(self.config.max_events).with_event_capacity(n);
@@ -630,6 +667,8 @@ impl SwarmAuction {
         side.messages += world.messages;
         side.events += stats.events_processed;
         side.converged_at = side.converged_at.max(world.last_activity);
+        side.peak_queue = side.peak_queue.max(stats.peak_pending as u64);
+        side.coalesced += world.coalesced;
         side.faults.dropped += world.faults.dropped;
         side.faults.duplicated += world.faults.duplicated;
         side.faults.duplicates_discarded += world.faults.duplicates_discarded;
@@ -729,6 +768,8 @@ fn assemble(outcome: AuctionOutcome, side: &SideStats) -> SwarmOutcome {
         converged: outcome.converged,
         faults: side.faults,
         trace_hash: side.hash.finish(),
+        coalesced_events: side.coalesced,
+        peak_queue: side.peak_queue,
     }
 }
 
@@ -885,10 +926,25 @@ impl<P: AuctionProbe> World for IdealWorld<'_, P> {
 enum NetEv {
     /// A bidder wakes up and considers its first bid.
     Start(RequestIdx),
-    /// A message arrives on a link with its send-order sequence number.
-    Deliver { link: u32, seq: u32, msg: AuctionMsg },
+    /// A mailbox wake-up: one or more messages arrived for one peer at
+    /// this timestamp. The payloads live in the arena; the heap entry is
+    /// just the generation-checked key.
+    Mail(MailKey),
     /// A provider's coalesced price announcement fires.
     Broadcast(ProviderIdx),
+}
+
+/// One in-flight message: `(link, send-order sequence, payload)`.
+type Envelope = (u32, u32, AuctionMsg);
+
+/// The mailbox wake-up that is still the most recent queue entry at its
+/// timestamp — the only batch a new same-peer, same-time delivery may
+/// legally join (see the coalescing notes in the module docs).
+#[derive(Debug, Clone, Copy)]
+struct OpenMail {
+    at: SimTime,
+    peer: PeerId,
+    key: MailKey,
 }
 
 struct LinkState {
@@ -916,11 +972,46 @@ struct NetWorld<'a, P: AuctionProbe> {
     faults: FaultStats,
     hash: TraceHash,
     last_activity: SimTime,
+    arena: MailboxArena<Envelope>,
+    open: Option<OpenMail>,
+    coalesce: bool,
+    coalesced: u64,
 }
 
 impl<P: AuctionProbe> NetWorld<'_, P> {
     fn group_of(&self, peer: PeerId) -> u64 {
         derive_seed(self.seed, GROUP_SALT | u64::from(peer.get())) & 1
+    }
+
+    /// Schedules a non-delivery event, retiring any open batch at the
+    /// same timestamp: once another entry lands at that time, the batch
+    /// is no longer the most recent push there, so appending to it would
+    /// reorder same-time processing.
+    fn push_event(&mut self, ctx: &mut Context<'_, NetEv>, at: SimTime, ev: NetEv) {
+        if self.open.is_some_and(|o| o.at == at) {
+            self.open = None;
+        }
+        ctx.schedule_at(at, ev);
+    }
+
+    /// Routes one envelope to `peer` at `at`: appends to the open batch
+    /// when that is provably order-preserving (same peer, same timestamp,
+    /// no queue entry pushed at that timestamp since the batch opened),
+    /// otherwise allocates a fresh mailbox and schedules its wake-up.
+    fn deliver(&mut self, ctx: &mut Context<'_, NetEv>, at: SimTime, peer: PeerId, env: Envelope) {
+        if self.coalesce {
+            if let Some(o) = self.open {
+                if o.at == at && o.peer == peer {
+                    self.arena.push(o.key, env);
+                    self.coalesced += 1;
+                    return;
+                }
+            }
+        }
+        let key = self.arena.alloc();
+        self.arena.push(key, env);
+        self.push_event(ctx, at, NetEv::Mail(key));
+        self.open = Some(OpenMail { at, peer, key });
     }
 
     /// Ships one message over a link: partition deferral, seeded retry
@@ -969,7 +1060,7 @@ impl<P: AuctionProbe> NetWorld<'_, P> {
             }
             break base + lat;
         };
-        ctx.schedule_at(arrival, NetEv::Deliver { link, seq, msg });
+        self.deliver(ctx, arrival, to, (link, seq, msg));
 
         if self.net.duplicate_prob > 0.0
             && unit(derive_seed(fate, DUP_SALT)) < self.net.duplicate_prob
@@ -978,7 +1069,7 @@ impl<P: AuctionProbe> NetWorld<'_, P> {
             let extra = self.net.base_latency
                 + link_extra
                 + scaled(self.net.jitter, derive_seed(fate, DUP_SALT + 1));
-            ctx.schedule_at(arrival + extra, NetEv::Deliver { link, seq, msg });
+            self.deliver(ctx, arrival + extra, to, (link, seq, msg));
         }
     }
 
@@ -993,7 +1084,8 @@ impl<P: AuctionProbe> NetWorld<'_, P> {
     fn schedule_broadcast(&mut self, ctx: &mut Context<'_, NetEv>, provider: ProviderIdx) {
         if !self.broadcast_pending[provider] {
             self.broadcast_pending[provider] = true;
-            ctx.schedule_in(self.net.broadcast_window, NetEv::Broadcast(provider));
+            let at = ctx.now() + self.net.broadcast_window;
+            self.push_event(ctx, at, NetEv::Broadcast(provider));
         }
     }
 
@@ -1096,7 +1188,19 @@ impl<P: AuctionProbe> World for NetWorld<'_, P> {
                     self.send_bid(ctx, bid);
                 }
             }
-            NetEv::Deliver { link, seq, msg } => self.on_deliver(ctx, link, seq, msg),
+            NetEv::Mail(key) => {
+                // The batch stops being appendable the moment it pops:
+                // a zero-latency send during processing must open a new
+                // wake-up, not write into the one being drained.
+                if self.open.is_some_and(|o| o.key == key) {
+                    self.open = None;
+                }
+                let mut batch = self.arena.take(key);
+                for (link, seq, msg) in batch.drain(..) {
+                    self.on_deliver(ctx, link, seq, msg);
+                }
+                self.arena.recycle(key, batch);
+            }
             NetEv::Broadcast(u) => {
                 self.broadcast_pending[u] = false;
                 let price = self.auctioneers[u].price();
@@ -1251,6 +1355,57 @@ mod tests {
         let a = engine.run(&inst, 1).unwrap();
         let b = engine.run(&inst, 2).unwrap();
         assert_ne!(a.trace_hash, b.trace_hash, "seeds must steer the fault schedule");
+    }
+
+    #[test]
+    fn coalesced_and_uncoalesced_lossy_runs_are_byte_identical() {
+        let inst = random_instance(29, 4, 18);
+        let on = SwarmConfig::with_epsilon(0.03);
+        let off = SwarmConfig { coalesce: false, ..on };
+        for seed in [1, 7, 99] {
+            let a = SwarmAuction::new(on, NetworkModel::lossy()).run(&inst, seed).unwrap();
+            let b = SwarmAuction::new(off, NetworkModel::lossy()).run(&inst, seed).unwrap();
+            assert_eq!(a.trace_hash, b.trace_hash, "seed {seed}: traces diverge");
+            assert_eq!(a.faults, b.faults, "seed {seed}: fault schedules diverge");
+            assert_eq!(a.messages, b.messages, "seed {seed}");
+            assert_eq!(a.assignment, b.assignment, "seed {seed}");
+            assert_eq!(a.duals.lambda, b.duals.lambda, "seed {seed}");
+            assert_eq!(a.bids_submitted, b.bids_submitted, "seed {seed}");
+            assert_eq!(a.converged_at, b.converged_at, "seed {seed}");
+            assert_eq!(b.coalesced_events, 0, "the baseline must not coalesce");
+            assert!(a.events <= b.events, "coalescing can only shrink the event count");
+        }
+    }
+
+    #[test]
+    fn flash_crowd_fan_in_coalesces_into_batched_wakeups() {
+        // One popular provider behind synchronized (zero-jitter) links:
+        // every opening bid lands on the provider's peer at the same
+        // virtual instant, the flash-crowd worst case for the queue.
+        let mut b = WelfareInstance::builder();
+        let u = b.add_provider(PeerId::new(900), 2);
+        for d in 0..12u32 {
+            let r = b.add_request(rid(d, 0));
+            b.add_edge(r, u, Valuation::new(2.0 + f64::from(d) * 0.1), Cost::new(0.5)).unwrap();
+        }
+        let inst = b.build().unwrap();
+        let net =
+            NetworkModel { base_latency: SimDuration::from_millis(1), ..NetworkModel::ideal() };
+        assert!(!net.is_ideal(), "positive latency must select reactive mode");
+        let cfg = SwarmConfig::with_epsilon(0.01);
+        let on = SwarmAuction::new(cfg, net.clone()).run(&inst, 3).unwrap();
+        let off =
+            SwarmAuction::new(SwarmConfig { coalesce: false, ..cfg }, net).run(&inst, 3).unwrap();
+        assert!(
+            on.coalesced_events >= 11,
+            "11 of the 12 opening bids must ride the first wake-up, got {}",
+            on.coalesced_events
+        );
+        assert!(on.events < off.events, "coalescing must shrink the event count");
+        assert_eq!(on.trace_hash, off.trace_hash);
+        assert_eq!(on.assignment, off.assignment);
+        assert_eq!(on.duals.lambda, off.duals.lambda);
+        assert!(on.peak_queue > 0 && off.peak_queue > 0, "peak queue depth is recorded");
     }
 
     #[test]

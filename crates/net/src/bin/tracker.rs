@@ -52,6 +52,7 @@ fn run(args: &Args) -> Result<()> {
         io_timeout: Duration::from_millis(args.parse("--io-timeout-ms", 5_000)?),
         handshake_timeout: Duration::from_millis(args.parse("--handshake-timeout-ms", 10_000)?),
         heartbeat_every: Duration::from_millis(args.parse("--heartbeat-ms", 1_000)?),
+        batch_polls: !args.has("--no-batch"),
     };
     let bytes = std::fs::read(instance_path).map_err(|e| {
         P2pError::invalid_config("--instance", format!("cannot read {instance_path}: {e}"))

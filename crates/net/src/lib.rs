@@ -9,7 +9,12 @@
 //! scheduling, FIFO notices), which makes the networked outcome —
 //! assignment, duals, rounds, bids, and the Theorem 1 `n·ε` certificate —
 //! bit-identical to [`p2p_core::SyncAuction`] and therefore to the sharded,
-//! flat and ideal-swarm engines it is already equivalent to.
+//! flat and ideal-swarm engines it is already equivalent to. By default
+//! the sweep ships as *batched* polls — one [`NetMsg::PollBatch`] per peer
+//! per round instead of a frame per request — with tracker-side snapshot
+//! revalidation keeping the batched sweep bit-identical to the per-request
+//! one (see [`tracker`]); set [`NetConfig::batch_polls`] `false` for the
+//! wire-version-1-shaped per-request protocol.
 //!
 //! Layers:
 //!
@@ -57,7 +62,7 @@ pub use frame::FrameConn;
 pub use harness::{bin_path, run_multiprocess, MultiProcessConfig};
 pub use peer::{Peer, PeerConfig};
 pub use proto::{decode_net, encode_net, NetMsg, WireBidder};
-pub use tracker::{NetConfig, Tracker};
+pub use tracker::{NetConfig, NetRunStats, Tracker};
 
 use p2p_core::{AuctionOutcome, AuctionProbe, WelfareInstance};
 use p2p_types::{P2pError, Result};
@@ -74,6 +79,19 @@ pub fn run_slot_local<P: AuctionProbe>(
     warm_prices: Option<&[f64]>,
     probe: &mut P,
 ) -> Result<AuctionOutcome> {
+    run_slot_local_stats(instance, peer_count, config, warm_prices, probe).map(|(o, _)| o)
+}
+
+/// [`run_slot_local`] plus the tracker's wire-frame counters for the slot
+/// — the measurement entry point `net_bench` uses to report frames per
+/// slot for the batched and per-request protocols.
+pub fn run_slot_local_stats<P: AuctionProbe>(
+    instance: &WelfareInstance,
+    peer_count: usize,
+    config: &NetConfig,
+    warm_prices: Option<&[f64]>,
+    probe: &mut P,
+) -> Result<(AuctionOutcome, NetRunStats)> {
     let mut tracker = Tracker::bind("127.0.0.1:0", peer_count, config.clone())?;
     let addr = tracker.local_addr().to_string();
     let peer_config = PeerConfig { io_timeout: config.io_timeout, ..PeerConfig::default() };
@@ -88,6 +106,7 @@ pub fn run_slot_local<P: AuctionProbe>(
         Some(prices) => tracker.run_warm(instance, prices, probe),
         None => tracker.run(instance, probe),
     };
+    let stats = tracker.frame_stats();
     tracker.shutdown();
     let mut peers_ok: Result<()> = Ok(());
     for h in handles {
@@ -103,7 +122,7 @@ pub fn run_slot_local<P: AuctionProbe>(
     match (result, peers_ok) {
         (Err(e), _) => Err(e),
         (Ok(_), Err(e)) => Err(e),
-        (Ok(outcome), Ok(())) => Ok(outcome),
+        (Ok(outcome), Ok(())) => Ok((outcome, stats)),
     }
 }
 

@@ -8,12 +8,18 @@
 //! alone), asks it to [`decide`](BidderNode::decide), and replies.
 //! `Notice`s (accepts, evictions) are absorbed silently, exactly like the
 //! synchronous transport's silent-absorb/poll-once-per-sweep split.
+//!
+//! A `PollBatch` is the same thing amortized: absorb the batch's notices
+//! in order, then serve each `(request, prices)` entry exactly as an
+//! individual poll would have (same shared [`decide_one`] path, same
+//! fault-injection poll budget), and ship every decision back in one
+//! `ReplyBatch` frame.
 
 use crate::frame::FrameConn;
 use crate::proto::{decode_net, encode_net, NetMsg};
 use p2p_core::messages::AuctionMsg;
 use p2p_core::protocol::{BidderNode, LearnPolicy};
-use p2p_core::EdgeView;
+use p2p_core::{BidDecision, EdgeView};
 use p2p_types::{P2pError, Result};
 use std::collections::HashMap;
 use std::net::TcpStream;
@@ -131,61 +137,29 @@ impl Peer {
                         .collect();
                 }
                 NetMsg::Poll { request, prices } => {
-                    if let Some(limit) = self.config.fail_after_polls {
-                        if polls_served >= limit {
-                            return Err(P2pError::Disconnected {
-                                context: format!(
-                                    "fault injection: dropping the connection after \
-                                     {polls_served} polls"
-                                ),
-                            });
-                        }
-                    }
-                    polls_served += 1;
-                    let bidder =
-                        bidders.get_mut(&request).ok_or_else(|| P2pError::WireMalformed {
-                            reason: format!(
-                                "poll for request {request} which this peer owns no \
-                                             bidder for"
-                            ),
-                        })?;
-                    if prices.len() != bidder.views().len() {
-                        return Err(P2pError::WireMalformed {
-                            reason: format!(
-                                "poll for request {request} carried {} prices for {} edges",
-                                prices.len(),
-                                bidder.views().len()
-                            ),
-                        });
-                    }
-                    let by_provider: HashMap<usize, f64> =
-                        bidder.views().iter().zip(&prices).map(|(v, &p)| (v.provider, p)).collect();
-                    bidder
-                        .refresh_prices(|p| by_provider.get(&p).copied().unwrap_or(f64::INFINITY));
-                    let decision = bidder.decide();
+                    self.check_poll_budget(&mut polls_served)?;
+                    let decision = decide_one(&mut bidders, request, &prices)?;
                     self.conn.send(&encode_net(&NetMsg::Reply { request, decision }))?;
                 }
-                NetMsg::Notice(msg) => {
-                    let target = match msg {
-                        AuctionMsg::Accepted { request, .. }
-                        | AuctionMsg::Rejected { request, .. }
-                        | AuctionMsg::Evicted { request, .. } => request,
-                        AuctionMsg::PriceUpdate { listener, .. } => listener,
-                        AuctionMsg::Bid { .. } => {
-                            return Err(P2pError::WireMalformed {
-                                reason: "bidders never receive bids".into(),
-                            })
-                        }
-                    };
-                    let bidder =
-                        bidders.get_mut(&target).ok_or_else(|| P2pError::WireMalformed {
-                            reason: format!(
-                                "notice for request {target} which this peer owns no \
-                                             bidder for"
-                            ),
-                        })?;
-                    bidder.absorb(&msg);
+                NetMsg::PollBatch { notices, polls } => {
+                    // Notices first: a bidder must absorb last round's
+                    // accepts/evictions/cancellations before any of this
+                    // round's decisions, exactly as the per-frame protocol
+                    // interleaves them.
+                    for msg in &notices {
+                        absorb_notice(&mut bidders, msg)?;
+                    }
+                    let mut replies = Vec::with_capacity(polls.len());
+                    for (request, prices) in &polls {
+                        // Each batch entry is one poll for the fault
+                        // budget, so a peer configured to die after k
+                        // polls still dies after k — mid-batch if need be.
+                        self.check_poll_budget(&mut polls_served)?;
+                        replies.push((*request, decide_one(&mut bidders, *request, prices)?));
+                    }
+                    self.conn.send(&encode_net(&NetMsg::ReplyBatch { replies }))?;
                 }
+                NetMsg::Notice(msg) => absorb_notice(&mut bidders, &msg)?,
                 NetMsg::Heartbeat => {}
                 NetMsg::Shutdown => return Ok(()),
                 other => {
@@ -196,4 +170,62 @@ impl Peer {
             }
         }
     }
+
+    /// Counts one served poll against the fault-injection budget,
+    /// erroring out (dropping the connection) once the limit is reached.
+    fn check_poll_budget(&self, polls_served: &mut u64) -> Result<()> {
+        if let Some(limit) = self.config.fail_after_polls {
+            if *polls_served >= limit {
+                return Err(P2pError::Disconnected {
+                    context: format!(
+                        "fault injection: dropping the connection after {polls_served} polls"
+                    ),
+                });
+            }
+        }
+        *polls_served += 1;
+        Ok(())
+    }
+}
+
+/// Refreshes one bidder from the poll's exact prices (edge-aligned) and
+/// returns its decision. Shared by the per-request and batched paths so
+/// they cannot drift.
+fn decide_one(
+    bidders: &mut HashMap<usize, BidderNode>,
+    request: usize,
+    prices: &[f64],
+) -> Result<BidDecision> {
+    let bidder = bidders.get_mut(&request).ok_or_else(|| P2pError::WireMalformed {
+        reason: format!("poll for request {request} which this peer owns no bidder for"),
+    })?;
+    if prices.len() != bidder.views().len() {
+        return Err(P2pError::WireMalformed {
+            reason: format!(
+                "poll for request {request} carried {} prices for {} edges",
+                prices.len(),
+                bidder.views().len()
+            ),
+        });
+    }
+    bidder.refresh_prices_aligned(prices);
+    Ok(bidder.decide())
+}
+
+/// Routes one protocol notice to its target bidder for silent absorption.
+fn absorb_notice(bidders: &mut HashMap<usize, BidderNode>, msg: &AuctionMsg) -> Result<()> {
+    let target = match *msg {
+        AuctionMsg::Accepted { request, .. }
+        | AuctionMsg::Rejected { request, .. }
+        | AuctionMsg::Evicted { request, .. } => request,
+        AuctionMsg::PriceUpdate { listener, .. } => listener,
+        AuctionMsg::Bid { .. } => {
+            return Err(P2pError::WireMalformed { reason: "bidders never receive bids".into() })
+        }
+    };
+    let bidder = bidders.get_mut(&target).ok_or_else(|| P2pError::WireMalformed {
+        reason: format!("notice for request {target} which this peer owns no bidder for"),
+    })?;
+    bidder.absorb(msg);
+    Ok(())
 }

@@ -21,6 +21,8 @@ const TAG_REPLY: u8 = 20;
 const TAG_NOTICE: u8 = 21;
 const TAG_HEARTBEAT: u8 = 22;
 const TAG_SHUTDOWN: u8 = 23;
+const TAG_POLL_BATCH: u8 = 24;
+const TAG_REPLY_BATCH: u8 = 25;
 
 const TAG_INSTANCE: u8 = 100;
 const TAG_OUTCOME: u8 = 101;
@@ -83,6 +85,25 @@ pub enum NetMsg {
     Heartbeat,
     /// Tracker → peer: the auction is over, exit cleanly.
     Shutdown,
+    /// Tracker → peer: one frame for a whole sweep round — the notices
+    /// owed from the previous round (absorbed in order, *before* any
+    /// decision), then every request this peer must decide, each with its
+    /// own price snapshot in edge order. The snapshots are speculative:
+    /// the tracker revalidates each one against live prices at that
+    /// request's sweep position and locally repairs stale entries, so the
+    /// Gauss–Seidel order is preserved bid for bid (wire version 2).
+    PollBatch {
+        /// Protocol notices to absorb before deciding, in delivery order.
+        notices: Vec<AuctionMsg>,
+        /// `(request, snapshot prices)` per polled request, in sweep order.
+        polls: Vec<(usize, Vec<f64>)>,
+    },
+    /// Peer → tracker: decisions for every entry of a [`NetMsg::PollBatch`],
+    /// in the same order the batch polled them.
+    ReplyBatch {
+        /// `(request, decision)` per polled request.
+        replies: Vec<(usize, BidDecision)>,
+    },
 }
 
 fn reason_to_wire(reason: AbstainReason) -> u8 {
@@ -141,18 +162,7 @@ pub fn encode_net(msg: &NetMsg) -> Vec<u8> {
         NetMsg::Reply { request, decision } => {
             w.put_u8(TAG_REPLY);
             w.put_index(*request);
-            match decision {
-                BidDecision::Abstain { reason } => {
-                    w.put_u8(0);
-                    w.put_u8(reason_to_wire(*reason));
-                }
-                BidDecision::Bid { edge, provider, amount } => {
-                    w.put_u8(1);
-                    w.put_index(*edge);
-                    w.put_index(*provider);
-                    w.put_f64(*amount);
-                }
-            }
+            put_decision(&mut w, decision);
         }
         NetMsg::Notice(inner) => {
             w.put_u8(TAG_NOTICE);
@@ -160,8 +170,56 @@ pub fn encode_net(msg: &NetMsg) -> Vec<u8> {
         }
         NetMsg::Heartbeat => w.put_u8(TAG_HEARTBEAT),
         NetMsg::Shutdown => w.put_u8(TAG_SHUTDOWN),
+        NetMsg::PollBatch { notices, polls } => {
+            w.put_u8(TAG_POLL_BATCH);
+            w.put_u64(notices.len() as u64);
+            for n in notices {
+                let inner = encode_msg(n);
+                w.put_u64(inner.len() as u64);
+                w.put_bytes(&inner);
+            }
+            w.put_u64(polls.len() as u64);
+            for (request, prices) in polls {
+                w.put_index(*request);
+                w.put_u64(prices.len() as u64);
+                for p in prices {
+                    w.put_f64(*p);
+                }
+            }
+        }
+        NetMsg::ReplyBatch { replies } => {
+            w.put_u8(TAG_REPLY_BATCH);
+            w.put_u64(replies.len() as u64);
+            for (request, decision) in replies {
+                w.put_index(*request);
+                put_decision(&mut w, decision);
+            }
+        }
     }
     w.into_vec()
+}
+
+fn put_decision(w: &mut WireWriter, decision: &BidDecision) {
+    match decision {
+        BidDecision::Abstain { reason } => {
+            w.put_u8(0);
+            w.put_u8(reason_to_wire(*reason));
+        }
+        BidDecision::Bid { edge, provider, amount } => {
+            w.put_u8(1);
+            w.put_index(*edge);
+            w.put_index(*provider);
+            w.put_f64(*amount);
+        }
+    }
+}
+
+fn take_decision(r: &mut WireReader<'_>) -> Result<BidDecision> {
+    match r.u8()? {
+        0 => Ok(BidDecision::Abstain { reason: reason_from_wire(r.u8()?)? }),
+        1 => Ok(BidDecision::Bid { edge: r.index()?, provider: r.index()?, amount: r.f64()? }),
+        other => Err(P2pError::WireMalformed { reason: format!("unknown decision kind {other}") }),
+    }
 }
 
 /// Decodes one control message from a versioned payload (strict: exactly
@@ -202,15 +260,7 @@ pub fn decode_net(bytes: &[u8]) -> Result<NetMsg> {
         }
         TAG_REPLY => {
             let request = r.index()?;
-            let decision = match r.u8()? {
-                0 => BidDecision::Abstain { reason: reason_from_wire(r.u8()?)? },
-                1 => BidDecision::Bid { edge: r.index()?, provider: r.index()?, amount: r.f64()? },
-                other => {
-                    return Err(P2pError::WireMalformed {
-                        reason: format!("unknown decision kind {other}"),
-                    })
-                }
-            };
+            let decision = take_decision(&mut r)?;
             NetMsg::Reply { request, decision }
         }
         TAG_NOTICE => {
@@ -219,6 +269,35 @@ pub fn decode_net(bytes: &[u8]) -> Result<NetMsg> {
         }
         TAG_HEARTBEAT => NetMsg::Heartbeat,
         TAG_SHUTDOWN => NetMsg::Shutdown,
+        TAG_POLL_BATCH => {
+            let notice_count = r.index()?;
+            let mut notices = Vec::with_capacity(notice_count.min(1 << 16));
+            for _ in 0..notice_count {
+                let len = r.index()?;
+                notices.push(decode_msg(r.take(len)?)?);
+            }
+            let poll_count = r.index()?;
+            let mut polls = Vec::with_capacity(poll_count.min(1 << 16));
+            for _ in 0..poll_count {
+                let request = r.index()?;
+                let price_count = r.index()?;
+                let mut prices = Vec::with_capacity(price_count.min(1 << 16));
+                for _ in 0..price_count {
+                    prices.push(r.f64()?);
+                }
+                polls.push((request, prices));
+            }
+            NetMsg::PollBatch { notices, polls }
+        }
+        TAG_REPLY_BATCH => {
+            let count = r.index()?;
+            let mut replies = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                let request = r.index()?;
+                replies.push((request, take_decision(&mut r)?));
+            }
+            NetMsg::ReplyBatch { replies }
+        }
         other => {
             return Err(P2pError::WireMalformed { reason: format!("unknown control tag {other}") })
         }
@@ -387,6 +466,20 @@ mod tests {
             NetMsg::Notice(AuctionMsg::Evicted { request: 4, provider: 1, price: 6.5 }),
             NetMsg::Heartbeat,
             NetMsg::Shutdown,
+            NetMsg::PollBatch {
+                notices: vec![
+                    AuctionMsg::Accepted { request: 2, provider: 0 },
+                    AuctionMsg::Evicted { request: 5, provider: 0, price: 1.75 },
+                ],
+                polls: vec![(0, vec![0.5, f64::INFINITY]), (5, vec![]), (6, vec![1.0 / 3.0])],
+            },
+            NetMsg::PollBatch { notices: vec![], polls: vec![] },
+            NetMsg::ReplyBatch {
+                replies: vec![
+                    (0, BidDecision::Bid { edge: 0, provider: 1, amount: 0.625 }),
+                    (5, BidDecision::Abstain { reason: AbstainReason::NoCandidates }),
+                ],
+            },
         ]
     }
 

@@ -11,14 +11,32 @@
 //! Per-connection FIFO delivery guarantees an `Accepted`/`Evicted` notice
 //! reaches a peer before that peer's next `Poll`, so bidder phase and the
 //! tracker's assignment view never disagree.
+//!
+//! Two wire drivers replay that same sweep. The per-request driver
+//! ([`NetConfig::batch_polls`] `false`) sends one `Poll` frame per open
+//! request and applies each reply before the next poll. The batched
+//! driver (the default) sends one [`NetMsg::PollBatch`] per peer per
+//! round — queued notices first, then a price *snapshot* per owned open
+//! request — and collects one `ReplyBatch` per peer. The replies are
+//! speculative; the tracker replays the sweep in index order and accepts
+//! an entry only while its snapshot still bitwise-matches the live
+//! prices, otherwise it recomputes the decision locally (with exact
+//! aligned polls and `LearnPolicy::Monotone`, a polled bidder's decision
+//! is a pure function of the live prices) and queues a rejection so the
+//! peer's parked bidder re-idles before its next poll. Both drivers
+//! funnel every authoritative decision through [`Sweep::apply`], so the
+//! outcome is bit-identical either way — the batched driver just spends
+//! ~`2 × peers × rounds` frames where the per-request one spends
+//! `2 × polls + notices`.
 
 use crate::frame::FrameConn;
 use crate::proto::{encode_net, NetMsg, WireBidder};
+use p2p_core::bidder::{decide_bid, AbstainReason};
 use p2p_core::engine::{edge_views, final_prices_from, run_warm_with};
 use p2p_core::messages::AuctionMsg;
 use p2p_core::protocol::AuctioneerNode;
 use p2p_core::{
-    Assignment, AuctionOutcome, AuctionProbe, BidDecision, DualSolution, WelfareInstance,
+    Assignment, AuctionOutcome, AuctionProbe, BidDecision, DualSolution, EdgeView, WelfareInstance,
 };
 use p2p_types::{P2pError, Result};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
@@ -48,6 +66,14 @@ pub struct NetConfig {
     /// Tracker → peer keep-alive interval; must be comfortably below
     /// `io_timeout` so idle peers never trip their read deadline.
     pub heartbeat_every: Duration,
+    /// Ship one [`NetMsg::PollBatch`] frame per peer per sweep round
+    /// (wire version 2) instead of one `Poll` and one `Notice` frame per
+    /// request. Bit-identical to the per-request protocol — each batch
+    /// entry carries a price snapshot that the tracker revalidates at the
+    /// entry's exact sweep position, repairing stale entries locally —
+    /// while cutting frames per slot by roughly the poll count over the
+    /// peer count × rounds. Disable to exercise the per-request path.
+    pub batch_polls: bool,
 }
 
 impl Default for NetConfig {
@@ -59,7 +85,25 @@ impl Default for NetConfig {
             io_timeout: Duration::from_secs(5),
             handshake_timeout: Duration::from_secs(10),
             heartbeat_every: Duration::from_secs(1),
+            batch_polls: true,
         }
+    }
+}
+
+/// Wire-frame counters for one tracker slot (heartbeats and the
+/// handshake excluded), accumulated across every warm-repair pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetRunStats {
+    /// Frames the tracker sent: `Init`s, polls (batched or not), notices.
+    pub frames_sent: u64,
+    /// Reply frames the tracker received from peers.
+    pub frames_recv: u64,
+}
+
+impl NetRunStats {
+    /// Total frames in both directions.
+    pub fn total(&self) -> u64 {
+        self.frames_sent + self.frames_recv
     }
 }
 
@@ -82,6 +126,8 @@ pub struct Tracker {
     heartbeat_stop: Arc<AtomicBool>,
     heartbeat: Option<JoinHandle<()>>,
     shut: bool,
+    frames_sent: u64,
+    frames_recv: u64,
 }
 
 impl Tracker {
@@ -109,7 +155,15 @@ impl Tracker {
             heartbeat_stop: Arc::new(AtomicBool::new(false)),
             heartbeat: None,
             shut: false,
+            frames_sent: 0,
+            frames_recv: 0,
         })
+    }
+
+    /// Wire-frame counters for the most recent [`run`](Tracker::run) /
+    /// [`run_warm`](Tracker::run_warm) slot.
+    pub fn frame_stats(&self) -> NetRunStats {
+        NetRunStats { frames_sent: self.frames_sent, frames_recv: self.frames_recv }
     }
 
     /// The bound address (useful after binding port 0).
@@ -190,6 +244,8 @@ impl Tracker {
         probe: &mut P,
     ) -> Result<AuctionOutcome> {
         self.accept_peers()?;
+        self.frames_sent = 0;
+        self.frames_recv = 0;
         self.run_pass(instance, None, probe)
     }
 
@@ -203,6 +259,8 @@ impl Tracker {
         probe: &mut P,
     ) -> Result<AuctionOutcome> {
         self.accept_peers()?;
+        self.frames_sent = 0;
+        self.frames_recv = 0;
         let epsilon = self.config.epsilon;
         run_warm_with(instance, prior_prices, epsilon, |prices| {
             self.run_pass(instance, prices, probe)
@@ -280,11 +338,13 @@ impl Tracker {
                 })
                 .collect();
             send_to(link, &NetMsg::Init { epsilon: self.config.epsilon, bidders })?;
+            self.frames_sent += 1;
         }
 
         let mut assigned: Vec<Option<usize>> = vec![None; n];
         let retire = self.config.retire_priced_out;
         let mut retired: Vec<bool> = vec![false; if retire { n } else { 0 }];
+        let mut notices_q: Vec<Vec<AuctionMsg>> = vec![Vec::new(); self.peer_count];
         let mut rounds = 0u64;
         let mut bids_submitted = 0u64;
 
@@ -293,74 +353,39 @@ impl Tracker {
             if rounds > self.config.max_rounds {
                 return Err(P2pError::AuctionDiverged { iterations: rounds - 1 });
             }
-            let mut bids_this_round = 0u64;
-            let mut conflicts_this_round = 0u64;
-            let mut retired_this_round = 0u64;
-            for r in 0..n {
-                if assigned[r].is_some() {
-                    continue;
-                }
-                if retire && retired[r] {
-                    continue;
-                }
-                let owner = r % self.peer_count;
-                let prices: Vec<f64> = views[r].iter().map(|v| eff_price[v.provider]).collect();
-                send_to(&self.links[owner], &NetMsg::Poll { request: r, prices })?;
-                match self.await_reply(owner, r)? {
-                    BidDecision::Abstain { reason } => {
-                        if retire
-                            && matches!(
-                                reason,
-                                p2p_core::bidder::AbstainReason::Unprofitable
-                                    | p2p_core::bidder::AbstainReason::NoCandidates
-                            )
-                        {
-                            retired[r] = true;
-                            retired_this_round += 1;
-                        }
-                    }
-                    BidDecision::Bid { edge, provider, amount } => {
-                        if views[r].get(edge).map(|v| v.provider) != Some(provider) {
-                            return Err(P2pError::WireMalformed {
-                                reason: format!(
-                                    "request {r} bid on edge {edge} which does not point at \
-                                     provider {provider}"
-                                ),
-                            });
-                        }
-                        bids_this_round += 1;
-                        let reply = auctioneers[provider].on_bid(r, amount);
-                        match reply.reply {
-                            AuctionMsg::Accepted { .. } => {
-                                assigned[r] = Some(edge);
-                            }
-                            _ => {
-                                // Unreachable with exact polled prices: the
-                                // bidder only bids strictly above λ. Mirror
-                                // the sync engine (count the bid, continue)
-                                // but still notify so the bidder re-idles.
-                                debug_assert!(false, "networked bid rejected");
-                            }
-                        }
-                        send_to(&self.links[owner], &NetMsg::Notice(reply.reply))?;
-                        if let Some(ev) = reply.evicted {
-                            if let AuctionMsg::Evicted { request: loser, .. } = ev {
-                                assigned[loser] = None;
-                                conflicts_this_round += 1;
-                                send_to(&self.links[loser % self.peer_count], &NetMsg::Notice(ev))?;
-                            }
-                        }
-                        if let Some(p) = reply.price_changed {
-                            probe.price_change(provider, p - eff_price[provider]);
-                            eff_price[provider] = p;
-                        }
-                    }
-                }
+            let mut sweep = Sweep {
+                views: &views,
+                auctioneers: &mut auctioneers,
+                eff_price: &mut eff_price,
+                assigned: &mut assigned,
+                retire,
+                retired: &mut retired,
+                notices_q: &mut notices_q,
+                peer_count: self.peer_count,
+                bids: 0,
+                conflicts: 0,
+                newly_retired: 0,
+            };
+            if self.config.batch_polls {
+                self.sweep_batched(&mut sweep, probe)?;
+            } else {
+                self.sweep_unbatched(&mut sweep, probe)?;
             }
+            let (bids_this_round, conflicts_this_round, retired_this_round) =
+                (sweep.bids, sweep.conflicts, sweep.newly_retired);
             bids_submitted += bids_this_round;
             probe.round(rounds, bids_this_round, conflicts_this_round, 0, retired_this_round);
             if bids_this_round == 0 {
                 break;
+            }
+        }
+
+        // A quiescent final round can still queue repair rejections for
+        // stale speculative bids; flush them so no peer bidder is left
+        // parked in `Pending` when the pass ends.
+        for (owner, queue) in notices_q.iter_mut().enumerate() {
+            for msg in std::mem::take(queue) {
+                self.send_counted(owner, &NetMsg::Notice(msg))?;
             }
         }
 
@@ -387,15 +412,167 @@ impl Tracker {
         Ok(outcome)
     }
 
+    /// One per-request sweep round: poll every open request individually
+    /// and apply its decision immediately — the original wire protocol,
+    /// two frames (plus notices) per poll.
+    fn sweep_unbatched<P: AuctionProbe>(
+        &mut self,
+        sweep: &mut Sweep<'_>,
+        probe: &mut P,
+    ) -> Result<()> {
+        let n = sweep.assigned.len();
+        for r in 0..n {
+            if sweep.is_closed(r) {
+                continue;
+            }
+            let owner = r % self.peer_count;
+            let prices: Vec<f64> =
+                sweep.views[r].iter().map(|v| sweep.eff_price[v.provider]).collect();
+            self.send_counted(owner, &NetMsg::Poll { request: r, prices })?;
+            let decision = self.await_reply(owner, r)?;
+            if let BidDecision::Bid { edge, provider, .. } = decision {
+                check_bid_shape(sweep.views, r, edge, provider)?;
+            }
+            let notices = sweep.apply(r, decision, probe);
+            for (target, msg) in notices {
+                self.send_counted(target, &NetMsg::Notice(msg))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One batched sweep round: a single [`NetMsg::PollBatch`] per peer
+    /// carrying last round's notices and a price snapshot per open
+    /// request, answered by one [`NetMsg::ReplyBatch`]. The replies are
+    /// speculative — each was decided against its snapshot — so the
+    /// tracker replays the sweep in index order and uses an entry only if
+    /// its snapshot still bitwise-matches the live prices at that
+    /// position; otherwise the decision is recomputed locally (the bid
+    /// rule is a pure function of the live prices) and, if the discarded
+    /// speculation was a bid, a rejection is queued so the peer's bidder
+    /// leaves `Pending`. Bit-for-bit the same sweep, ~`polls/(peers ×
+    /// rounds)` times fewer frames.
+    fn sweep_batched<P: AuctionProbe>(
+        &mut self,
+        sweep: &mut Sweep<'_>,
+        probe: &mut P,
+    ) -> Result<()> {
+        let n = sweep.assigned.len();
+        // Ship one frame per peer: queued notices, then this round's polls.
+        let mut snapshots: Vec<Option<Vec<f64>>> = vec![None; n];
+        let mut awaiting: Vec<bool> = vec![false; self.peer_count];
+        let mut outstanding = 0usize;
+        for (owner, awaiting_reply) in awaiting.iter_mut().enumerate() {
+            let mut polls: Vec<(usize, Vec<f64>)> = Vec::new();
+            for r in (owner..n).step_by(self.peer_count) {
+                if sweep.is_closed(r) {
+                    continue;
+                }
+                let prices: Vec<f64> =
+                    sweep.views[r].iter().map(|v| sweep.eff_price[v.provider]).collect();
+                snapshots[r] = Some(prices.clone());
+                polls.push((r, prices));
+            }
+            let notices = std::mem::take(&mut sweep.notices_q[owner]);
+            if polls.is_empty() && notices.is_empty() {
+                continue;
+            }
+            self.send_counted(owner, &NetMsg::PollBatch { notices, polls })?;
+            *awaiting_reply = true;
+            outstanding += 1;
+        }
+
+        // Collect every peer's reply (arrival order is theirs to choose).
+        let mut spec: Vec<Option<BidDecision>> = vec![None; n];
+        while outstanding > 0 {
+            let (idx, replies) = self.await_reply_batch()?;
+            if !std::mem::take(&mut awaiting[idx]) {
+                return Err(P2pError::WireMalformed {
+                    reason: format!("peer {idx} sent a reply batch it was not asked for"),
+                });
+            }
+            outstanding -= 1;
+            for (r, decision) in replies {
+                let solicited = r % self.peer_count == idx
+                    && snapshots.get(r).is_some_and(Option::is_some)
+                    && spec[r].is_none();
+                if !solicited {
+                    return Err(P2pError::WireMalformed {
+                        reason: format!("peer {idx} answered request {r} out of turn"),
+                    });
+                }
+                spec[r] = Some(decision);
+            }
+        }
+
+        // Replay the sweep in index order against live prices.
+        for r in 0..n {
+            if sweep.is_closed(r) {
+                continue;
+            }
+            let owner = r % self.peer_count;
+            let decision = match spec[r].take() {
+                Some(d) => {
+                    if let BidDecision::Bid { edge, provider, .. } = d {
+                        check_bid_shape(sweep.views, r, edge, provider)?;
+                    }
+                    let snap = snapshots[r]
+                        .as_ref()
+                        .expect("every speculative reply was checked against a snapshot");
+                    if sweep.snapshot_is_live(r, snap) {
+                        d
+                    } else {
+                        // Prices moved before this sweep position: void
+                        // the speculation. A discarded bid left the
+                        // peer's bidder in `Pending`; a rejection at the
+                        // live price re-idles it before its next poll.
+                        if let BidDecision::Bid { provider, .. } = d {
+                            sweep.notices_q[owner].push(AuctionMsg::Rejected {
+                                request: r,
+                                provider,
+                                price: sweep.eff_price[provider],
+                            });
+                        }
+                        sweep.decide_locally(r, self.config.epsilon)
+                    }
+                }
+                None => {
+                    if snapshots[r].is_some() {
+                        return Err(P2pError::WireMalformed {
+                            reason: format!("a reply batch omitted polled request {r}"),
+                        });
+                    }
+                    // No batch entry: the request was assigned when the
+                    // batch shipped and lost its unit mid-round. The
+                    // per-request protocol would poll it now; its
+                    // decision is the same pure function of live prices.
+                    sweep.decide_locally(r, self.config.epsilon)
+                }
+            };
+            let notices = sweep.apply(r, decision, probe);
+            for (target, msg) in notices {
+                sweep.notices_q[target].push(msg);
+            }
+        }
+        Ok(())
+    }
+
+    fn send_counted(&mut self, peer: usize, msg: &NetMsg) -> Result<()> {
+        send_to(&self.links[peer], msg)?;
+        self.frames_sent += 1;
+        Ok(())
+    }
+
     /// Waits for `peer`'s decision about `request`, with the per-reply
     /// deadline. A reader-thread error (peer died) or a deadline expiry
     /// (peer silent) surfaces as the corresponding typed error.
-    fn await_reply(&self, peer: usize, request: usize) -> Result<BidDecision> {
+    fn await_reply(&mut self, peer: usize, request: usize) -> Result<BidDecision> {
         let rx = self.rx.as_ref().expect("accept_peers ran before the sweep");
         match rx.recv_timeout(self.config.io_timeout) {
             Ok((idx, Ok(NetMsg::Reply { request: got, decision })))
                 if idx == peer && got == request =>
             {
+                self.frames_recv += 1;
                 Ok(decision)
             }
             Ok((idx, Ok(other))) => Err(P2pError::WireMalformed {
@@ -413,6 +590,139 @@ impl Tracker {
             }
         }
     }
+
+    /// Waits for any peer's [`NetMsg::ReplyBatch`] (peers finish their
+    /// batches in whatever order the scheduler gives them), with the same
+    /// deadline and error surface as [`await_reply`](Tracker::await_reply).
+    fn await_reply_batch(&mut self) -> Result<(usize, Vec<(usize, BidDecision)>)> {
+        let rx = self.rx.as_ref().expect("accept_peers ran before the sweep");
+        match rx.recv_timeout(self.config.io_timeout) {
+            Ok((idx, Ok(NetMsg::ReplyBatch { replies }))) => {
+                self.frames_recv += 1;
+                Ok((idx, replies))
+            }
+            Ok((idx, Ok(other))) => Err(P2pError::WireMalformed {
+                reason: format!("peer {idx} sent {other:?} while a reply batch was owed"),
+            }),
+            Ok((_, Err(e))) => Err(e),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(P2pError::Timeout { elapsed: self.config.io_timeout, messages: 0 })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(P2pError::Disconnected { context: "every connection reader exited".into() })
+            }
+        }
+    }
+}
+
+/// The mutable state of one sweep round, shared by the per-request and
+/// batched drivers so the two wire protocols cannot drift: both funnel
+/// every authoritative decision through [`Sweep::apply`].
+struct Sweep<'a> {
+    views: &'a [Vec<EdgeView>],
+    auctioneers: &'a mut [AuctioneerNode],
+    eff_price: &'a mut [f64],
+    assigned: &'a mut [Option<usize>],
+    retire: bool,
+    retired: &'a mut [bool],
+    /// Notices owed to each peer, delivered at the head of its next
+    /// `PollBatch` (batched mode only; the per-request driver sends
+    /// notices inline and leaves these queues empty).
+    notices_q: &'a mut [Vec<AuctionMsg>],
+    peer_count: usize,
+    bids: u64,
+    conflicts: u64,
+    newly_retired: u64,
+}
+
+impl Sweep<'_> {
+    /// Whether `r` is out of this round's sweep (assigned or retired).
+    fn is_closed(&self, r: usize) -> bool {
+        self.assigned[r].is_some() || (self.retire && self.retired[r])
+    }
+
+    /// Whether a batch entry's price snapshot still bitwise-matches the
+    /// live prices of `r`'s candidates — the condition under which the
+    /// peer's speculative decision equals the one it would make now.
+    fn snapshot_is_live(&self, r: usize, snap: &[f64]) -> bool {
+        snap.iter()
+            .zip(&self.views[r])
+            .all(|(s, v)| s.to_bits() == self.eff_price[v.provider].to_bits())
+    }
+
+    /// The decision the peer's bidder would return for a poll of `r` at
+    /// the live prices. Exact polls overwrite every live price entry and
+    /// a polled bidder is always `Idle`, so its decision is this pure
+    /// function — which lets the tracker repair stale batch entries
+    /// without a second round-trip.
+    fn decide_locally(&self, r: usize, epsilon: f64) -> BidDecision {
+        decide_bid(&self.views[r], |u| self.eff_price[u], epsilon)
+    }
+
+    /// Applies one authoritative decision at sweep position `r` — the
+    /// body of the original per-request loop — and returns the owed
+    /// notices as `(peer, message)` in delivery order.
+    fn apply<P: AuctionProbe>(
+        &mut self,
+        r: usize,
+        decision: BidDecision,
+        probe: &mut P,
+    ) -> Vec<(usize, AuctionMsg)> {
+        let mut notices = Vec::new();
+        match decision {
+            BidDecision::Abstain { reason } => {
+                if self.retire
+                    && matches!(reason, AbstainReason::Unprofitable | AbstainReason::NoCandidates)
+                {
+                    self.retired[r] = true;
+                    self.newly_retired += 1;
+                }
+            }
+            BidDecision::Bid { edge, provider, amount } => {
+                self.bids += 1;
+                let before = self.eff_price[provider];
+                let reply = self.auctioneers[provider].on_bid(r, amount);
+                match reply.reply {
+                    AuctionMsg::Accepted { .. } => {
+                        self.assigned[r] = Some(edge);
+                    }
+                    _ => {
+                        // Unreachable with exact polled prices: the
+                        // bidder only bids strictly above λ. Mirror the
+                        // sync engine (count the bid, continue) but still
+                        // notify so the bidder re-idles.
+                        debug_assert!(false, "networked bid rejected");
+                    }
+                }
+                notices.push((r % self.peer_count, reply.reply));
+                if let Some(ev) = reply.evicted {
+                    if let AuctionMsg::Evicted { request: loser, .. } = ev {
+                        self.assigned[loser] = None;
+                        self.conflicts += 1;
+                        notices.push((loser % self.peer_count, ev));
+                    }
+                }
+                if let Some(p) = reply.price_changed {
+                    probe.price_change(provider, p - before);
+                    self.eff_price[provider] = p;
+                }
+            }
+        }
+        notices
+    }
+}
+
+/// Validates that a wire bid's `(edge, provider)` pair is consistent with
+/// the request's edge list before it can index anything.
+fn check_bid_shape(views: &[Vec<EdgeView>], r: usize, edge: usize, provider: usize) -> Result<()> {
+    if views[r].get(edge).map(|v| v.provider) != Some(provider) {
+        return Err(P2pError::WireMalformed {
+            reason: format!(
+                "request {r} bid on edge {edge} which does not point at provider {provider}"
+            ),
+        });
+    }
+    Ok(())
 }
 
 impl Drop for Tracker {

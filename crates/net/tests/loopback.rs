@@ -80,6 +80,42 @@ fn networked_slot_is_bit_identical_to_the_flat_engine() {
 }
 
 #[test]
+fn batched_polls_match_the_per_request_protocol_and_the_flat_engine() {
+    use p2p_core::{CsrInstance, FlatAuction};
+    use p2p_net::run_slot_local_stats;
+    for seed in [13, 29] {
+        let instance = random_instance(seed, 8, 64);
+        let csr = CsrInstance::compile(&instance);
+        let flat =
+            FlatAuction::new(AuctionConfig::paper(), ShardCount::Fixed(1)).run(&csr).unwrap();
+        for peers in [1, 2, 4] {
+            let batched_cfg = NetConfig { batch_polls: true, ..quick_config() };
+            let unbatched_cfg = NetConfig { batch_polls: false, ..quick_config() };
+            let (batched, bstats) =
+                run_slot_local_stats(&instance, peers, &batched_cfg, None, &mut NoProbe).unwrap();
+            let (unbatched, ustats) =
+                run_slot_local_stats(&instance, peers, &unbatched_cfg, None, &mut NoProbe).unwrap();
+            for (label, got) in [("batched", &batched), ("unbatched", &unbatched)] {
+                assert_eq!(
+                    got.assignment.choices(),
+                    flat.assignment.choices(),
+                    "{label}, seed {seed}, {peers} peers"
+                );
+                assert_eq!(got.duals.lambda, flat.duals.lambda, "{label}, seed {seed}");
+                assert_eq!(got.rounds, flat.rounds, "{label}, seed {seed}");
+                assert_eq!(got.bids_submitted, flat.bids_submitted, "{label}, seed {seed}");
+            }
+            assert!(
+                bstats.total() * 5 <= ustats.total(),
+                "seed {seed}, {peers} peers: batching only cut frames from {} to {}",
+                ustats.total(),
+                bstats.total()
+            );
+        }
+    }
+}
+
+#[test]
 fn networked_outcome_carries_the_optimality_certificate() {
     let instance = random_instance(7, 4, 20);
     let outcome = run_slot_local(&instance, 3, &quick_config(), None, &mut NoProbe).unwrap();

@@ -1,0 +1,128 @@
+//! Fuzz-shaped certification of the wire-version-2 batch frames: a
+//! [`NetMsg::PollBatch`] / [`NetMsg::ReplyBatch`] with arbitrary nested
+//! notices, snapshot prices (any `f64` bit pattern, NaN and ±∞ included)
+//! and decisions survives encode → decode bit-exactly; the decoder fails
+//! gracefully (typed error, no panic) on arbitrary junk, every strict
+//! prefix, and foreign version bytes. The companion core-level suite
+//! (`crates/core/tests/proptest_wire.rs`) certifies the embedded
+//! [`AuctionMsg`] payload codec the batches nest.
+
+use p2p_core::bidder::AbstainReason;
+use p2p_core::codec::WIRE_VERSION;
+use p2p_core::messages::AuctionMsg;
+use p2p_core::BidDecision;
+use p2p_net::{decode_net, encode_net, NetMsg};
+use p2p_types::P2pError;
+use proptest::prelude::*;
+
+/// Any `f64` bit pattern — the codec promises NaNs, infinities,
+/// subnormals and -0.0 all travel bit-exactly.
+fn arb_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn arb_index() -> impl Strategy<Value = usize> {
+    any::<u64>().prop_map(|v| v as usize)
+}
+
+fn arb_notice() -> impl Strategy<Value = AuctionMsg> {
+    prop_oneof![
+        (arb_index(), arb_index())
+            .prop_map(|(request, provider)| AuctionMsg::Accepted { request, provider }),
+        (arb_index(), arb_index(), arb_f64()).prop_map(|(request, provider, price)| {
+            AuctionMsg::Rejected { request, provider, price }
+        }),
+        (arb_index(), arb_index(), arb_f64()).prop_map(|(request, provider, price)| {
+            AuctionMsg::Evicted { request, provider, price }
+        }),
+        (arb_index(), arb_index(), arb_f64()).prop_map(|(listener, provider, price)| {
+            AuctionMsg::PriceUpdate { listener, provider, price }
+        }),
+    ]
+}
+
+fn arb_decision() -> impl Strategy<Value = BidDecision> {
+    prop_oneof![
+        prop_oneof![
+            Just(AbstainReason::NoCandidates),
+            Just(AbstainReason::Unprofitable),
+            Just(AbstainReason::ZeroMargin),
+        ]
+        .prop_map(|reason| BidDecision::Abstain { reason }),
+        (arb_index(), arb_index(), arb_f64())
+            .prop_map(|(edge, provider, amount)| { BidDecision::Bid { edge, provider, amount } }),
+    ]
+}
+
+fn arb_poll_batch() -> impl Strategy<Value = NetMsg> {
+    (
+        prop::collection::vec(arb_notice(), 0..6),
+        prop::collection::vec((arb_index(), prop::collection::vec(arb_f64(), 0..5)), 0..6),
+    )
+        .prop_map(|(notices, polls)| NetMsg::PollBatch { notices, polls })
+}
+
+fn arb_reply_batch() -> impl Strategy<Value = NetMsg> {
+    prop::collection::vec((arb_index(), arb_decision()), 0..8)
+        .prop_map(|replies| NetMsg::ReplyBatch { replies })
+}
+
+fn arb_batch_msg() -> impl Strategy<Value = NetMsg> {
+    prop_oneof![arb_poll_batch(), arb_reply_batch()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256)))]
+
+    /// Encode → decode → encode reproduces the original bytes exactly,
+    /// nested notice payloads and non-finite snapshot prices included.
+    #[test]
+    fn batch_roundtrip_is_bit_exact(msg in arb_batch_msg()) {
+        let bytes = encode_net(&msg);
+        let decoded = decode_net(&bytes).expect("valid encoding must decode");
+        prop_assert_eq!(encode_net(&decoded), bytes);
+    }
+
+    /// Arbitrary byte junk never panics the control decoder, and when it
+    /// *does* decode, the bytes were canonical.
+    #[test]
+    fn junk_decodes_gracefully_or_canonically(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        match decode_net(&bytes) {
+            Ok(msg) => prop_assert_eq!(encode_net(&msg), bytes),
+            Err(
+                P2pError::WireTruncated { .. }
+                | P2pError::WireVersion { .. }
+                | P2pError::WireMalformed { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+        }
+    }
+
+    /// Every strict prefix of a valid batch encoding is rejected — a short
+    /// read can never be mistaken for a complete batch.
+    #[test]
+    fn strict_prefixes_never_decode(msg in arb_batch_msg(), frac in 0.0f64..1.0) {
+        let bytes = encode_net(&msg);
+        let cut = ((bytes.len() as f64) * frac) as usize; // always < len
+        prop_assert!(decode_net(&bytes[..cut]).is_err());
+    }
+
+    /// A foreign version byte on a batch frame is rejected with the
+    /// version numbers — version-1 speakers cannot feed the batched sweep.
+    #[test]
+    fn foreign_versions_are_rejected(version in 0u8..=255, msg in arb_batch_msg()) {
+        prop_assume!(version != WIRE_VERSION);
+        let mut bytes = encode_net(&msg);
+        bytes[0] = version;
+        match decode_net(&bytes) {
+            Err(P2pError::WireVersion { found, supported }) => {
+                prop_assert_eq!(found, version);
+                prop_assert_eq!(supported, WIRE_VERSION);
+            }
+            other => prop_assert!(false, "expected a version error, got {other:?}"),
+        }
+    }
+}

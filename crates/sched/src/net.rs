@@ -3,7 +3,9 @@
 //! [`NetAuctionScheduler`] drives [`p2p_net::run_slot_local`] — a tracker
 //! plus `peers` peer actors exchanging the length-prefixed wire protocol
 //! over loopback sockets — instead of the in-process sweep the other
-//! auction schedulers use. The tracker replays the same synchronous
+//! auction schedulers use. The default [`NetConfig`] ships the batched
+//! wire-version-2 protocol (one `PollBatch` frame per peer per sweep
+//! round); the tracker still replays the same synchronous
 //! Gauss–Seidel sweep, so outcomes are bit-identical to
 //! [`AuctionScheduler`](crate::AuctionScheduler) /
 //! `FlatAuctionScheduler` at one shard: same assignment, same duals, same

@@ -1,0 +1,260 @@
+//! Arena-backed mailboxes: a slab of reusable message buffers addressed
+//! by generation-checked keys.
+//!
+//! The reactive swarm simulator used to push one heap event per delivered
+//! message. At 10⁶ peers the event queue becomes the hot structure: every
+//! push/pop sifts a fat payload through the binary heap, and every
+//! delivery allocates. [`MailboxArena`] splits the two concerns: the heap
+//! carries a thin [`MailKey`] (8 bytes) while the message payloads live in
+//! per-batch `Vec`s that are recycled — *not freed* — after delivery, so
+//! steady-state dispatch allocates nothing once every buffer has grown to
+//! its working size.
+//!
+//! Keys are generation-checked: [`recycle`](MailboxArena::recycle) bumps
+//! the slot's generation, so a stale key kept across a recycle panics
+//! loudly instead of silently reading another batch's mail. Slots handed
+//! out by [`take`](MailboxArena::take) stay off the free list until they
+//! are recycled, so re-entrant allocation during batch processing can
+//! never alias the batch being drained.
+//!
+//! # Examples
+//!
+//! ```
+//! use p2p_sim::MailboxArena;
+//!
+//! let mut arena: MailboxArena<u32> = MailboxArena::new();
+//! let key = arena.alloc();
+//! arena.push(key, 7);
+//! arena.push(key, 8);
+//! let mut batch = arena.take(key);
+//! assert_eq!(batch, vec![7, 8]);
+//! batch.clear();
+//! arena.recycle(key, batch);
+//! // The slot is reused, but the old key is dead.
+//! let next = arena.alloc();
+//! assert_ne!(next, key);
+//! ```
+
+/// Generation-checked handle to one mailbox slot in a [`MailboxArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MailKey {
+    index: u32,
+    gen: u32,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    gen: u32,
+    /// `None` while the batch is out via [`MailboxArena::take`].
+    items: Option<Vec<T>>,
+}
+
+/// A slab of reusable mailbox buffers with a freelist (see module docs).
+#[derive(Debug, Default)]
+pub struct MailboxArena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> MailboxArena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        MailboxArena { slots: Vec::new(), free: Vec::new() }
+    }
+
+    /// An empty arena with space reserved for `slots` concurrent batches.
+    pub fn with_capacity(slots: usize) -> Self {
+        MailboxArena { slots: Vec::with_capacity(slots), free: Vec::with_capacity(slots) }
+    }
+
+    /// Allocates an empty mailbox, reusing a recycled slot (and its buffer
+    /// capacity) when one is free.
+    pub fn alloc(&mut self) -> MailKey {
+        match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                debug_assert!(slot.items.as_ref().is_some_and(Vec::is_empty));
+                MailKey { index, gen: slot.gen }
+            }
+            None => {
+                let index = u32::try_from(self.slots.len()).expect("mailbox arena overflow");
+                self.slots.push(Slot { gen: 0, items: Some(Vec::new()) });
+                MailKey { index, gen: 0 }
+            }
+        }
+    }
+
+    /// Appends one item to a live mailbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is stale (the slot was recycled) or the batch is
+    /// currently out via [`take`](Self::take).
+    pub fn push(&mut self, key: MailKey, item: T) {
+        let slot = &mut self.slots[key.index as usize];
+        assert_eq!(slot.gen, key.gen, "stale mailbox key");
+        slot.items.as_mut().expect("mailbox batch is out").push(item);
+    }
+
+    /// Number of items currently queued in a live mailbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is stale or the batch is out.
+    pub fn len(&self, key: MailKey) -> usize {
+        let slot = &self.slots[key.index as usize];
+        assert_eq!(slot.gen, key.gen, "stale mailbox key");
+        slot.items.as_ref().expect("mailbox batch is out").len()
+    }
+
+    /// Whether `key` still addresses a live (not recycled) mailbox.
+    pub fn is_live(&self, key: MailKey) -> bool {
+        self.slots.get(key.index as usize).is_some_and(|s| s.gen == key.gen)
+    }
+
+    /// Moves the batch out for processing. The slot stays reserved (off
+    /// the freelist) until the buffer comes back via
+    /// [`recycle`](Self::recycle), so allocations made while the batch is
+    /// being drained can never alias it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is stale or the batch is already out.
+    pub fn take(&mut self, key: MailKey) -> Vec<T> {
+        let slot = &mut self.slots[key.index as usize];
+        assert_eq!(slot.gen, key.gen, "stale mailbox key");
+        slot.items.take().expect("mailbox batch is out")
+    }
+
+    /// Returns a drained buffer to its slot and frees the slot for reuse.
+    /// The buffer is cleared (capacity retained) and the generation bumps,
+    /// killing every outstanding key to this slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is stale or the batch was never taken.
+    pub fn recycle(&mut self, key: MailKey, mut buffer: Vec<T>) {
+        let slot = &mut self.slots[key.index as usize];
+        assert_eq!(slot.gen, key.gen, "stale mailbox key");
+        assert!(slot.items.is_none(), "recycle without a matching take");
+        buffer.clear();
+        slot.items = Some(buffer);
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(key.index);
+    }
+
+    /// Total slots ever created (live + free); the arena's high-water mark
+    /// of concurrent batches.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots currently live (allocated and not yet recycled).
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether no slot is live.
+    pub fn is_empty(&self) -> bool {
+        self.live() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_take_recycle_roundtrip() {
+        let mut arena: MailboxArena<&'static str> = MailboxArena::new();
+        let key = arena.alloc();
+        arena.push(key, "a");
+        arena.push(key, "b");
+        assert_eq!(arena.len(key), 2);
+        assert_eq!(arena.live(), 1);
+        let batch = arena.take(key);
+        assert_eq!(batch, vec!["a", "b"]);
+        arena.recycle(key, batch);
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn recycled_slots_are_reused_with_fresh_generations() {
+        let mut arena: MailboxArena<u64> = MailboxArena::new();
+        let first = arena.alloc();
+        arena.push(first, 1);
+        let buf = arena.take(first);
+        arena.recycle(first, buf);
+        let second = arena.alloc();
+        // Same slot, new generation: the old key is dead.
+        assert_eq!(arena.slot_count(), 1);
+        assert_ne!(first, second);
+        assert!(!arena.is_live(first));
+        assert!(arena.is_live(second));
+    }
+
+    #[test]
+    fn recycled_buffers_keep_their_capacity() {
+        let mut arena: MailboxArena<u64> = MailboxArena::new();
+        let key = arena.alloc();
+        for i in 0..64 {
+            arena.push(key, i);
+        }
+        let batch = arena.take(key);
+        let grown = batch.capacity();
+        assert!(grown >= 64);
+        arena.recycle(key, batch);
+        let again = arena.alloc();
+        assert_eq!(arena.take(again).capacity(), grown);
+    }
+
+    #[test]
+    fn taken_slot_is_not_reallocated_until_recycled() {
+        let mut arena: MailboxArena<u8> = MailboxArena::new();
+        let key = arena.alloc();
+        arena.push(key, 9);
+        let batch = arena.take(key);
+        // A concurrent allocation during processing must not alias.
+        let other = arena.alloc();
+        assert_ne!(other.index, key.index);
+        arena.recycle(key, batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale mailbox key")]
+    fn stale_key_panics() {
+        let mut arena: MailboxArena<u8> = MailboxArena::new();
+        let key = arena.alloc();
+        let buf = arena.take(key);
+        arena.recycle(key, buf);
+        arena.alloc();
+        arena.push(key, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mailbox batch is out")]
+    fn pushing_while_batch_is_out_panics() {
+        let mut arena: MailboxArena<u8> = MailboxArena::new();
+        let key = arena.alloc();
+        let _batch = arena.take(key);
+        arena.push(key, 1);
+    }
+
+    #[test]
+    fn many_slots_interleave() {
+        let mut arena: MailboxArena<usize> = MailboxArena::new();
+        let keys: Vec<MailKey> = (0..8).map(|_| arena.alloc()).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            arena.push(k, i);
+        }
+        assert_eq!(arena.live(), 8);
+        // Drain out of order.
+        for &k in keys.iter().rev() {
+            let batch = arena.take(k);
+            assert_eq!(batch.len(), 1);
+            arena.recycle(k, batch);
+        }
+        assert!(arena.is_empty());
+        assert_eq!(arena.slot_count(), 8);
+    }
+}

@@ -35,9 +35,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod queue;
 pub mod rng;
 
+pub use arena::{MailKey, MailboxArena};
 pub use queue::EventQueue;
 pub use rng::{derive_seed, seeded_rng};
 
@@ -104,6 +106,9 @@ pub struct RunStats {
     pub hit_horizon: bool,
     /// Whether the world requested a stop.
     pub stopped: bool,
+    /// High-water mark of the pending-event queue during the run
+    /// (sampled before each pop, so it includes the event about to fire).
+    pub peak_pending: usize,
 }
 
 /// The simulation driver: owns the world, the queue and the clock.
@@ -183,6 +188,7 @@ impl<W: World> Simulation<W> {
         let mut stats = RunStats::default();
         let mut stop = false;
         while let Some(at) = self.queue.next_time() {
+            stats.peak_pending = stats.peak_pending.max(self.queue.len());
             if at >= horizon {
                 self.now = horizon;
                 stats.hit_horizon = true;
@@ -208,7 +214,9 @@ impl<W: World> Simulation<W> {
     pub fn run_to_completion(&mut self) -> RunStats {
         let mut stats = RunStats::default();
         let mut stop = false;
-        while let Some((at, event)) = self.queue.pop() {
+        loop {
+            stats.peak_pending = stats.peak_pending.max(self.queue.len());
+            let Some((at, event)) = self.queue.pop() else { break };
             self.now = at;
             let mut ctx = Context { now: at, queue: &mut self.queue, stop_requested: &mut stop };
             self.world.handle(&mut ctx, event);
@@ -322,6 +330,18 @@ mod tests {
         let mut sim = Simulation::new(Bad);
         sim.schedule_at(SimTime::from_secs_f64(1.0), ());
         sim.run_to_completion();
+    }
+
+    #[test]
+    fn peak_pending_tracks_the_queue_high_water_mark() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        // Indices ≥ 5 do not self-reschedule, so the queue only drains.
+        sim.schedule_at(SimTime::from_secs_f64(1.0), Ev::Ping(100));
+        sim.schedule_at(SimTime::from_secs_f64(2.0), Ev::Ping(200));
+        sim.schedule_at(SimTime::from_secs_f64(3.0), Ev::Ping(300));
+        let stats = sim.run_to_completion();
+        assert_eq!(stats.peak_pending, 3);
+        assert_eq!(stats.events_processed, 3);
     }
 
     #[test]
